@@ -1,0 +1,61 @@
+"""E8 / Section IV: linear scaling of time and energy with pipeline depth.
+
+"All configurations of the reconfigurable pipeline (from 3 to 18 stages) were
+exercised at 0.5-1.6 V.  The experiments showed that both the computation
+time and the energy consumption increase linearly with the pipeline length;
+the slope of increment is reverse-proportional to the supply voltage."
+"""
+
+import pytest
+
+from repro.chip.testbench import depth_scaling_experiment
+
+from .conftest import print_table
+
+DEPTHS = list(range(3, 19))
+VOLTAGES = (0.5, 0.8, 1.2, 1.6)
+ITEMS = 16_000_000
+
+
+def _slope(points):
+    """Least-squares slope of (x, y) pairs."""
+    n = len(points)
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    denominator = sum((x - mean_x) ** 2 for x, _ in points)
+    return numerator / denominator
+
+
+def test_depth_scaling_linear_and_voltage_dependent(benchmark):
+    result = depth_scaling_experiment(depths=DEPTHS, voltages=VOLTAGES, items=ITEMS)
+    rows = result["rows"]
+    print_table("Section IV -- time/energy vs configured depth (16 M items)",
+                rows[:8] + rows[-8:])
+
+    time_slopes = {}
+    for voltage in VOLTAGES:
+        points = [(row["depth"], row["computation_time_s"])
+                  for row in rows if row["voltage"] == voltage]
+        energy_points = [(row["depth"], row["consumed_energy_j"])
+                        for row in rows if row["voltage"] == voltage]
+        # Linearity: consecutive increments are all equal.
+        times = [y for _, y in points]
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        assert max(deltas) == pytest.approx(min(deltas), rel=1e-6)
+        energies = [y for _, y in energy_points]
+        energy_deltas = [b - a for a, b in zip(energies, energies[1:])]
+        assert max(energy_deltas) == pytest.approx(min(energy_deltas), rel=1e-6)
+        time_slopes[voltage] = _slope(points)
+
+    print_table("Section IV -- time slope vs voltage",
+                [{"voltage_V": v, "slope_s_per_stage": s} for v, s in sorted(time_slopes.items())])
+
+    # The slope decreases monotonically with the supply voltage
+    # ("reverse-proportional to the supply voltage").
+    ordered = [time_slopes[v] for v in sorted(time_slopes)]
+    assert ordered == sorted(ordered, reverse=True)
+    assert time_slopes[0.5] > 5 * time_slopes[1.6]
+
+    benchmark(lambda: depth_scaling_experiment(depths=[3, 10, 18], voltages=(1.2,),
+                                               items=ITEMS))

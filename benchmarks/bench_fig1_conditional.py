@@ -1,0 +1,62 @@
+"""E1 / Fig. 1: SDFS vs DFS on the conditional-computation motivating example.
+
+The SDFS pipeline always executes the expensive ``comp`` function, so its
+cost per item is the worst case and independent of the data.  The DFS
+pipeline bypasses ``comp`` whenever ``cond`` yields False, so its cost per
+item falls with the fraction of "cheap" (False) items.  The bench measures
+the cycle time of both models with the timed token simulator for several
+True-token fractions and checks the paper's qualitative claim.
+"""
+
+import pytest
+
+from repro.dfs.examples import conditional_comp_dfs, conditional_comp_sdfs
+from repro.performance.timed import TimedDfsSimulator
+
+from .conftest import print_table
+
+COMP_STAGES = 3
+COMP_DELAY = 8.0
+TOKENS = 30
+
+
+def _fraction_policy(fraction):
+    def policy(node, index):
+        return (index % 10) < round(fraction * 10)
+    return policy
+
+
+def _dfs_cycle_time(fraction):
+    simulator = TimedDfsSimulator(
+        conditional_comp_dfs(comp_stages=COMP_STAGES, comp_delay=COMP_DELAY),
+        choice_policy=_fraction_policy(fraction), seed=1)
+    return simulator.run("out", token_goal=TOKENS).mean_cycle_time
+
+
+def _sdfs_cycle_time():
+    simulator = TimedDfsSimulator(
+        conditional_comp_sdfs(comp_stages=COMP_STAGES, comp_delay=COMP_DELAY), seed=1)
+    return simulator.run("out", token_goal=TOKENS).mean_cycle_time
+
+
+def test_fig1_dfs_vs_sdfs_conditional(benchmark):
+    sdfs_cycle = _sdfs_cycle_time()
+    rows = []
+    for fraction in (0.0, 0.2, 0.5, 0.8, 1.0):
+        dfs_cycle = _dfs_cycle_time(fraction)
+        rows.append({
+            "true_fraction": fraction,
+            "dfs_cycle_time": dfs_cycle,
+            "sdfs_cycle_time": sdfs_cycle,
+            "dfs_speedup_vs_sdfs": sdfs_cycle / dfs_cycle,
+        })
+    print_table("Fig. 1 -- conditional comp: DFS bypass vs SDFS worst case", rows)
+
+    # Shape of the result: with no expensive items the DFS pipeline is much
+    # faster than the always-worst-case SDFS pipeline...
+    assert rows[0]["dfs_speedup_vs_sdfs"] > 2.0
+    # ...and its cost grows monotonically with the fraction of expensive items.
+    cycle_times = [row["dfs_cycle_time"] for row in rows]
+    assert cycle_times == sorted(cycle_times)
+
+    benchmark(lambda: _dfs_cycle_time(0.5))

@@ -1,0 +1,46 @@
+"""E3 / Fig. 5: performance analysis of a reconfigurable pipeline.
+
+Regenerates the information the Workcraft performance pane shows: the
+throughput of the slowest cycles and the bottleneck nodes of each, plus the
+designer-facing optimisation suggestions (token insertion, buffering,
+wagging).
+"""
+
+from repro.performance.analyzer import PerformanceAnalyzer
+from repro.performance.optimization import suggest_optimisations
+from repro.pipelines.generic import build_generic_pipeline
+
+from .conftest import print_table
+
+
+def _analyse():
+    pipeline = build_generic_pipeline(4, static_prefix_stages=1, name="fig5_pipeline")
+    return PerformanceAnalyzer(pipeline.dfs).analyse(slowest_count=5)
+
+
+def test_fig5_performance_analysis(benchmark):
+    report = _analyse()
+    rows = []
+    for metric in report.slowest:
+        rows.append({
+            "registers": metric.registers,
+            "tokens": metric.tokens,
+            "holes": metric.holes,
+            "delay": metric.delay,
+            "throughput": metric.throughput,
+            "bottlenecks": ", ".join(report.bottlenecks.get(id(metric), [])),
+        })
+    print_table("Fig. 5 -- slowest cycles and bottleneck nodes", rows)
+
+    # The pipeline's control loops are cycles and the tool reports them.
+    assert report.cycles
+    assert report.throughput is not None and report.throughput > 0
+    # Every reported slow cycle names at least one bottleneck node.
+    assert all(report.bottlenecks[id(metric)] for metric in report.slowest)
+
+    suggestions = suggest_optimisations(report)
+    print_table("Fig. 5 -- optimisation suggestions",
+                [{"kind": s.kind, "message": s.message} for s in suggestions])
+    assert suggestions
+
+    benchmark(_analyse)

@@ -1,0 +1,55 @@
+"""E6 / Fig. 9a: computation time and energy versus supply voltage.
+
+Regenerates the voltage-sweep characterisation of the 18-stage static and
+reconfigurable OPE pipelines over a 16 M-item LFSR workload, normalised to
+the static pipeline at the nominal 1.2 V (reference point 1.22 s, 2.74 mJ).
+The assertions encode the paper's findings: lower voltage means slower but
+more energy-efficient operation, the reconfigurable implementation pays about
+5 % in energy and about 36 % in computation time, and the reference point is
+reproduced by the calibrated model.
+"""
+
+import pytest
+
+from repro.chip.testbench import voltage_sweep_experiment
+
+from .conftest import print_table
+
+VOLTAGES = (0.5, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6)
+ITEMS = 16_000_000
+
+
+def test_fig9a_voltage_sweep(benchmark):
+    result = voltage_sweep_experiment(voltages=VOLTAGES, items=ITEMS)
+    rows = [
+        {
+            "voltage_V": row["voltage"],
+            "static_time_norm": row["static_time_norm"],
+            "reconf_time_norm": row["reconfigurable_time_norm"],
+            "static_energy_norm": row["static_energy_norm"],
+            "reconf_energy_norm": row["reconfigurable_energy_norm"],
+            "time_overhead_%": 100 * row["time_overhead"],
+            "energy_overhead_%": 100 * row["energy_overhead"],
+        }
+        for row in result["rows"]
+    ]
+    print("reference (static @ 1.2 V, 16 M items): {:.3g} s, {:.3g} mJ".format(
+        result["reference_time_s"], result["reference_energy_j"] * 1e3))
+    print_table("Fig. 9a -- time and energy vs supply voltage (normalised)", rows)
+
+    # The reference point matches the paper's measurement.
+    assert result["reference_time_s"] == pytest.approx(1.22, rel=0.02)
+    assert result["reference_energy_j"] == pytest.approx(2.74e-3, rel=0.02)
+
+    # Monotone trends: lower voltage -> slower but more energy-efficient.
+    times = [row["static_time_norm"] for row in rows]
+    energies = [row["static_energy_norm"] for row in rows]
+    assert times == sorted(times, reverse=True)
+    assert energies == sorted(energies)
+
+    # Reconfigurability costs ~5 % energy and ~36 % time at every voltage.
+    for row in rows:
+        assert row["energy_overhead_%"] == pytest.approx(5.0, abs=1.0)
+        assert row["time_overhead_%"] == pytest.approx(36.0, abs=3.0)
+
+    benchmark(lambda: voltage_sweep_experiment(voltages=(0.5, 1.2, 1.6), items=ITEMS))

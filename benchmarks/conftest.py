@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation and
+prints its rows (run pytest with ``-s`` to see them); the assertions encode
+the *shape* of the paper's results (who wins, by roughly what factor, where
+the crossovers are), not the absolute silicon numbers.
+"""
+
+
+def print_table(title, rows, columns=None):
+    """Print a list of row dictionaries as an aligned text table."""
+    print("\n== {} ==".format(title))
+    if not rows:
+        print("(no rows)")
+        return
+    columns = columns or list(rows[0].keys())
+    widths = {column: max(len(str(column)),
+                          max(len(_format(row.get(column))) for row in rows))
+              for column in columns}
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(_format(row.get(column)).ljust(widths[column]) for column in columns))
+
+
+def _format(value):
+    if isinstance(value, float):
+        return "{:.4g}".format(value)
+    return str(value)

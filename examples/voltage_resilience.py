@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Voltage scaling and resilience experiments (Fig. 9a and Fig. 9b).
+
+Sweeps the supply voltage of the static and reconfigurable OPE pipelines over
+the 0.5-1.6 V range used on the test bench (normalising to the static
+pipeline at the nominal 1.2 V), and then reproduces the unstable-supply
+experiment: the supply is ramped down to the freeze voltage mid-computation
+and back up, and the chip completes the run correctly once power recovers.
+
+Run with::
+
+    python examples/voltage_resilience.py
+"""
+
+from repro.chip.testbench import unstable_supply_experiment, voltage_sweep_experiment
+
+
+def main():
+    sweep = voltage_sweep_experiment(voltages=(0.5, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6),
+                                     items=16_000_000)
+    print("Reference point (static pipeline, 1.2 V, 16 M items): "
+          "{:.3g} s, {:.3g} mJ".format(sweep["reference_time_s"],
+                                       sweep["reference_energy_j"] * 1e3))
+    print("\nFig. 9a -- normalised computation time and consumed energy:")
+    print("  {:>6} {:>12} {:>12} {:>14} {:>14}".format(
+        "V", "t_static", "t_reconf", "E_static", "E_reconf"))
+    for row in sweep["rows"]:
+        print("  {:>6.1f} {:>12.3g} {:>12.3g} {:>14.3g} {:>14.3g}".format(
+            row["voltage"], row["static_time_norm"], row["reconfigurable_time_norm"],
+            row["static_energy_norm"], row["reconfigurable_energy_norm"]))
+
+    print("\nFig. 9b -- power trace while the supply dips to the freeze voltage:")
+    result = unstable_supply_experiment()
+    trace = result["trace"]
+    step = max(1, len(trace) // 25)
+    print("  {:>8} {:>10} {:>12} {:>12}".format("t [s]", "V [V]", "P [uW]", "items"))
+    for row in trace[::step]:
+        print("  {:>8.1f} {:>10.2f} {:>12.2f} {:>12}".format(
+            row["time_s"], row["voltage_v"], row["power_uw"], row["items_done"]))
+    print("\nCompleted: {}   total time: {:.1f} s   frozen interval: {:.1f} s".format(
+        result["completed"], result["computation_time_s"], result["frozen_interval_s"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that the package can be installed in editable mode on environments that
+lack the ``wheel`` package (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""The checksum accumulator of the evaluation chip.
+
+"A checksum of the output stream is calculated in the accumulator and a
+single data item is produced after all generated data is processed."  The
+accumulator folds every rank of every produced rank list into a 32-bit
+multiplicative rolling checksum; the behavioural model
+(:meth:`repro.ope.reference.OpeReference.checksum`) implements the identical
+computation, which is how random-mode runs are validated.
+"""
+
+
+class ChecksumAccumulator:
+    """A 32-bit rolling checksum over produced rank lists."""
+
+    #: Multiplier of the rolling hash (matches the behavioural model).
+    MULTIPLIER = 31
+
+    def __init__(self, modulus=2 ** 32):
+        self.modulus = int(modulus)
+        self._digest = 0
+        self._count = 0
+
+    def reset(self):
+        """Clear the accumulated checksum."""
+        self._digest = 0
+        self._count = 0
+
+    def add_rank(self, rank):
+        """Fold a single rank value into the checksum."""
+        self._digest = (self._digest * self.MULTIPLIER + int(rank)) % self.modulus
+        self._count += 1
+        return self._digest
+
+    def add_rank_list(self, ranks):
+        """Fold a whole rank list (one OPE output) into the checksum."""
+        for rank in ranks:
+            self.add_rank(rank)
+        return self._digest
+
+    def digest(self):
+        """The current checksum value (the chip's single output word)."""
+        return self._digest
+
+    @property
+    def ranks_accumulated(self):
+        """How many individual ranks have been folded in."""
+        return self._count
+
+    def __repr__(self):
+        return "ChecksumAccumulator(digest=0x{:08X}, ranks={})".format(
+            self._digest, self._count)

@@ -1,0 +1,71 @@
+"""Linear-feedback shift register: the on-chip stimulus generator.
+
+In random mode the chip feeds the OPE pipelines from a user-seeded LFSR
+instead of the external input port, which removes the chip-to-testbench
+interfacing overhead from the measurements.  A Galois LFSR with a maximal
+-length polynomial is used; the default taps correspond to the maximal 16-bit
+polynomial ``x^16 + x^15 + x^13 + x^4 + 1``.
+"""
+
+from repro.exceptions import ConfigurationError
+
+#: Maximal-length Galois tap masks per register width.
+DEFAULT_TAPS = {
+    8: 0xB8,
+    16: 0xD008,
+    24: 0xE10000,
+    32: 0xA3000000,
+}
+
+
+class Lfsr:
+    """A Galois linear-feedback shift register."""
+
+    def __init__(self, seed=0xACE1, width=16, taps=None):
+        if width not in DEFAULT_TAPS and taps is None:
+            raise ConfigurationError(
+                "no default taps for a {}-bit LFSR; pass the taps explicitly".format(width))
+        self.width = int(width)
+        self.mask = (1 << self.width) - 1
+        self.taps = taps if taps is not None else DEFAULT_TAPS[width]
+        seed = int(seed) & self.mask
+        if seed == 0:
+            raise ConfigurationError("an LFSR seed of zero locks the register at zero")
+        self.seed = seed
+        self.state = seed
+
+    def reset(self, seed=None):
+        """Reload the seed (optionally a new one)."""
+        if seed is not None:
+            seed = int(seed) & self.mask
+            if seed == 0:
+                raise ConfigurationError("an LFSR seed of zero locks the register at zero")
+            self.seed = seed
+        self.state = self.seed
+        return self.state
+
+    def next(self):
+        """Advance one step and return the new state."""
+        lsb = self.state & 1
+        self.state >>= 1
+        if lsb:
+            self.state ^= self.taps
+        return self.state
+
+    def stream(self, count):
+        """Generate *count* successive values (the chip's random-mode stimulus)."""
+        return [self.next() for _ in range(count)]
+
+    def iter_stream(self, count):
+        """Like :meth:`stream` but as a generator (for very long runs)."""
+        for _ in range(count):
+            yield self.next()
+
+    @property
+    def period(self):
+        """Period of a maximal-length LFSR of this width."""
+        return (1 << self.width) - 1
+
+    def __repr__(self):
+        return "Lfsr(width={}, seed=0x{:X}, state=0x{:X})".format(
+            self.width, self.seed, self.state)

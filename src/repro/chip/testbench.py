@@ -1,0 +1,145 @@
+"""Testbench experiments replicating the paper's measurement campaigns.
+
+Each experiment returns plain dictionaries / lists of rows so that the
+benchmark harness can print them as tables matching the paper's figures:
+
+* :func:`random_mode_experiment`     -- a single random-mode run with checksum
+  validation against the behavioural model (the basic measurement unit);
+* :func:`voltage_sweep_experiment`   -- Fig. 9a: computation time and energy of
+  the static and reconfigurable pipelines over a supply-voltage sweep,
+  normalised to the static pipeline at the nominal voltage;
+* :func:`unstable_supply_experiment` -- Fig. 9b: the power trace of a run while
+  the supply dips to the freeze voltage and recovers;
+* :func:`depth_scaling_experiment`   -- the linear dependence of time and
+  energy on the configured pipeline depth, for several supply voltages.
+"""
+
+from repro.chip.top import ChipConfig, ChipMode, OpeChip
+from repro.silicon.environment import dip_and_recover
+
+
+def random_mode_experiment(seed=0xACE1, count=4096, depth=18, config=ChipConfig.RECONFIGURABLE,
+                           voltage=1.2, chip=None, functional_count=None):
+    """One random-mode run: functional checksum validation plus time/energy.
+
+    ``count`` is the number of items used for the analytic time/energy figures
+    (the paper uses 16 M); ``functional_count`` bounds the number of items
+    actually pushed through the functional pipeline for checksum validation
+    (defaults to ``min(count, 4096)`` to keep runtime reasonable).
+    """
+    chip = chip or OpeChip()
+    chip.set_mode(ChipMode.RANDOM)
+    chip.set_config(config)
+    if ChipConfig(config) is ChipConfig.RECONFIGURABLE:
+        chip.set_depth(depth)
+    functional_count = min(count, 4096) if functional_count is None else functional_count
+    run = chip.run_random(seed, functional_count)
+    golden = chip.behavioural_checksum(seed, functional_count)
+    measurement = chip.measure(count, voltage)
+    return {
+        "config": ChipConfig(config).value,
+        "depth": chip.depth,
+        "seed": seed,
+        "count": count,
+        "functional_count": functional_count,
+        "checksum": run["checksum"],
+        "golden_checksum": golden,
+        "checksum_ok": run["checksum"] == golden,
+        "voltage": voltage,
+        "computation_time_s": measurement.computation_time_s,
+        "consumed_energy_j": measurement.consumed_energy_j,
+    }
+
+
+def voltage_sweep_experiment(voltages=(0.5, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6),
+                             items=16_000_000, depth=18, chip=None):
+    """Fig. 9a: static vs. reconfigurable pipelines over a voltage sweep.
+
+    Returns a list of rows with absolute and normalised (to the static
+    pipeline at 1.2 V) computation time and consumed energy.
+    """
+    chip = chip or OpeChip()
+    chip.set_depth(depth)
+    static_harness = chip.harness(config=ChipConfig.STATIC)
+    reconfigurable_harness = chip.harness(config=ChipConfig.RECONFIGURABLE, depth=depth)
+    reference = static_harness.run(items, chip.voltage_model.nominal_voltage)
+    rows = []
+    for voltage in voltages:
+        static = static_harness.run(items, voltage)
+        reconfigurable = reconfigurable_harness.run(items, voltage)
+        static_time_ratio, static_energy_ratio = static.normalised_to(reference)
+        reconf_time_ratio, reconf_energy_ratio = reconfigurable.normalised_to(reference)
+        rows.append({
+            "voltage": float(voltage),
+            "static_time_s": static.computation_time_s,
+            "static_energy_j": static.consumed_energy_j,
+            "reconfigurable_time_s": reconfigurable.computation_time_s,
+            "reconfigurable_energy_j": reconfigurable.consumed_energy_j,
+            "static_time_norm": static_time_ratio,
+            "static_energy_norm": static_energy_ratio,
+            "reconfigurable_time_norm": reconf_time_ratio,
+            "reconfigurable_energy_norm": reconf_energy_ratio,
+            "time_overhead": (reconfigurable.computation_time_s / static.computation_time_s) - 1.0,
+            "energy_overhead": (reconfigurable.consumed_energy_j / static.consumed_energy_j) - 1.0,
+        })
+    return {
+        "reference_time_s": reference.computation_time_s,
+        "reference_energy_j": reference.consumed_energy_j,
+        "items": items,
+        "rows": rows,
+    }
+
+
+def unstable_supply_experiment(items=4_000_000, depth=18, waveform=None, time_step=0.1,
+                               chip=None):
+    """Fig. 9b: power consumption while the supply dips to the freeze voltage.
+
+    The default waveform starts at 0.5 V, ramps down to 0.34 V (where the chip
+    freezes), holds, then ramps back up so the computation completes.
+    """
+    chip = chip or OpeChip()
+    chip.set_config(ChipConfig.RECONFIGURABLE)
+    chip.set_depth(depth)
+    waveform = waveform or dip_and_recover()
+    measurement = chip.measure_with_waveform(
+        items, waveform, time_step=time_step,
+        max_time=waveform.duration * 20.0,
+        config=ChipConfig.RECONFIGURABLE, depth=depth)
+    trace_rows = measurement.trace.rows() if measurement.trace else []
+    frozen_samples = [row for row in trace_rows
+                      if not chip.voltage_model.is_operational(row["voltage_v"])]
+    return {
+        "items": items,
+        "depth": depth,
+        "completed": measurement.completed,
+        "computation_time_s": measurement.computation_time_s,
+        "consumed_energy_j": measurement.consumed_energy_j,
+        "freeze_voltage": chip.voltage_model.freeze_voltage,
+        "frozen_interval_s": len(frozen_samples) * time_step,
+        "trace": trace_rows,
+    }
+
+
+def depth_scaling_experiment(depths=None, voltages=(0.5, 0.8, 1.2, 1.6),
+                             items=16_000_000, chip=None):
+    """Time and energy versus configured depth for several supply voltages.
+
+    The paper reports that "both the computation time and the energy
+    consumption increase linearly with the pipeline length; the slope of
+    increment is reverse-proportional to the supply voltage".
+    """
+    chip = chip or OpeChip()
+    depths = depths or list(range(chip.min_depth, chip.stages + 1))
+    rows = []
+    for depth in depths:
+        chip.set_depth(depth)
+        for voltage in voltages:
+            measurement = chip.measure(items, voltage,
+                                       config=ChipConfig.RECONFIGURABLE, depth=depth)
+            rows.append({
+                "depth": depth,
+                "voltage": float(voltage),
+                "computation_time_s": measurement.computation_time_s,
+                "consumed_energy_j": measurement.consumed_energy_j,
+            })
+    return {"items": items, "rows": rows}

@@ -1,0 +1,173 @@
+"""The top level of the evaluation chip (Fig. 8a).
+
+The chip exposes:
+
+* ``config`` -- which OPE implementation processes the stream: the 18-stage
+  **static** pipeline or the **reconfigurable** pipeline (depth 3 to 18);
+* ``mode``   -- **normal** (data supplied on the ``in`` port, a rank list on
+  the ``out`` port per iteration) or **random** (an on-chip LFSR generates
+  ``count`` items from a user ``seed`` and the accumulator produces a single
+  checksum at the end);
+* the functional data path (window storage, comparisons, rank update,
+  checksum) and the analytic silicon model used to report computation time,
+  energy and power for a given supply voltage or supply waveform.
+"""
+
+from enum import Enum
+
+from repro.exceptions import ConfigurationError
+from repro.chip.accumulator import ChecksumAccumulator
+from repro.chip.lfsr import Lfsr
+from repro.ope.circuit import ope_silicon_model
+from repro.ope.functional import OpePipelineFunctional
+from repro.ope.pipeline import CHIP_MIN_DEPTH, CHIP_STAGES
+from repro.ope.reference import OpeReference
+from repro.silicon.chip import SyncStructure
+from repro.silicon.measurement import MeasurementHarness
+from repro.silicon.voltage import VoltageModel
+
+
+class ChipConfig(Enum):
+    """Which OPE implementation is activated by the ``config`` input."""
+
+    STATIC = "static"
+    RECONFIGURABLE = "reconfigurable"
+
+
+class ChipMode(Enum):
+    """Operating mode selected by the ``mode`` input."""
+
+    NORMAL = "normal"
+    RANDOM = "random"
+
+
+class OpeChip:
+    """A functional-plus-analytic model of the fabricated evaluation chip."""
+
+    def __init__(self, stages=CHIP_STAGES, min_depth=CHIP_MIN_DEPTH,
+                 voltage_model=None, lfsr_width=16,
+                 reconfigurable_sync=SyncStructure.DAISY_CHAIN):
+        self.stages = int(stages)
+        self.min_depth = int(min_depth)
+        self.voltage_model = voltage_model or VoltageModel()
+        self.lfsr_width = int(lfsr_width)
+        self.reconfigurable_sync = reconfigurable_sync
+        self.config = ChipConfig.STATIC
+        self.mode = ChipMode.RANDOM
+        self._depth = self.stages
+        self._silicon_cache = {}
+
+    # -- configuration inputs ------------------------------------------------------
+
+    def set_config(self, config):
+        """Drive the ``config`` input (which pipeline processes the data)."""
+        self.config = ChipConfig(config)
+        return self.config
+
+    def set_mode(self, mode):
+        """Drive the ``mode`` input (normal or random)."""
+        self.mode = ChipMode(mode)
+        return self.mode
+
+    def set_depth(self, depth):
+        """Select the reconfigurable pipeline depth (the OPE window size)."""
+        depth = int(depth)
+        if not self.min_depth <= depth <= self.stages:
+            raise ConfigurationError(
+                "depth {} is outside the supported range {}..{}".format(
+                    depth, self.min_depth, self.stages))
+        self._depth = depth
+        return depth
+
+    @property
+    def depth(self):
+        """The effective window size of the active pipeline."""
+        if self.config is ChipConfig.STATIC:
+            return self.stages
+        return self._depth
+
+    # -- silicon model --------------------------------------------------------------
+
+    def silicon_model(self, config=None, depth=None, sync_structure=None):
+        """The analytic timing/energy model of the selected implementation."""
+        config = ChipConfig(config) if config is not None else self.config
+        if config is ChipConfig.STATIC:
+            depth = self.stages
+            reconfigurable = False
+            sync = SyncStructure.TREE if sync_structure is None else sync_structure
+        else:
+            depth = self.depth if depth is None else int(depth)
+            reconfigurable = True
+            sync = self.reconfigurable_sync if sync_structure is None else sync_structure
+        key = (config, depth, sync)
+        if key not in self._silicon_cache:
+            self._silicon_cache[key] = ope_silicon_model(
+                depth, reconfigurable, sync_structure=sync,
+                voltage_model=self.voltage_model)
+        return self._silicon_cache[key]
+
+    def harness(self, **kwargs):
+        """A measurement harness bound to the currently selected implementation."""
+        return MeasurementHarness(self.silicon_model(**kwargs))
+
+    # -- functional data path ----------------------------------------------------------
+
+    def process_stream(self, stream):
+        """Normal mode: process an externally supplied stream, return rank lists."""
+        pipeline = OpePipelineFunctional(self.depth)
+        return pipeline.process(stream)
+
+    def run_random(self, seed, count):
+        """Random mode: run `count` LFSR items through the pipeline, return results.
+
+        Returns a dictionary with the checksum produced by the accumulator,
+        the number of rank lists produced, and the LFSR parameters used.
+        """
+        if self.mode is not ChipMode.RANDOM:
+            raise ConfigurationError("the chip is not in random mode")
+        lfsr = Lfsr(seed=seed, width=self.lfsr_width)
+        pipeline = OpePipelineFunctional(self.depth)
+        accumulator = ChecksumAccumulator()
+        outputs = 0
+        for item in lfsr.iter_stream(count):
+            ranks = pipeline.push(item)
+            if ranks is not None:
+                accumulator.add_rank_list(ranks)
+                outputs += 1
+        return {
+            "checksum": accumulator.digest(),
+            "outputs": outputs,
+            "ranks_accumulated": accumulator.ranks_accumulated,
+            "seed": seed,
+            "count": count,
+            "depth": self.depth,
+            "config": self.config.value,
+        }
+
+    def behavioural_checksum(self, seed, count):
+        """The golden checksum: the behavioural OPE model run on the same stimulus."""
+        lfsr = Lfsr(seed=seed, width=self.lfsr_width)
+        reference = OpeReference(self.depth)
+        return reference.checksum(lfsr.stream(count))
+
+    # -- measurements --------------------------------------------------------------------
+
+    def measure(self, items, voltage, config=None, depth=None, sync_structure=None):
+        """Computation time and energy for *items* data items at a constant voltage."""
+        if depth is not None:
+            self.set_depth(depth)
+        harness = self.harness(config=config, depth=depth, sync_structure=sync_structure)
+        return harness.run(items, voltage)
+
+    def measure_with_waveform(self, items, waveform, time_step=0.1, max_time=None,
+                              config=None, depth=None, sync_structure=None):
+        """Run under a supply waveform (the unstable-supply experiment of Fig. 9b)."""
+        if depth is not None:
+            self.set_depth(depth)
+        harness = self.harness(config=config, depth=depth, sync_structure=sync_structure)
+        return harness.run_with_waveform(items, waveform, time_step=time_step,
+                                         max_time=max_time)
+
+    def __repr__(self):
+        return "OpeChip(stages={}, config={}, mode={}, depth={})".format(
+            self.stages, self.config.value, self.mode.value, self.depth)

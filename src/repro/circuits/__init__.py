@@ -1,0 +1,64 @@
+"""Asynchronous circuit back-end: NCL-D dual-rail components and netlists.
+
+The paper translates a verified DFS model "into a circuit implementation
+netlist using a library of pre-built NCL-D style asynchronous dual-rail
+components (comparator, adder, and a set of registers) that rely on 4-phase
+communication protocol", and exports the result as a Verilog netlist for a
+conventional back-end flow.  This package provides:
+
+* :mod:`repro.circuits.signals`   -- dual-rail signal encoding with spacers;
+* :mod:`repro.circuits.gates`     -- C-elements, threshold gates and simple
+  Boolean gates with behavioural evaluation;
+* :mod:`repro.circuits.library`   -- a behavioural cell/component library with
+  area, delay and energy figures (loosely modelled on a 90 nm low-power
+  process);
+* :mod:`repro.circuits.netlist`   -- hierarchical netlists (modules,
+  instances, nets, ports);
+* :mod:`repro.circuits.handshake` -- 4-phase dual-rail channels;
+* :mod:`repro.circuits.mapping`   -- direct mapping of DFS nodes onto library
+  components (including the daisy-chain / tree C-element synchronisation
+  choice evaluated in the paper);
+* :mod:`repro.circuits.simulation`-- event-driven simulation of mapped
+  netlists with energy accounting;
+* :mod:`repro.circuits.verilog`   -- Verilog netlist export.
+"""
+
+from repro.circuits.signals import DualRail, Rail, encode_word, decode_word
+from repro.circuits.gates import CElement, Gate, NclGate, majority, threshold
+from repro.circuits.library import Cell, CellLibrary, Component, default_library
+from repro.circuits.netlist import Instance, Module, Net, Netlist, Port, PortDirection
+from repro.circuits.handshake import Channel, ChannelPhase, FourPhaseProtocol
+from repro.circuits.mapping import MappingOptions, SyncStyle, map_dfs_to_netlist
+from repro.circuits.simulation import CircuitSimulator, SimulationStats
+from repro.circuits.verilog import to_verilog
+
+__all__ = [
+    "CElement",
+    "Cell",
+    "CellLibrary",
+    "Channel",
+    "ChannelPhase",
+    "CircuitSimulator",
+    "Component",
+    "DualRail",
+    "FourPhaseProtocol",
+    "Gate",
+    "Instance",
+    "MappingOptions",
+    "Module",
+    "NclGate",
+    "Net",
+    "Netlist",
+    "Port",
+    "PortDirection",
+    "Rail",
+    "SimulationStats",
+    "SyncStyle",
+    "decode_word",
+    "default_library",
+    "encode_word",
+    "majority",
+    "map_dfs_to_netlist",
+    "threshold",
+    "to_verilog",
+]

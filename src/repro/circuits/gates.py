@@ -1,0 +1,122 @@
+"""Gate-level primitives of NCL-style asynchronous circuits.
+
+NCL (Null Convention Logic) circuits are built from *threshold gates with
+hysteresis*: a ``THmn`` gate has ``n`` inputs and asserts its output once at
+least ``m`` of them are asserted; it then holds the output until *all* inputs
+return to zero.  The Muller C-element is the special case ``THnn``.  This
+module provides behavioural models of these gates, sufficient for the
+component-level simulation and for documenting the structure of the mapped
+circuits.
+"""
+
+from repro.exceptions import CircuitError
+
+
+class Gate:
+    """A simple combinational gate evaluated from a Boolean function."""
+
+    def __init__(self, name, inputs, function):
+        self.name = name
+        self.inputs = int(inputs)
+        self._function = function
+
+    def evaluate(self, values, previous=0):
+        """Evaluate the gate; *previous* is ignored for combinational gates."""
+        if len(values) != self.inputs:
+            raise CircuitError(
+                "gate {!r} expects {} inputs, got {}".format(self.name, self.inputs, len(values))
+            )
+        return int(bool(self._function([int(bool(v)) for v in values])))
+
+    def __repr__(self):
+        return "Gate({!r}, inputs={})".format(self.name, self.inputs)
+
+
+class NclGate:
+    """A threshold gate with hysteresis (``THmn``)."""
+
+    def __init__(self, threshold_count, inputs, name=None):
+        if not 1 <= threshold_count <= inputs:
+            raise CircuitError(
+                "invalid threshold gate TH{}{}".format(threshold_count, inputs)
+            )
+        self.threshold = int(threshold_count)
+        self.inputs = int(inputs)
+        self.name = name or "TH{}{}".format(threshold_count, inputs)
+
+    def evaluate(self, values, previous=0):
+        """Evaluate with hysteresis: set at the threshold, reset only at all-zero."""
+        if len(values) != self.inputs:
+            raise CircuitError(
+                "gate {!r} expects {} inputs, got {}".format(self.name, self.inputs, len(values))
+            )
+        asserted = sum(1 for value in values if value)
+        if asserted >= self.threshold:
+            return 1
+        if asserted == 0:
+            return 0
+        return int(bool(previous))
+
+    def __repr__(self):
+        return "NclGate({!r})".format(self.name)
+
+
+class CElement(NclGate):
+    """The Muller C-element: output follows the inputs when they agree."""
+
+    def __init__(self, inputs=2, name=None):
+        super().__init__(inputs, inputs, name=name or "C{}".format(inputs))
+
+
+def and_gate(inputs=2):
+    """A plain AND gate."""
+    return Gate("AND{}".format(inputs), inputs, lambda values: all(values))
+
+
+def or_gate(inputs=2):
+    """A plain OR gate."""
+    return Gate("OR{}".format(inputs), inputs, lambda values: any(values))
+
+
+def not_gate():
+    """A plain inverter."""
+    return Gate("NOT", 1, lambda values: not values[0])
+
+
+def threshold(m, n):
+    """Shorthand for a ``THmn`` NCL gate."""
+    return NclGate(m, n)
+
+
+def majority(inputs=3):
+    """A majority gate (used in completion-detection trees)."""
+    if inputs % 2 == 0:
+        raise CircuitError("a majority gate needs an odd number of inputs")
+    return NclGate((inputs // 2) + 1, inputs, name="MAJ{}".format(inputs))
+
+
+def c_element_tree_depth(leaves, fan_in=2):
+    """Depth (in gate levels) of a C-element tree joining *leaves* inputs.
+
+    The static OPE pipeline synchronises its stages with such a tree, while
+    the fabricated reconfigurable pipeline used a daisy chain (depth equal to
+    the number of leaves), which is the source of its 36 % performance
+    overhead (Section IV of the paper).
+    """
+    if leaves <= 0:
+        raise CircuitError("a C-element tree needs at least one leaf")
+    if fan_in < 2:
+        raise CircuitError("C-element tree fan-in must be at least 2")
+    depth = 0
+    count = leaves
+    while count > 1:
+        count = (count + fan_in - 1) // fan_in
+        depth += 1
+    return depth
+
+
+def c_element_chain_depth(leaves):
+    """Depth of a daisy chain of 2-input C-elements joining *leaves* inputs."""
+    if leaves <= 0:
+        raise CircuitError("a C-element chain needs at least one leaf")
+    return max(leaves - 1, 0)

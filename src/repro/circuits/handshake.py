@@ -1,0 +1,116 @@
+"""4-phase dual-rail handshake channels.
+
+NCL-D components communicate over channels following the 4-phase (return to
+zero) protocol: the sender drives a data wave, the receiver acknowledges, the
+sender drives the NULL (spacer) wave, and the receiver releases the
+acknowledgement.  One *token transfer* therefore consists of four phases, and
+the channel cycle time is the sum of the four phase delays.
+
+The :class:`Channel` class models one channel as a small state machine; the
+component-level simulator advances channels through their phases and charges
+the corresponding delays and energies.
+"""
+
+from enum import Enum
+
+from repro.exceptions import CircuitError
+
+
+class ChannelPhase(Enum):
+    """Phases of the 4-phase protocol."""
+
+    IDLE = "idle"              # spacer on data, ack low
+    DATA_VALID = "data_valid"  # data wave asserted, waiting for ack
+    ACKNOWLEDGED = "acked"     # ack high, waiting for spacer
+    RETURN_TO_ZERO = "rtz"     # spacer asserted, waiting for ack release
+
+
+#: The cyclic order of phases; completing the last returns the channel to IDLE.
+PHASE_ORDER = [
+    ChannelPhase.IDLE,
+    ChannelPhase.DATA_VALID,
+    ChannelPhase.ACKNOWLEDGED,
+    ChannelPhase.RETURN_TO_ZERO,
+]
+
+
+class FourPhaseProtocol:
+    """Timing of one 4-phase cycle, split per phase.
+
+    ``data_delay`` is the forward propagation of the data wave through the
+    receiving logic, ``ack_delay`` the completion detection plus
+    acknowledgement, ``rtz_delay`` the spacer wave and ``release_delay`` the
+    acknowledgement release.  The cycle time is their sum.
+    """
+
+    def __init__(self, data_delay, ack_delay, rtz_delay=None, release_delay=None):
+        self.data_delay = float(data_delay)
+        self.ack_delay = float(ack_delay)
+        self.rtz_delay = float(rtz_delay) if rtz_delay is not None else self.data_delay
+        self.release_delay = (float(release_delay) if release_delay is not None
+                              else self.ack_delay)
+
+    @property
+    def cycle_time(self):
+        return self.data_delay + self.ack_delay + self.rtz_delay + self.release_delay
+
+    def phase_delay(self, phase):
+        return {
+            ChannelPhase.IDLE: self.data_delay,
+            ChannelPhase.DATA_VALID: self.ack_delay,
+            ChannelPhase.ACKNOWLEDGED: self.rtz_delay,
+            ChannelPhase.RETURN_TO_ZERO: self.release_delay,
+        }[phase]
+
+    def __repr__(self):
+        return "FourPhaseProtocol(cycle_time={:.3g}ns)".format(self.cycle_time)
+
+
+class Channel:
+    """A point-to-point dual-rail channel between two component instances."""
+
+    def __init__(self, name, source, target, protocol, width=1):
+        self.name = name
+        self.source = source
+        self.target = target
+        self.protocol = protocol
+        self.width = int(width)
+        self.phase = ChannelPhase.IDLE
+        self.transfers = 0
+        self.payload = None
+
+    def advance(self, payload=None):
+        """Move to the next phase; returns the delay spent in the current one.
+
+        A full IDLE -> DATA_VALID -> ACKNOWLEDGED -> RETURN_TO_ZERO -> IDLE
+        round trip counts as one completed token transfer.
+        """
+        delay = self.protocol.phase_delay(self.phase)
+        index = PHASE_ORDER.index(self.phase)
+        next_phase = PHASE_ORDER[(index + 1) % len(PHASE_ORDER)]
+        if self.phase is ChannelPhase.IDLE:
+            self.payload = payload
+        if next_phase is ChannelPhase.IDLE:
+            self.transfers += 1
+            self.payload = None
+        self.phase = next_phase
+        return delay
+
+    def complete_transfer(self, payload=None):
+        """Run a whole 4-phase cycle; return the total time spent."""
+        if self.phase is not ChannelPhase.IDLE:
+            raise CircuitError(
+                "channel {!r} cannot start a transfer from phase {!r}".format(
+                    self.name, self.phase.value))
+        total = 0.0
+        for _ in PHASE_ORDER:
+            total += self.advance(payload)
+        return total
+
+    @property
+    def busy(self):
+        return self.phase is not ChannelPhase.IDLE
+
+    def __repr__(self):
+        return "Channel({!r}, {} -> {}, phase={}, transfers={})".format(
+            self.name, self.source, self.target, self.phase.value, self.transfers)

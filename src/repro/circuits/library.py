@@ -1,0 +1,212 @@
+"""A behavioural NCL-D component library with area / delay / energy figures.
+
+The figures are *representative* of a 90 nm low-power CMOS process at the
+nominal 1.2 V supply: they are not the (unpublished) characterisation data of
+the paper's standard cells, but they are internally consistent and calibrated
+so that the assembled OPE pipelines land close to the silicon measurements
+reported in the paper (1.22 s / 2.74 mJ for 16 M items on the 18-stage static
+pipeline at 1.2 V).  All delays are in nanoseconds, energies in picojoules,
+areas in square micrometres and leakage in nanowatts.
+"""
+
+from repro.exceptions import CircuitError
+
+
+class Cell:
+    """A leaf standard cell."""
+
+    def __init__(self, name, area, delay, energy, leakage, description=""):
+        self.name = name
+        self.area = float(area)
+        self.delay = float(delay)
+        self.energy = float(energy)
+        self.leakage = float(leakage)
+        self.description = description
+
+    def __repr__(self):
+        return "Cell({!r}, delay={}ns, energy={}pJ)".format(self.name, self.delay, self.energy)
+
+
+class Component:
+    """A pre-built dual-rail component (register, comparator, adder, ...).
+
+    Components are what the direct mapping instantiates for DFS nodes; their
+    figures are aggregates over the cells they are built from.
+    """
+
+    def __init__(self, name, kind, width, area, forward_delay, cycle_delay,
+                 energy_per_token, leakage, cells=None, description=""):
+        self.name = name
+        self.kind = kind
+        self.width = int(width)
+        self.area = float(area)
+        self.forward_delay = float(forward_delay)
+        self.cycle_delay = float(cycle_delay)
+        self.energy_per_token = float(energy_per_token)
+        self.leakage = float(leakage)
+        self.cells = dict(cells or {})
+        self.description = description
+
+    def __repr__(self):
+        return "Component({!r}, kind={!r}, width={})".format(self.name, self.kind, self.width)
+
+
+class CellLibrary:
+    """A named collection of cells and components."""
+
+    def __init__(self, name, nominal_voltage=1.2, process="generic-90nm-lp"):
+        self.name = name
+        self.nominal_voltage = float(nominal_voltage)
+        self.process = process
+        self._cells = {}
+        self._components = {}
+
+    # -- population ---------------------------------------------------------------
+
+    def add_cell(self, cell):
+        if cell.name in self._cells:
+            raise CircuitError("duplicate cell: {!r}".format(cell.name))
+        self._cells[cell.name] = cell
+        return cell
+
+    def add_component(self, component):
+        if component.name in self._components:
+            raise CircuitError("duplicate component: {!r}".format(component.name))
+        self._components[component.name] = component
+        return component
+
+    # -- lookup ----------------------------------------------------------------------
+
+    @property
+    def cells(self):
+        return dict(self._cells)
+
+    @property
+    def components(self):
+        return dict(self._components)
+
+    def cell(self, name):
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise CircuitError("unknown cell: {!r}".format(name))
+
+    def component(self, name):
+        try:
+            return self._components[name]
+        except KeyError:
+            raise CircuitError("unknown component: {!r}".format(name))
+
+    def has_component(self, name):
+        return name in self._components
+
+    def components_of_kind(self, kind):
+        return [c for c in self._components.values() if c.kind == kind]
+
+    def __repr__(self):
+        return "CellLibrary({!r}, cells={}, components={})".format(
+            self.name, len(self._cells), len(self._components))
+
+
+def _populate_cells(library):
+    """Leaf cells (NCL threshold gates, C-elements, latches)."""
+    cells = [
+        Cell("TH12", 6.0, 0.08, 0.010, 0.6, "OR-like threshold gate"),
+        Cell("TH22", 7.5, 0.10, 0.012, 0.7, "2-input C-element"),
+        Cell("TH23", 9.5, 0.12, 0.015, 0.9, "2-of-3 threshold gate"),
+        Cell("TH33", 10.5, 0.14, 0.016, 1.0, "3-input C-element"),
+        Cell("TH34", 13.0, 0.16, 0.020, 1.2, "3-of-4 threshold gate"),
+        Cell("TH44", 14.0, 0.18, 0.022, 1.3, "4-input C-element"),
+        Cell("INV", 2.0, 0.03, 0.003, 0.2, "inverter"),
+        Cell("NOR2", 3.5, 0.05, 0.005, 0.3, "2-input NOR"),
+        Cell("NAND2", 3.5, 0.05, 0.005, 0.3, "2-input NAND"),
+        Cell("DRLATCH", 16.0, 0.20, 0.030, 1.5, "dual-rail latch bit"),
+    ]
+    for cell in cells:
+        library.add_cell(cell)
+
+
+def _populate_components(library, data_width=16):
+    """Pre-built NCL-D dual-rail components used by the OPE design."""
+    w = data_width
+    components = [
+        # Registers: plain, control, push and pop variants (Fig. 2 node types).
+        Component("dr_register", "register", w, area=18.0 * w,
+                  forward_delay=0.45, cycle_delay=1.8,
+                  energy_per_token=0.030 * w, leakage=1.6 * w,
+                  cells={"DRLATCH": w, "TH22": w, "TH12": 2},
+                  description="dual-rail data register with completion detection"),
+        Component("ctrl_register", "control", 1, area=40.0,
+                  forward_delay=0.50, cycle_delay=1.9,
+                  energy_per_token=0.060, leakage=3.0,
+                  cells={"DRLATCH": 1, "TH22": 3, "TH12": 2},
+                  description="control register holding a True/False token"),
+        Component("push_register", "push", w, area=20.0 * w + 30.0,
+                  forward_delay=0.50, cycle_delay=1.9,
+                  energy_per_token=0.032 * w + 0.05, leakage=1.7 * w + 2.0,
+                  cells={"DRLATCH": w, "TH22": w + 2, "TH23": 2},
+                  description="push register: static when true-controlled, token sink otherwise"),
+        Component("pop_register", "pop", w, area=20.0 * w + 30.0,
+                  forward_delay=0.50, cycle_delay=1.9,
+                  energy_per_token=0.032 * w + 0.05, leakage=1.7 * w + 2.0,
+                  cells={"DRLATCH": w, "TH22": w + 2, "TH23": 2},
+                  description="pop register: static when true-controlled, token source otherwise"),
+        # Datapath logic.
+        Component("dr_comparator", "logic", w, area=14.0 * w,
+                  forward_delay=1.10, cycle_delay=2.2,
+                  energy_per_token=0.045 * w, leakage=1.2 * w,
+                  cells={"TH23": 2 * w, "TH12": w},
+                  description="dual-rail magnitude comparator"),
+        Component("dr_adder", "logic", w, area=16.0 * w,
+                  forward_delay=1.30, cycle_delay=2.6,
+                  energy_per_token=0.055 * w, leakage=1.4 * w,
+                  cells={"TH23": 2 * w, "TH34": w},
+                  description="dual-rail ripple-carry adder"),
+        Component("dr_incrementer", "logic", w, area=9.0 * w,
+                  forward_delay=0.80, cycle_delay=1.6,
+                  energy_per_token=0.028 * w, leakage=0.8 * w,
+                  cells={"TH22": w, "TH12": w},
+                  description="dual-rail incrementer (rank update)"),
+        Component("dr_function", "logic", w, area=12.0 * w,
+                  forward_delay=1.00, cycle_delay=2.0,
+                  energy_per_token=0.040 * w, leakage=1.0 * w,
+                  cells={"TH23": w, "TH12": w},
+                  description="generic dual-rail combinational function"),
+        # Synchronisation and completion detection.
+        Component("c_element", "sync", 1, area=7.5,
+                  forward_delay=1.67, cycle_delay=1.67,
+                  energy_per_token=0.012, leakage=0.7,
+                  cells={"TH22": 1},
+                  description="2-input C-element used in synchronisation chains/trees"),
+        Component("completion_detector", "sync", w, area=5.0 * w,
+                  forward_delay=0.60, cycle_delay=0.60,
+                  energy_per_token=0.015 * w, leakage=0.5 * w,
+                  cells={"TH12": w, "TH22": w - 1 if w > 1 else 1},
+                  description="completion detection tree over a dual-rail word"),
+        # Chip infrastructure (Fig. 8a).
+        Component("lfsr16", "infrastructure", 16, area=420.0,
+                  forward_delay=0.90, cycle_delay=1.8,
+                  energy_per_token=0.55, leakage=22.0,
+                  cells={"DRLATCH": 16, "NAND2": 8, "INV": 4},
+                  description="16-bit linear-feedback shift register stimulus generator"),
+        Component("accumulator32", "infrastructure", 32, area=820.0,
+                  forward_delay=1.40, cycle_delay=2.8,
+                  energy_per_token=1.10, leakage=40.0,
+                  cells={"DRLATCH": 32, "TH23": 32},
+                  description="32-bit checksum accumulator"),
+        Component("mux2", "infrastructure", w, area=4.0 * w,
+                  forward_delay=0.25, cycle_delay=0.5,
+                  energy_per_token=0.008 * w, leakage=0.3 * w,
+                  cells={"NAND2": 3 * w},
+                  description="2-way multiplexer (mode / config steering)"),
+    ]
+    for component in components:
+        library.add_component(component)
+
+
+def default_library(data_width=16):
+    """Build the default NCL-D component library used by the mapping."""
+    library = CellLibrary("ncl-d-90nm-lp", nominal_voltage=1.2)
+    _populate_cells(library)
+    _populate_components(library, data_width=data_width)
+    return library

@@ -1,0 +1,197 @@
+"""Direct mapping of DFS models onto NCL-D library components.
+
+"A verified and optimised DFS model can be automatically translated into an
+asynchronous circuit netlist by directly mapping its nodes into pre-built
+components and connecting them according to the dataflow arcs" (Section II-D).
+This module implements that direct mapping:
+
+* every DFS node becomes one component instance (chosen by node type and, for
+  logic nodes, by their ``function`` annotation);
+* every DFS edge becomes a dual-rail data net plus an acknowledge net;
+* wherever a node's acknowledgements must be merged (fan-out to several
+  registers), a synchronisation structure of 2-input C-elements is inserted,
+  either as a **daisy chain** (the style fabricated for the reconfigurable
+  OPE pipeline, responsible for its 36 % performance overhead) or as a
+  balanced **tree** (the style of the static pipeline, and the planned fix).
+"""
+
+import re
+from enum import Enum
+
+from repro.exceptions import MappingError
+from repro.dfs.nodes import NodeType
+from repro.circuits.library import default_library
+from repro.circuits.netlist import Netlist
+
+
+class SyncStyle(Enum):
+    """C-element synchronisation structure used for acknowledge merging."""
+
+    DAISY_CHAIN = "daisy_chain"
+    TREE = "tree"
+
+
+#: Default mapping from logic-node ``function`` annotations to components.
+DEFAULT_FUNCTION_MAP = {
+    "cond": "dr_comparator",
+    "compare": "dr_comparator",
+    "comp": "dr_function",
+    "rank": "dr_incrementer",
+    "add": "dr_adder",
+    "sum": "dr_adder",
+    "aggregate": "dr_adder",
+}
+
+#: Mapping from register node types to components.
+REGISTER_COMPONENTS = {
+    NodeType.REGISTER: "dr_register",
+    NodeType.CONTROL: "ctrl_register",
+    NodeType.PUSH: "push_register",
+    NodeType.POP: "pop_register",
+}
+
+
+class MappingOptions:
+    """Options of the DFS-to-netlist mapping."""
+
+    def __init__(self, data_width=16, sync_style=SyncStyle.TREE,
+                 function_map=None, default_logic_component="dr_function"):
+        self.data_width = int(data_width)
+        self.sync_style = sync_style
+        self.function_map = dict(DEFAULT_FUNCTION_MAP)
+        if function_map:
+            self.function_map.update(function_map)
+        self.default_logic_component = default_logic_component
+
+    def __repr__(self):
+        return "MappingOptions(width={}, sync={})".format(
+            self.data_width, self.sync_style.value)
+
+
+def sanitize(name):
+    """Turn a DFS node name into a netlist-friendly identifier."""
+    return re.sub(r"[^A-Za-z0-9_]", "_", name)
+
+
+def _component_for_node(dfs, name, library, options):
+    node = dfs.node(name)
+    if node.node_type is NodeType.LOGIC:
+        component_name = options.function_map.get(
+            node.function, options.default_logic_component)
+    else:
+        component_name = REGISTER_COMPONENTS[node.node_type]
+    if not library.has_component(component_name):
+        raise MappingError(
+            "library {!r} has no component {!r} needed for node {!r}".format(
+                library.name, component_name, name))
+    return component_name
+
+
+def _build_sync_structure(module, base_name, ack_nets, style):
+    """Merge several acknowledge nets with C-elements; return the merged net.
+
+    A daisy chain merges them pairwise in sequence (depth ``k - 1``); a tree
+    merges them level by level (depth ``ceil(log2 k)``).
+    """
+    if not ack_nets:
+        raise MappingError("cannot build a synchronisation structure over zero nets")
+    if len(ack_nets) == 1:
+        return ack_nets[0]
+    counter = 0
+    if style is SyncStyle.DAISY_CHAIN:
+        current = ack_nets[0]
+        for net in ack_nets[1:]:
+            merged = module.add_net("{}_sync{}".format(base_name, counter))
+            module.add_instance(
+                "{}_c{}".format(base_name, counter), "c_element",
+                connections={"a": current, "b": net, "z": merged.name},
+                attributes={"role": "ack-merge", "style": "daisy_chain"},
+            )
+            current = merged.name
+            counter += 1
+        return current
+    # Balanced tree.
+    level = list(ack_nets)
+    while len(level) > 1:
+        next_level = []
+        for index in range(0, len(level) - 1, 2):
+            merged = module.add_net("{}_sync{}".format(base_name, counter))
+            module.add_instance(
+                "{}_c{}".format(base_name, counter), "c_element",
+                connections={"a": level[index], "b": level[index + 1], "z": merged.name},
+                attributes={"role": "ack-merge", "style": "tree"},
+            )
+            next_level.append(merged.name)
+            counter += 1
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+    return level[0]
+
+
+def map_dfs_to_netlist(dfs, library=None, options=None, name=None):
+    """Map a DFS model onto library components and return a :class:`Netlist`."""
+    library = library or default_library()
+    options = options or MappingOptions()
+    netlist = Netlist(name or "{}_netlist".format(dfs.name), library=library)
+    top = netlist.new_module(sanitize("{}_top".format(dfs.name)), top=True)
+
+    # Environment-facing ports.
+    for register in dfs.input_registers():
+        top.add_input("{}_in".format(sanitize(register)), width=2 * options.data_width)
+    for register in dfs.output_registers():
+        top.add_output("{}_out".format(sanitize(register)), width=2 * options.data_width)
+    top.add_input("rst")
+
+    # Data and acknowledge nets, one pair per DFS edge.
+    data_nets = {}
+    ack_nets = {}
+    for source, target in sorted(dfs.edges):
+        net_base = "{}__{}".format(sanitize(source), sanitize(target))
+        data_nets[(source, target)] = top.add_net(
+            "d_{}".format(net_base), width=2 * options.data_width).name
+        ack_nets[(source, target)] = top.add_net("a_{}".format(net_base)).name
+
+    # One component instance per DFS node.
+    for node_name in sorted(dfs.nodes):
+        component_name = _component_for_node(dfs, node_name, library, options)
+        instance_name = "u_{}".format(sanitize(node_name))
+        connections = {"rst": "rst"}
+        # Input side: data from each predecessor, acknowledge back to it.
+        for index, predecessor in enumerate(sorted(dfs.preset(node_name))):
+            connections["i{}".format(index)] = data_nets[(predecessor, node_name)]
+            connections["i{}_ack".format(index)] = ack_nets[(predecessor, node_name)]
+        # Output side: data to each successor; their acknowledgements are
+        # merged through the configured synchronisation structure.
+        successor_acks = []
+        for index, successor in enumerate(sorted(dfs.postset(node_name))):
+            connections["o{}".format(index)] = data_nets[(node_name, successor)]
+            successor_acks.append(ack_nets[(node_name, successor)])
+        if successor_acks:
+            merged = _build_sync_structure(
+                top, "u_{}".format(sanitize(node_name)) + "_ack", successor_acks,
+                options.sync_style)
+            connections["o_ack"] = merged
+        # Environment connections.
+        if not dfs.preset(node_name) and dfs.node(node_name).is_register:
+            connections["i0"] = "{}_in".format(sanitize(node_name))
+        if not dfs.postset(node_name) and dfs.node(node_name).is_register:
+            connections["o0"] = "{}_out".format(sanitize(node_name))
+        top.add_instance(instance_name, component_name,
+                         connections=connections,
+                         attributes={"dfs_node": node_name,
+                                     "node_type": dfs.kind(node_name).value})
+    netlist.validate()
+    return netlist
+
+
+def mapping_summary(netlist):
+    """Return component counts, total area and leakage of a mapped netlist."""
+    counts = netlist.component_counts()
+    return {
+        "components": counts,
+        "instances": sum(counts.values()),
+        "area_um2": netlist.total_area(),
+        "leakage_nw": netlist.total_leakage(),
+        "sync_elements": counts.get("c_element", 0),
+    }

@@ -1,0 +1,227 @@
+"""Hierarchical circuit netlists.
+
+A :class:`Netlist` holds a set of :class:`Module` definitions; each module
+has ports, nets and component instances.  The structure intentionally mirrors
+what a structural Verilog netlist can express, because the Verilog exporter
+(:mod:`repro.circuits.verilog`) is a straightforward rendering of it.
+"""
+
+from enum import Enum
+
+from repro.exceptions import CircuitError
+from repro.utils.naming import NameRegistry, is_valid_name
+
+
+class PortDirection(Enum):
+    """Direction of a module port."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INOUT = "inout"
+
+
+class Port:
+    """A module port (a named bundle of *width* wires)."""
+
+    def __init__(self, name, direction, width=1):
+        if not is_valid_name(name):
+            raise CircuitError("invalid port name: {!r}".format(name))
+        self.name = name
+        self.direction = direction
+        self.width = int(width)
+
+    def __repr__(self):
+        return "Port({!r}, {}, width={})".format(self.name, self.direction.value, self.width)
+
+
+class Net:
+    """A named net (wire bundle) inside a module."""
+
+    def __init__(self, name, width=1):
+        if not is_valid_name(name):
+            raise CircuitError("invalid net name: {!r}".format(name))
+        self.name = name
+        self.width = int(width)
+
+    def __repr__(self):
+        return "Net({!r}, width={})".format(self.name, self.width)
+
+
+class Instance:
+    """An instantiation of a component or sub-module inside a module.
+
+    ``connections`` maps formal port names of the instantiated element to net
+    names of the enclosing module.
+    """
+
+    def __init__(self, name, reference, connections=None, attributes=None):
+        if not is_valid_name(name):
+            raise CircuitError("invalid instance name: {!r}".format(name))
+        self.name = name
+        self.reference = reference
+        self.connections = dict(connections or {})
+        self.attributes = dict(attributes or {})
+
+    def connect(self, port, net):
+        self.connections[port] = net
+
+    def __repr__(self):
+        return "Instance({!r}, of={!r})".format(self.name, self.reference)
+
+
+class Module:
+    """A module: ports, nets and instances."""
+
+    def __init__(self, name):
+        if not is_valid_name(name):
+            raise CircuitError("invalid module name: {!r}".format(name))
+        self.name = name
+        self._names = NameRegistry()
+        self._ports = {}
+        self._nets = {}
+        self._instances = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_port(self, name, direction, width=1):
+        self._names.register(name)
+        port = Port(name, direction, width=width)
+        self._ports[name] = port
+        # A port is also usable as a net inside the module.
+        self._nets[name] = Net(name, width=width)
+        return port
+
+    def add_input(self, name, width=1):
+        return self.add_port(name, PortDirection.INPUT, width=width)
+
+    def add_output(self, name, width=1):
+        return self.add_port(name, PortDirection.OUTPUT, width=width)
+
+    def add_net(self, name, width=1):
+        if name in self._ports:
+            return self._nets[name]
+        self._names.register(name)
+        net = Net(name, width=width)
+        self._nets[name] = net
+        return net
+
+    def add_instance(self, name, reference, connections=None, attributes=None):
+        self._names.register(name)
+        instance = Instance(name, reference, connections=connections, attributes=attributes)
+        self._instances[name] = instance
+        return instance
+
+    # -- access -------------------------------------------------------------------
+
+    @property
+    def ports(self):
+        return dict(self._ports)
+
+    @property
+    def nets(self):
+        return dict(self._nets)
+
+    @property
+    def instances(self):
+        return dict(self._instances)
+
+    def instance(self, name):
+        try:
+            return self._instances[name]
+        except KeyError:
+            raise CircuitError("unknown instance: {!r}".format(name))
+
+    def has_net(self, name):
+        return name in self._nets
+
+    def validate(self):
+        """Check that every instance connection refers to an existing net."""
+        for instance in self._instances.values():
+            for port, net in instance.connections.items():
+                if net not in self._nets:
+                    raise CircuitError(
+                        "instance {!r} connects port {!r} to unknown net {!r}".format(
+                            instance.name, port, net)
+                    )
+        return True
+
+    def __repr__(self):
+        return "Module({!r}, ports={}, nets={}, instances={})".format(
+            self.name, len(self._ports), len(self._nets), len(self._instances))
+
+
+class Netlist:
+    """A collection of modules with a designated top module."""
+
+    def __init__(self, name, library=None):
+        self.name = name
+        self.library = library
+        self._modules = {}
+        self.top = None
+
+    def add_module(self, module, top=False):
+        if module.name in self._modules:
+            raise CircuitError("duplicate module: {!r}".format(module.name))
+        self._modules[module.name] = module
+        if top or self.top is None:
+            self.top = module.name
+        return module
+
+    def new_module(self, name, top=False):
+        return self.add_module(Module(name), top=top)
+
+    @property
+    def modules(self):
+        return dict(self._modules)
+
+    def module(self, name):
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise CircuitError("unknown module: {!r}".format(name))
+
+    def top_module(self):
+        if self.top is None:
+            raise CircuitError("the netlist has no top module")
+        return self._modules[self.top]
+
+    def validate(self):
+        for module in self._modules.values():
+            module.validate()
+        return True
+
+    # -- aggregate figures -----------------------------------------------------------
+
+    def component_counts(self, module_name=None):
+        """Count instantiated library components (recursively through sub-modules)."""
+        module = self.module(module_name or self.top)
+        counts = {}
+        for instance in module.instances.values():
+            reference = instance.reference
+            if reference in self._modules:
+                nested = self.component_counts(reference)
+                for name, count in nested.items():
+                    counts[name] = counts.get(name, 0) + count
+            else:
+                counts[reference] = counts.get(reference, 0) + 1
+        return counts
+
+    def total_area(self, module_name=None):
+        """Total silicon area (needs a library attached)."""
+        if self.library is None:
+            raise CircuitError("the netlist has no component library attached")
+        counts = self.component_counts(module_name)
+        return sum(self.library.component(name).area * count
+                   for name, count in counts.items())
+
+    def total_leakage(self, module_name=None):
+        """Total leakage (nW at nominal voltage; needs a library attached)."""
+        if self.library is None:
+            raise CircuitError("the netlist has no component library attached")
+        counts = self.component_counts(module_name)
+        return sum(self.library.component(name).leakage * count
+                   for name, count in counts.items())
+
+    def __repr__(self):
+        return "Netlist({!r}, modules={}, top={!r})".format(
+            self.name, len(self._modules), self.top)

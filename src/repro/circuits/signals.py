@@ -1,0 +1,133 @@
+"""Dual-rail signal encoding used by NCL-D circuits.
+
+A dual-rail signal carries one bit on two wires: ``(t, f)``.  The NULL state
+(spacer) is ``(0, 0)``; logic one is ``(1, 0)``; logic zero is ``(0, 1)``;
+``(1, 1)`` is illegal.  A data word is a tuple of dual-rail bits; a word is
+*complete* when every bit holds data, and *null* when every bit is a spacer.
+Completion detection over a word is what drives the 4-phase handshake.
+"""
+
+from enum import Enum
+
+from repro.exceptions import CircuitError
+
+
+class Rail(Enum):
+    """State of a single dual-rail bit."""
+
+    NULL = "null"
+    TRUE = "true"
+    FALSE = "false"
+
+    @property
+    def is_data(self):
+        return self is not Rail.NULL
+
+
+class DualRail:
+    """A single dual-rail encoded bit."""
+
+    __slots__ = ("t", "f")
+
+    def __init__(self, t=0, f=0):
+        self.t = int(bool(t))
+        self.f = int(bool(f))
+        if self.t and self.f:
+            raise CircuitError("illegal dual-rail state: both rails asserted")
+
+    @classmethod
+    def null(cls):
+        """The spacer (NULL) state."""
+        return cls(0, 0)
+
+    @classmethod
+    def from_bool(cls, value):
+        """Encode a Boolean as a dual-rail bit."""
+        return cls(1, 0) if value else cls(0, 1)
+
+    @property
+    def state(self):
+        if self.t:
+            return Rail.TRUE
+        if self.f:
+            return Rail.FALSE
+        return Rail.NULL
+
+    @property
+    def is_data(self):
+        return self.t != self.f
+
+    @property
+    def is_null(self):
+        return not self.t and not self.f
+
+    def to_bool(self):
+        """Decode to a Boolean; raises on a spacer."""
+        if self.is_null:
+            raise CircuitError("cannot decode a NULL dual-rail bit")
+        return bool(self.t)
+
+    def __eq__(self, other):
+        return isinstance(other, DualRail) and self.t == other.t and self.f == other.f
+
+    def __hash__(self):
+        return hash((self.t, self.f))
+
+    def __repr__(self):
+        return "DualRail({})".format(self.state.value)
+
+
+def encode_word(value, width):
+    """Encode an integer as a tuple of dual-rail bits (LSB first).
+
+    >>> [bit.state.value for bit in encode_word(5, 4)]
+    ['true', 'false', 'true', 'false']
+    """
+    if value < 0:
+        raise CircuitError("dual-rail words encode non-negative integers only")
+    if value >= (1 << width):
+        raise CircuitError(
+            "value {} does not fit in a {}-bit dual-rail word".format(value, width)
+        )
+    return tuple(DualRail.from_bool(bool((value >> index) & 1)) for index in range(width))
+
+
+def null_word(width):
+    """Return an all-spacer word of the given width."""
+    return tuple(DualRail.null() for _ in range(width))
+
+
+def decode_word(word):
+    """Decode a complete dual-rail word back to an integer (LSB first)."""
+    value = 0
+    for index, bit in enumerate(word):
+        if bit.is_null:
+            raise CircuitError("cannot decode an incomplete dual-rail word")
+        if bit.to_bool():
+            value |= 1 << index
+    return value
+
+
+def is_complete(word):
+    """True when every bit of the word carries data."""
+    return all(bit.is_data for bit in word)
+
+
+def is_null(word):
+    """True when every bit of the word is a spacer."""
+    return all(bit.is_null for bit in word)
+
+
+def completion(word):
+    """Completion-detection value of a word.
+
+    Returns ``1`` for a complete word, ``0`` for an all-NULL word and ``None``
+    while the word is partially switched (the completion detector holds its
+    previous value in that case -- hysteresis is provided by the C-elements of
+    the detector, modelled at a higher level in the simulator).
+    """
+    if is_complete(word):
+        return 1
+    if is_null(word):
+        return 0
+    return None

@@ -1,0 +1,134 @@
+"""Component-level simulation of mapped circuits with energy accounting.
+
+The simulator replays the DFS token game with the timing of the mapped
+components: each node's delay is taken from the library component it was
+mapped to (optionally scaled by a voltage model), marking events charge the
+component's per-token switching energy, and leakage accrues with elapsed
+time.  This gives measured cycle time, throughput and energy per processed
+token for small circuits; the full-chip figures of the evaluation benches are
+produced by the analytic model in :mod:`repro.silicon`, which is calibrated
+against the same library.
+"""
+
+from repro.exceptions import CircuitError
+from repro.dfs.nodes import NodeType
+from repro.dfs.semantics import EventAction
+from repro.circuits.library import default_library
+from repro.circuits.mapping import MappingOptions, _component_for_node
+from repro.performance.timed import TimedDfsSimulator
+
+
+class SimulationStats:
+    """Result of a circuit-level simulation run."""
+
+    def __init__(self, elapsed_ns, tokens, dynamic_energy_pj, leakage_energy_pj,
+                 events, observed):
+        self.elapsed_ns = float(elapsed_ns)
+        self.tokens = int(tokens)
+        self.dynamic_energy_pj = float(dynamic_energy_pj)
+        self.leakage_energy_pj = float(leakage_energy_pj)
+        self.events = int(events)
+        self.observed = observed
+
+    @property
+    def energy_pj(self):
+        """Total energy (switching plus leakage) in picojoules."""
+        return self.dynamic_energy_pj + self.leakage_energy_pj
+
+    @property
+    def energy_per_token_pj(self):
+        if self.tokens == 0:
+            return float("inf")
+        return self.energy_pj / self.tokens
+
+    @property
+    def cycle_time_ns(self):
+        """Average time between tokens at the observation register."""
+        if self.tokens == 0:
+            return float("inf")
+        return self.elapsed_ns / self.tokens
+
+    @property
+    def throughput_mhz(self):
+        """Token rate in MHz (tokens per microsecond times 1000 / 1000)."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return 1e3 * self.tokens / self.elapsed_ns
+
+    def __repr__(self):
+        return ("SimulationStats(elapsed={:.4g}ns, tokens={}, cycle={:.4g}ns, "
+                "energy/token={:.4g}pJ)").format(
+                    self.elapsed_ns, self.tokens, self.cycle_time_ns,
+                    self.energy_per_token_pj)
+
+
+class CircuitSimulator:
+    """Timed simulation of a DFS model with mapped-component timing and energy."""
+
+    def __init__(self, dfs, library=None, options=None, delay_scale=1.0,
+                 energy_scale=1.0, leakage_scale=1.0, choice_policy=None, seed=0):
+        """Create a circuit simulator.
+
+        Parameters
+        ----------
+        dfs:
+            The DFS model whose mapped circuit is simulated.
+        library / options:
+            Component library and mapping options (defaults match
+            :func:`repro.circuits.mapping.map_dfs_to_netlist`).
+        delay_scale / energy_scale / leakage_scale:
+            Scale factors applied to the nominal-voltage figures; a
+            :class:`repro.silicon.voltage.VoltageModel` provides consistent
+            triples of these for any supply voltage.
+        choice_policy:
+            Optional policy resolving non-deterministic control choices.
+        """
+        self.dfs = dfs
+        self.library = library or default_library()
+        self.options = options or MappingOptions()
+        self.delay_scale = float(delay_scale)
+        self.energy_scale = float(energy_scale)
+        self.leakage_scale = float(leakage_scale)
+        self._component_of = {}
+        self._timed = self._build_timed_simulator(choice_policy, seed)
+
+    def _build_timed_simulator(self, choice_policy, seed):
+        # Work on a copy so that the caller's model keeps its abstract delays.
+        timed_model = self.dfs.copy("{}_timed".format(self.dfs.name))
+        total_leakage = 0.0
+        for name in sorted(timed_model.nodes):
+            component_name = _component_for_node(self.dfs, name, self.library, self.options)
+            component = self.library.component(component_name)
+            self._component_of[name] = component
+            node = timed_model.node(name)
+            if node.node_type is NodeType.LOGIC:
+                node.delay = component.forward_delay * self.delay_scale
+            else:
+                # A register event (mark or unmark) is half of its cycle.
+                node.delay = 0.5 * component.cycle_delay * self.delay_scale
+            total_leakage += component.leakage
+        self.total_leakage_nw = total_leakage * self.leakage_scale
+        return TimedDfsSimulator(timed_model, choice_policy=choice_policy, seed=seed)
+
+    def run(self, observed, token_goal=20, max_events=200000):
+        """Run until *token_goal* tokens pass through *observed*; return stats."""
+        if observed not in self.dfs.register_nodes:
+            raise CircuitError("unknown observation register: {!r}".format(observed))
+        run = self._timed.run(observed, token_goal=token_goal, max_events=max_events)
+        dynamic = 0.0
+        marking_actions = {EventAction.MARK, EventAction.MARK_TRUE, EventAction.MARK_FALSE}
+        for _, event_name in run.fired_events:
+            event = self._timed.events[event_name]
+            if event.action in marking_actions:
+                component = self._component_of[event.node]
+                dynamic += component.energy_per_token * self.energy_scale
+        # leakage power [nW] * time [ns] = 1e-9 W * 1e-9 s = 1e-18 J = 1e-6 pJ.
+        leakage = self.total_leakage_nw * run.elapsed * 1e-6
+        return SimulationStats(
+            elapsed_ns=run.elapsed,
+            tokens=run.tokens_at_observed,
+            dynamic_energy_pj=dynamic,
+            leakage_energy_pj=leakage,
+            events=len(run.fired_events),
+            observed=observed,
+        )

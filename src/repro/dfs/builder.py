@@ -1,0 +1,127 @@
+"""A fluent builder for dataflow structures.
+
+The builder is a thin convenience layer over
+:class:`~repro.dfs.model.DataflowStructure`: it remembers the last node added
+so that pipelines can be written as chains, and it offers a ``control`` helper
+that wires a control register to all the push/pop nodes it guards.
+"""
+
+from repro.exceptions import ModelError
+from repro.dfs.model import DataflowStructure
+
+
+class DfsBuilder:
+    """Builds a :class:`DataflowStructure` with a chainable API.
+
+    Example
+    -------
+    >>> dfs = (DfsBuilder("pipe")
+    ...        .register("in", marked=True)
+    ...        .logic("f")
+    ...        .register("out")
+    ...        .chain("in", "f", "out")
+    ...        .build())
+    >>> sorted(dfs.nodes)
+    ['f', 'in', 'out']
+    """
+
+    def __init__(self, name="dfs"):
+        self._dfs = DataflowStructure(name)
+        self._last = None
+
+    # -- node creation ----------------------------------------------------------
+
+    def logic(self, name, delay=None, function=None):
+        """Add a logic node."""
+        self._dfs.add_logic(name, delay=delay, function=function)
+        self._last = name
+        return self
+
+    def register(self, name, marked=False, delay=None):
+        """Add a plain register node."""
+        self._dfs.add_register(name, marked=marked, delay=delay)
+        self._last = name
+        return self
+
+    def control(self, name, marked=False, value=True, delay=None, controls=()):
+        """Add a control register, optionally wiring it to the nodes it guards."""
+        self._dfs.add_control(name, marked=marked, value=value, delay=delay)
+        self._last = name
+        for target in controls:
+            self._dfs.connect(name, target)
+        return self
+
+    def push(self, name, marked=False, value=True, delay=None):
+        """Add a push register node."""
+        self._dfs.add_push(name, marked=marked, value=value, delay=delay)
+        self._last = name
+        return self
+
+    def pop(self, name, marked=False, value=True, delay=None):
+        """Add a pop register node."""
+        self._dfs.add_pop(name, marked=marked, value=value, delay=delay)
+        self._last = name
+        return self
+
+    # -- wiring -------------------------------------------------------------------
+
+    def connect(self, source, target):
+        """Add a single edge."""
+        self._dfs.connect(source, target)
+        return self
+
+    def chain(self, *names):
+        """Connect the given nodes into a chain ``a -> b -> c -> ...``."""
+        if len(names) < 2:
+            raise ModelError("a chain needs at least two nodes")
+        self._dfs.connect_chain(*names)
+        return self
+
+    def then(self, target):
+        """Connect the most recently added node to *target*."""
+        if self._last is None:
+            raise ModelError("no node has been added yet")
+        self._dfs.connect(self._last, target)
+        return self
+
+    def guard(self, control_name, *targets):
+        """Wire an existing control register to the nodes it guards."""
+        for target in targets:
+            self._dfs.connect(control_name, target)
+        return self
+
+    def control_loop(self, base_name, length=3, value=True, guards=()):
+        """Create a token-oscillation loop of control registers.
+
+        The paper's reconfigurable stages use 3-register loops -- the minimum
+        number of registers required for a token to oscillate.  The first
+        register of the loop is initially marked with the configured value;
+        the others are empty.  The first register is also connected to every
+        node in *guards*.
+
+        Returns the list of register names of the loop.
+        """
+        if length < 3:
+            raise ModelError(
+                "a control loop needs at least 3 registers for a token to oscillate"
+            )
+        names = ["{}{}".format(base_name, index) for index in range(length)]
+        for index, name in enumerate(names):
+            self._dfs.add_control(name, marked=(index == 0), value=value)
+        for index, name in enumerate(names):
+            self._dfs.connect(name, names[(index + 1) % length])
+        for target in guards:
+            self._dfs.connect(names[0], target)
+        self._last = names[0]
+        return names
+
+    # -- finalisation -----------------------------------------------------------------
+
+    @property
+    def model(self):
+        """The structure being built (live reference)."""
+        return self._dfs
+
+    def build(self):
+        """Return the constructed dataflow structure."""
+        return self._dfs

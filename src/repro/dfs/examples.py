@@ -1,0 +1,122 @@
+"""Ready-made DFS models used throughout the paper, tests and benchmarks.
+
+* :func:`conditional_comp_dfs` -- the motivating example of Fig. 1b: a costly
+  pipelined function ``comp`` guarded by a cheap predicate ``cond`` through a
+  control register, a push register (``filt``) and a pop register (``out``).
+* :func:`conditional_comp_sdfs` -- the SDFS rendering of the same pipeline
+  (Fig. 1a) where both ``cond`` and ``comp`` are always executed and the
+  result is filtered at the end.
+* :func:`linear_pipeline` -- a plain linear pipeline of alternating registers
+  and logic, useful for throughput analysis and unit tests.
+* :func:`token_ring` -- a ring of registers with a configurable number of
+  tokens, the canonical example for cycle-throughput analysis.
+"""
+
+from repro.dfs.model import DataflowStructure
+
+
+def conditional_comp_dfs(comp_stages=1, comp_delay=4.0, cond_delay=0.5, name="conditional_dfs"):
+    """Build the DFS model of the motivating example (Fig. 1b).
+
+    Parameters
+    ----------
+    comp_stages:
+        Number of register+logic stages of the expensive ``comp`` pipeline.
+    comp_delay:
+        Delay of each ``comp`` logic node (the expensive computation).
+    cond_delay:
+        Delay of the cheap ``cond`` predicate.
+    """
+    dfs = DataflowStructure(name)
+    dfs.add_register("in", marked=False)
+    dfs.add_logic("cond", delay=cond_delay, function="cond")
+    dfs.add_control("ctrl")
+    dfs.add_push("filt")
+    dfs.add_pop("out")
+
+    dfs.connect("in", "cond")
+    dfs.connect("cond", "ctrl")
+    dfs.connect("ctrl", "filt")
+    dfs.connect("ctrl", "out")
+    dfs.connect("in", "filt")
+
+    previous = "filt"
+    for index in range(comp_stages):
+        logic = "comp{}".format(index + 1)
+        register = "r{}".format(index + 1)
+        dfs.add_logic(logic, delay=comp_delay, function="comp")
+        dfs.add_register(register)
+        dfs.connect(previous, logic)
+        dfs.connect(logic, register)
+        previous = register
+    dfs.connect(previous, "out")
+    return dfs
+
+
+def conditional_comp_sdfs(comp_stages=1, comp_delay=4.0, cond_delay=0.5, name="conditional_sdfs"):
+    """Build the SDFS model of the motivating example (Fig. 1a).
+
+    The static model has no way to bypass the expensive computation: both
+    ``cond`` and ``comp`` are evaluated for every token, and a final ``filt``
+    logic stage merges them before the output register.
+    """
+    dfs = DataflowStructure(name)
+    dfs.add_register("in", marked=False)
+    dfs.add_logic("cond", delay=cond_delay, function="cond")
+    dfs.add_register("c")
+    dfs.connect("in", "cond")
+    dfs.connect("cond", "c")
+
+    previous = "in"
+    for index in range(comp_stages):
+        logic = "comp{}".format(index + 1)
+        register = "r{}".format(index + 1)
+        dfs.add_logic(logic, delay=comp_delay, function="comp")
+        dfs.add_register(register)
+        dfs.connect(previous, logic)
+        dfs.connect(logic, register)
+        previous = register
+
+    dfs.add_logic("filt", delay=cond_delay, function="filt")
+    dfs.add_register("out")
+    dfs.connect(previous, "filt")
+    dfs.connect("c", "filt")
+    dfs.connect("filt", "out")
+    return dfs
+
+
+def linear_pipeline(stages=3, marked_first=True, logic_delay=1.0, name="linear_pipeline"):
+    """Build a linear pipeline ``r0 -> f1 -> r1 -> ... -> fN -> rN``."""
+    dfs = DataflowStructure(name)
+    dfs.add_register("r0", marked=marked_first)
+    previous = "r0"
+    for index in range(1, stages + 1):
+        logic = "f{}".format(index)
+        register = "r{}".format(index)
+        dfs.add_logic(logic, delay=logic_delay, function="f{}".format(index))
+        dfs.add_register(register)
+        dfs.connect(previous, logic)
+        dfs.connect(logic, register)
+        previous = register
+    return dfs
+
+
+def token_ring(registers=4, tokens=1, logic_delay=1.0, name="token_ring"):
+    """Build a ring of registers separated by logic nodes, with some tokens.
+
+    The ring is the canonical structure for cycle-throughput analysis: its
+    throughput is limited by ``tokens / total_delay`` (token-limited) and by
+    ``holes / total_delay`` (bubble-limited).
+    """
+    if tokens >= registers:
+        raise ValueError("a ring with {} registers can hold at most {} tokens".format(
+            registers, registers - 1))
+    dfs = DataflowStructure(name)
+    for index in range(registers):
+        dfs.add_register("r{}".format(index), marked=(index < tokens))
+        dfs.add_logic("f{}".format(index), delay=logic_delay)
+    for index in range(registers):
+        nxt = (index + 1) % registers
+        dfs.connect("r{}".format(index), "f{}".format(index))
+        dfs.connect("f{}".format(index), "r{}".format(nxt))
+    return dfs

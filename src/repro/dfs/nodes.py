@@ -1,0 +1,122 @@
+"""Node types of the DFS formalism (Fig. 2 of the paper)."""
+
+from enum import Enum
+
+from repro.exceptions import ModelError
+from repro.utils.naming import is_valid_name
+
+
+class NodeType(Enum):
+    """The five DFS node types."""
+
+    LOGIC = "logic"
+    REGISTER = "register"
+    CONTROL = "control"
+    PUSH = "push"
+    POP = "pop"
+
+    @property
+    def is_register(self):
+        """True for all register-like nodes (everything except LOGIC)."""
+        return self is not NodeType.LOGIC
+
+    @property
+    def is_dynamic(self):
+        """True for the dynamic register types introduced by the DFS model."""
+        return self in (NodeType.CONTROL, NodeType.PUSH, NodeType.POP)
+
+
+#: Default delays (in arbitrary time units) used by the performance analyser
+#: when a node does not specify its own delay.  Logic is the "computation"
+#: and dominates; registers add a small latching overhead.
+DEFAULT_DELAYS = {
+    NodeType.LOGIC: 1.0,
+    NodeType.REGISTER: 0.2,
+    NodeType.CONTROL: 0.2,
+    NodeType.PUSH: 0.25,
+    NodeType.POP: 0.25,
+}
+
+
+class Node:
+    """Common base class of DFS nodes."""
+
+    node_type = None
+
+    def __init__(self, name, delay=None, annotation=None):
+        if not is_valid_name(name):
+            raise ModelError("invalid node name: {!r}".format(name))
+        self.name = name
+        self.delay = float(delay) if delay is not None else DEFAULT_DELAYS[self.node_type]
+        self.annotation = dict(annotation) if annotation else {}
+
+    @property
+    def is_register(self):
+        return self.node_type.is_register
+
+    @property
+    def is_dynamic(self):
+        return self.node_type.is_dynamic
+
+    def __repr__(self):
+        return "{}({!r})".format(type(self).__name__, self.name)
+
+
+class LogicNode(Node):
+    """A combinational dataflow component.
+
+    The optional *function* annotation records the operation the node stands
+    for (used by the functional OPE simulation and by the circuit mapping);
+    it plays no role in the abstract token semantics.
+    """
+
+    node_type = NodeType.LOGIC
+
+    def __init__(self, name, delay=None, function=None, annotation=None):
+        super().__init__(name, delay=delay, annotation=annotation)
+        self.function = function
+
+
+class RegisterNode(Node):
+    """A register node of any of the four register types.
+
+    Parameters
+    ----------
+    name:
+        Node name.
+    node_type:
+        One of ``REGISTER``, ``CONTROL``, ``PUSH``, ``POP``.
+    marked:
+        Whether the register initially holds a token.
+    initial_value:
+        For dynamic registers that are initially marked: ``True`` or
+        ``False``.  A control loop of a reconfigurable stage is included in
+        the pipeline by initialising it with True tokens and excluded with
+        False tokens.  Ignored (and normalised to ``None``) when the register
+        is initially unmarked or is a plain register.
+    """
+
+    def __init__(self, name, node_type, marked=False, initial_value=None,
+                 delay=None, annotation=None):
+        if node_type is NodeType.LOGIC or not isinstance(node_type, NodeType):
+            raise ModelError(
+                "register node {!r} must have a register node type, got {!r}".format(
+                    name, node_type
+                )
+            )
+        self.node_type = node_type
+        super().__init__(name, delay=delay, annotation=annotation)
+        self.marked = bool(marked)
+        if not self.marked or not node_type.is_dynamic:
+            self.initial_value = None
+        else:
+            self.initial_value = True if initial_value is None else bool(initial_value)
+
+    def __repr__(self):
+        flags = []
+        if self.marked:
+            flags.append("marked")
+            if self.initial_value is not None:
+                flags.append("value={}".format(self.initial_value))
+        inside = ", ".join([repr(self.name), self.node_type.value] + flags)
+        return "RegisterNode({})".format(inside)

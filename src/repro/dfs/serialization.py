@@ -1,0 +1,98 @@
+"""Serialization of DFS models to and from a JSON document format.
+
+The format plays the role of Workcraft ``.work`` files: it is self-describing
+(``format`` / ``version`` header), lists every node with its type, initial
+marking and delay, and lists the interconnect edges.
+"""
+
+from repro.exceptions import SerializationError
+from repro.dfs.model import DataflowStructure
+from repro.dfs.nodes import NodeType
+from repro.utils.serialization import dump_json, expect_format, load_json
+
+FORMAT_NAME = "repro-dfs"
+FORMAT_VERSION = 1
+
+
+def dfs_to_document(dfs):
+    """Convert a dataflow structure into a JSON-serialisable document."""
+    nodes = []
+    for name in sorted(dfs.nodes):
+        node = dfs.node(name)
+        entry = {
+            "name": name,
+            "type": node.node_type.value,
+            "delay": node.delay,
+        }
+        if node.is_register:
+            entry["marked"] = node.marked
+            if node.is_dynamic and node.marked:
+                entry["value"] = bool(node.initial_value)
+        else:
+            if node.function is not None:
+                entry["function"] = node.function
+        if node.annotation:
+            entry["annotation"] = dict(node.annotation)
+        nodes.append(entry)
+    edges = [[source, target] for source, target in sorted(dfs.edges)]
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": dfs.name,
+        "nodes": nodes,
+        "edges": edges,
+    }
+
+
+def dfs_to_json(dfs, path=None, indent=2):
+    """Serialize a DFS model to JSON text or to a file (when *path* is given)."""
+    return dump_json(dfs_to_document(dfs), path=path, indent=indent)
+
+
+def dfs_from_document(document):
+    """Reconstruct a dataflow structure from a document produced by
+    :func:`dfs_to_document`."""
+    expect_format(document, FORMAT_NAME)
+    if document.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            "unsupported {} document version: {!r}".format(
+                FORMAT_NAME, document.get("version")
+            )
+        )
+    dfs = DataflowStructure(document.get("name", "dfs"))
+    for entry in document.get("nodes", []):
+        name = entry.get("name")
+        type_name = entry.get("type")
+        try:
+            node_type = NodeType(type_name)
+        except ValueError:
+            raise SerializationError("unknown node type: {!r}".format(type_name))
+        delay = entry.get("delay")
+        if node_type is NodeType.LOGIC:
+            dfs.add_logic(name, delay=delay, function=entry.get("function"),
+                          annotation=entry.get("annotation"))
+        else:
+            marked = bool(entry.get("marked", False))
+            value = entry.get("value", True)
+            if node_type is NodeType.REGISTER:
+                dfs.add_register(name, marked=marked, delay=delay,
+                                 annotation=entry.get("annotation"))
+            elif node_type is NodeType.CONTROL:
+                dfs.add_control(name, marked=marked, value=value, delay=delay,
+                                annotation=entry.get("annotation"))
+            elif node_type is NodeType.PUSH:
+                dfs.add_push(name, marked=marked, value=value, delay=delay,
+                             annotation=entry.get("annotation"))
+            else:
+                dfs.add_pop(name, marked=marked, value=value, delay=delay,
+                            annotation=entry.get("annotation"))
+    for edge in document.get("edges", []):
+        if not isinstance(edge, (list, tuple)) or len(edge) != 2:
+            raise SerializationError("malformed edge entry: {!r}".format(edge))
+        dfs.connect(edge[0], edge[1])
+    return dfs
+
+
+def dfs_from_json(source):
+    """Load a DFS model from a JSON string or file path."""
+    return dfs_from_document(load_json(source))

@@ -1,0 +1,148 @@
+"""The dynamic state of a DFS model during token-game simulation."""
+
+from repro.exceptions import SimulationError
+from repro.dfs.nodes import NodeType
+from repro.dfs.semantics import EventAction
+
+
+class DfsState:
+    """Evaluation/marking state of every node of a dataflow structure.
+
+    The state tracks, per logic node, its evaluation flag ``C`` and, per
+    register node, its marking ``M`` together with the token value for
+    dynamic registers (``True`` for a real token, ``False`` for an empty
+    token, ``None`` when unmarked or for plain registers).
+    """
+
+    def __init__(self, dfs):
+        self.dfs = dfs
+        self.evaluated = {name: False for name in dfs.logic_nodes}
+        self.marked = {}
+        self.value = {}
+        for name in dfs.register_nodes:
+            node = dfs.node(name)
+            self.marked[name] = node.marked
+            if node.is_dynamic and node.marked:
+                self.value[name] = node.initial_value if node.initial_value is not None else True
+            else:
+                self.value[name] = None
+
+    # -- literal evaluation ----------------------------------------------------
+
+    def literal_holds(self, literal):
+        """Evaluate a single guard :class:`~repro.dfs.semantics.Literal`."""
+        if literal.kind == "C":
+            actual = self.evaluated[literal.node]
+        elif literal.kind == "M":
+            actual = self.marked[literal.node]
+        elif literal.kind == "Mt":
+            actual = self.marked[literal.node] and self.value[literal.node] is True
+        else:  # "Mf"
+            actual = self.marked[literal.node] and self.value[literal.node] is False
+        return actual == literal.value
+
+    def guard_holds(self, event):
+        """Evaluate the whole guard of an event."""
+        return all(self.literal_holds(literal) for literal in event.guard)
+
+    def self_precondition_holds(self, event):
+        """Check the implicit precondition on the event's own node."""
+        action = event.action
+        if action is EventAction.EVALUATE:
+            return not self.evaluated[event.node]
+        if action is EventAction.RESET:
+            return self.evaluated[event.node]
+        if action in (EventAction.MARK, EventAction.MARK_TRUE, EventAction.MARK_FALSE):
+            return not self.marked[event.node]
+        if action is EventAction.UNMARK:
+            return self.marked[event.node]
+        if action is EventAction.UNMARK_TRUE:
+            return self.marked[event.node] and self.value[event.node] is True
+        if action is EventAction.UNMARK_FALSE:
+            return self.marked[event.node] and self.value[event.node] is False
+        raise SimulationError("unknown event action: {!r}".format(action))
+
+    def is_enabled(self, event):
+        """An event is enabled when both its own-node precondition and guard hold."""
+        return self.self_precondition_holds(event) and self.guard_holds(event)
+
+    # -- state update ------------------------------------------------------------
+
+    def apply(self, event):
+        """Apply the effect of *event* to this state (no enabledness check)."""
+        action = event.action
+        node = event.node
+        if action is EventAction.EVALUATE:
+            self.evaluated[node] = True
+        elif action is EventAction.RESET:
+            self.evaluated[node] = False
+        elif action is EventAction.MARK:
+            self.marked[node] = True
+        elif action is EventAction.UNMARK:
+            self.marked[node] = False
+        elif action is EventAction.MARK_TRUE:
+            self.marked[node] = True
+            self.value[node] = True
+        elif action is EventAction.MARK_FALSE:
+            self.marked[node] = True
+            self.value[node] = False
+        elif action in (EventAction.UNMARK_TRUE, EventAction.UNMARK_FALSE):
+            self.marked[node] = False
+            self.value[node] = None
+        else:
+            raise SimulationError("unknown event action: {!r}".format(action))
+
+    # -- queries -------------------------------------------------------------------
+
+    def is_marked(self, name):
+        return self.marked[name]
+
+    def is_evaluated(self, name):
+        return self.evaluated[name]
+
+    def token_value(self, name):
+        """The True/False value held by a dynamic register (``None`` otherwise)."""
+        return self.value[name]
+
+    def marked_registers(self):
+        """Sorted list of currently marked registers."""
+        return sorted(name for name, flag in self.marked.items() if flag)
+
+    def token_count(self):
+        """Total number of tokens in the structure."""
+        return sum(1 for flag in self.marked.values() if flag)
+
+    def freeze(self):
+        """Return a hashable snapshot of the state."""
+        return (
+            tuple(sorted(self.evaluated.items())),
+            tuple(sorted(self.marked.items())),
+            tuple(sorted((n, v) for n, v in self.value.items())),
+        )
+
+    def copy(self):
+        """Return an independent copy of the state."""
+        clone = DfsState.__new__(DfsState)
+        clone.dfs = self.dfs
+        clone.evaluated = dict(self.evaluated)
+        clone.marked = dict(self.marked)
+        clone.value = dict(self.value)
+        return clone
+
+    def describe(self):
+        """Return a human-readable summary of the state."""
+        parts = []
+        for name in sorted(self.marked):
+            if not self.marked[name]:
+                continue
+            value = self.value[name]
+            kind = self.dfs.kind(name)
+            if kind is NodeType.REGISTER or value is None:
+                parts.append(name)
+            else:
+                parts.append("{}={}".format(name, "T" if value else "F"))
+        evaluated = [name for name in sorted(self.evaluated) if self.evaluated[name]]
+        return "marked: [{}]; evaluated: [{}]".format(", ".join(parts), ", ".join(evaluated))
+
+    def __repr__(self):
+        return "DfsState({})".format(self.describe())

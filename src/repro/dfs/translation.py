@@ -1,0 +1,130 @@
+"""Translation of DFS models into Petri nets with read arcs (Fig. 3 / Fig. 4).
+
+Every Boolean state variable of a node becomes a pair of complementary
+places (``x_0`` / ``x_1``); every event of :mod:`repro.dfs.semantics` becomes
+a transition that moves the token between the two places of the variables it
+changes, with the guard literals attached as read arcs.  Because the events
+carry the paper-style names (``Mt_ctrl+``, ``C_f-`` ...), the transition
+names of the generated net match the paper's Fig. 4.
+"""
+
+from repro.exceptions import TranslationError
+from repro.dfs.nodes import NodeType
+from repro.dfs.semantics import EventAction, model_events
+from repro.petri.net import PetriNet
+
+
+def place_name(kind, node, bit):
+    """Name of the place encoding ``kind(node) == bit``.
+
+    >>> place_name("M", "ctrl", 1)
+    'M_ctrl_1'
+    """
+    if bit not in (0, 1):
+        raise TranslationError("place bit must be 0 or 1, got {!r}".format(bit))
+    return "{}_{}_{}".format(kind, node, bit)
+
+
+def transition_name(event):
+    """Name of the transition implementing *event* (the event name itself)."""
+    return event.name
+
+
+def _variables_of_node(node):
+    """The state-variable kinds used to encode a node of the given type."""
+    if node.node_type is NodeType.LOGIC:
+        return ("C",)
+    if node.node_type is NodeType.REGISTER:
+        return ("M",)
+    return ("M", "Mt", "Mf")
+
+
+def _initial_bits(node):
+    """Initial value of each state variable of *node*."""
+    if node.node_type is NodeType.LOGIC:
+        return {"C": 0}
+    marked = 1 if node.marked else 0
+    if node.node_type is NodeType.REGISTER:
+        return {"M": marked}
+    value = node.initial_value if node.marked else None
+    return {
+        "M": marked,
+        "Mt": 1 if (marked and value is True) else 0,
+        "Mf": 1 if (marked and value is False) else 0,
+    }
+
+
+#: Which variables an action toggles, and in which direction (0->1 or 1->0).
+_ACTION_EFFECTS = {
+    EventAction.EVALUATE: {"C": 1},
+    EventAction.RESET: {"C": 0},
+    EventAction.MARK: {"M": 1},
+    EventAction.UNMARK: {"M": 0},
+    EventAction.MARK_TRUE: {"M": 1, "Mt": 1},
+    EventAction.MARK_FALSE: {"M": 1, "Mf": 1},
+    EventAction.UNMARK_TRUE: {"M": 0, "Mt": 0},
+    EventAction.UNMARK_FALSE: {"M": 0, "Mf": 0},
+}
+
+
+def to_petri_net(dfs, name=None):
+    """Translate a dataflow structure into a :class:`~repro.petri.net.PetriNet`.
+
+    The resulting net is 1-safe by construction; its initial marking encodes
+    the DFS initial marking (all logic nodes reset).
+    """
+    net = PetriNet(name or "{}_pn".format(dfs.name))
+    # Places: a complementary pair per state variable.
+    for node_name in sorted(dfs.nodes):
+        node = dfs.node(node_name)
+        bits = _initial_bits(node)
+        for kind in _variables_of_node(node):
+            initial = bits[kind]
+            net.add_place(place_name(kind, node_name, 0), tokens=1 - initial, capacity=1,
+                          annotation={"node": node_name, "variable": kind, "value": 0})
+            net.add_place(place_name(kind, node_name, 1), tokens=initial, capacity=1,
+                          annotation={"node": node_name, "variable": kind, "value": 1})
+    # Transitions: one per DFS event.
+    for event_id, event in sorted(model_events(dfs).items()):
+        effects = _ACTION_EFFECTS[event.action]
+        transition = net.add_transition(
+            transition_name(event),
+            annotation={"node": event.node, "action": event.action.value},
+        )
+        for kind, new_bit in effects.items():
+            old_bit = 1 - new_bit
+            net.add_arc(place_name(kind, event.node, old_bit), transition.name)
+            net.add_arc(transition.name, place_name(kind, event.node, new_bit))
+        for literal in event.guard:
+            bit = 1 if literal.value else 0
+            net.add_read_arc(place_name(literal.kind, literal.node, bit), transition.name)
+    net.validate()
+    return net
+
+
+def marking_to_dfs_state(dfs, marking):
+    """Summarise a Petri-net marking in DFS terms.
+
+    Returns a dictionary ``{"evaluated": [...], "marked": {...}}`` where the
+    ``marked`` mapping gives the token value of marked dynamic registers
+    (``True``/``False``) and ``None`` for plain registers.  Useful when
+    reporting verification counterexamples back at the DFS level.
+    """
+    evaluated = []
+    for name in dfs.logic_nodes:
+        if marking[place_name("C", name, 1)] > 0:
+            evaluated.append(name)
+    marked = {}
+    for name in dfs.register_nodes:
+        if marking[place_name("M", name, 1)] == 0:
+            continue
+        node = dfs.node(name)
+        if not node.is_dynamic:
+            marked[name] = None
+        elif marking[place_name("Mt", name, 1)] > 0:
+            marked[name] = True
+        elif marking[place_name("Mf", name, 1)] > 0:
+            marked[name] = False
+        else:
+            marked[name] = None
+    return {"evaluated": sorted(evaluated), "marked": marked}

@@ -1,0 +1,49 @@
+"""Exception hierarchy shared by all repro subpackages."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """A structural problem in a model (duplicate names, dangling edges...)."""
+
+
+class SimulationError(ReproError):
+    """An error raised during simulation (no enabled events, bad input...)."""
+
+
+class VerificationError(ReproError):
+    """An error raised by the verification engine."""
+
+
+class TranslationError(ReproError):
+    """An error raised while translating between formalisms."""
+
+
+class SerializationError(ReproError):
+    """An error raised while reading or writing model files."""
+
+
+class ReachSyntaxError(ReproError):
+    """A syntax error in a Reach property expression."""
+
+
+class ReachEvaluationError(ReproError):
+    """A semantic error while evaluating a Reach property expression."""
+
+
+class MappingError(ReproError):
+    """An error raised by the DFS-to-circuit technology mapping."""
+
+
+class CircuitError(ReproError):
+    """An error raised by the circuit netlist or its simulation."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid pipeline or chip configuration."""
+
+
+class MeasurementError(ReproError):
+    """An error raised by the silicon measurement harness."""

@@ -1,0 +1,100 @@
+"""Stage-by-stage functional model of the pipelined OPE algorithm.
+
+The hardware pipeline (after Guo, Luk and Weston, ASAP 2014) keeps one window
+item per stage.  When a new item arrives:
+
+* every stage concurrently compares its stored item with the new item and
+  produces a single increment bit;
+* the rank of the new item is one plus the number of asserted bits (computed
+  by the aggregation network);
+* every stored item's rank from the previous window is *reused*: it is
+  decremented when the item that just left the window ranked below it and
+  incremented when the new item ranks at or below it.
+
+This mirrors how the silicon computes rank lists without re-sorting the whole
+window, and it must (and does -- see the test suite) produce exactly the same
+rank lists as the behavioural model of :mod:`repro.ope.reference`.
+"""
+
+from collections import deque
+
+from repro.exceptions import ConfigurationError
+from repro.ope.reference import ordinal_ranks
+
+
+class OpePipelineFunctional:
+    """Functional simulation of the OPE pipeline with a configurable depth."""
+
+    def __init__(self, depth):
+        if depth < 1:
+            raise ConfigurationError("the pipeline depth must be at least 1")
+        self.depth = int(depth)
+        self.reset()
+
+    def reset(self):
+        """Clear the window and the stored rank list."""
+        self._window = deque()
+        self._ranks = deque()
+
+    @property
+    def window(self):
+        """The items currently stored in the pipeline stages (oldest first)."""
+        return list(self._window)
+
+    @property
+    def ranks(self):
+        """The rank list of the current window (oldest item first)."""
+        return list(self._ranks)
+
+    @property
+    def full(self):
+        """True once every stage holds an item (a full window is available)."""
+        return len(self._window) == self.depth
+
+    def _evict(self):
+        """Remove the oldest item and adjust the remaining ranks."""
+        evicted_rank = self._ranks.popleft()
+        self._window.popleft()
+        for index in range(len(self._ranks)):
+            if self._ranks[index] > evicted_rank:
+                self._ranks[index] -= 1
+
+    def push(self, item):
+        """Process one incoming item; return the new rank list or ``None``.
+
+        ``None`` is returned while the pipeline is still filling (fewer than
+        ``depth`` items seen so far), mirroring the latency of the hardware.
+        """
+        if self.full:
+            self._evict()
+        # Concurrent per-stage comparisons: how many stored items rank at or
+        # below the new item (ties favour the stored item).
+        increments = [1 if stored <= item else 0 for stored in self._window]
+        new_rank = 1 + sum(increments)
+        # Reuse of the previous rank list: stored items ranked at or above the
+        # new item shift up by one position.
+        for index in range(len(self._ranks)):
+            if self._ranks[index] >= new_rank:
+                self._ranks[index] += 1
+        self._window.append(item)
+        self._ranks.append(new_rank)
+        if not self.full:
+            return None
+        return list(self._ranks)
+
+    def process(self, stream):
+        """Feed a whole stream; return the list of rank lists (one per full window)."""
+        outputs = []
+        for item in stream:
+            ranks = self.push(item)
+            if ranks is not None:
+                outputs.append(ranks)
+        return outputs
+
+    def check_against_reference(self):
+        """Verify the stored rank list against a from-scratch computation."""
+        return list(self._ranks) == ordinal_ranks(list(self._window))
+
+    def __repr__(self):
+        return "OpePipelineFunctional(depth={}, filled={})".format(
+            self.depth, len(self._window))

@@ -1,0 +1,76 @@
+"""DFS models of the OPE pipelines (Fig. 7 and the static counterpart).
+
+Both pipelines are instances of the generic pipeline of
+:mod:`repro.pipelines.generic` with OPE-specific function annotations: the
+per-stage ``f`` stores/compares window items (``compare``), the per-stage
+``g`` updates the stored rank (``rank``), and the aggregation network sums
+the per-stage increments into the rank of the new item (``aggregate``).
+
+* the **static** pipeline has all 18 stages built in the static style (its
+  depth cannot change);
+* the **reconfigurable** pipeline keeps stage ``s1`` static (it is always part
+  of the window) and builds stages ``s2 ... sN`` in the reconfigurable style,
+  with the ``s2`` control-sharing optimisation described in the paper.
+"""
+
+from repro.exceptions import ConfigurationError
+from repro.pipelines.generic import build_generic_pipeline
+from repro.pipelines.reconfigurable import PipelineConfiguration
+
+#: The fabricated chip's pipeline length and the depths it supports.
+CHIP_STAGES = 18
+CHIP_MIN_DEPTH = 3
+
+#: Relative delays of the OPE stage functions (comparator vs. rank update),
+#: matching the component figures of :mod:`repro.circuits.library`.
+COMPARE_DELAY = 1.1
+RANK_DELAY = 0.8
+
+
+def build_static_ope_pipeline(stages=CHIP_STAGES, name=None):
+    """Build the static OPE pipeline (every stage in the static style)."""
+    if stages < 1:
+        raise ConfigurationError("the OPE pipeline needs at least one stage")
+    pipeline = build_generic_pipeline(
+        stages,
+        static_prefix_stages=stages,
+        name=name or "ope_static_{}".format(stages),
+        f_delay=COMPARE_DELAY,
+        g_delay=RANK_DELAY,
+    )
+    return pipeline
+
+
+def build_reconfigurable_ope_pipeline(stages=CHIP_STAGES, depth=None, min_depth=CHIP_MIN_DEPTH,
+                                      name=None):
+    """Build the reconfigurable OPE pipeline (Fig. 7) and its configuration.
+
+    Parameters
+    ----------
+    stages:
+        Total number of stages (18 on the chip).
+    depth:
+        Initially configured depth (defaults to all stages included).
+    min_depth:
+        Smallest supported depth (3 on the chip).
+
+    Returns ``(pipeline, configuration)``.
+    """
+    if stages < 2:
+        raise ConfigurationError(
+            "the reconfigurable OPE pipeline needs at least two stages")
+    depth = stages if depth is None else int(depth)
+    if not min_depth <= depth <= stages:
+        raise ConfigurationError(
+            "depth {} is outside the supported range {}..{}".format(depth, min_depth, stages))
+    pipeline = build_generic_pipeline(
+        stages,
+        static_prefix_stages=1,
+        included_depth=depth,
+        name=name or "ope_reconfigurable_{}".format(stages),
+        f_delay=COMPARE_DELAY,
+        g_delay=RANK_DELAY,
+        share_control_second_stage=True,
+    )
+    configuration = PipelineConfiguration(pipeline, min_depth=min_depth)
+    return pipeline, configuration

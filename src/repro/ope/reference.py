@@ -1,0 +1,94 @@
+"""Behavioural (golden) model of ordinal pattern encoding.
+
+The rank of an item in a list is the position the item ends up at after
+sorting the list, with ties resolved in favour of the earlier item.  The
+paper's footnote example: the ranks of the items of ``(2, 0, 1, 7)`` are
+``(3, 1, 2, 4)``.
+"""
+
+from repro.exceptions import ConfigurationError
+
+
+def ordinal_ranks(window):
+    """Return the 1-based rank list of *window*.
+
+    >>> ordinal_ranks([2, 0, 1, 7])
+    [3, 1, 2, 4]
+    >>> ordinal_ranks([3, 1, 4, 1, 5, 9])
+    [3, 1, 4, 2, 5, 6]
+    """
+    window = list(window)
+    order = sorted(range(len(window)), key=lambda index: (window[index], index))
+    ranks = [0] * len(window)
+    for position, index in enumerate(order, start=1):
+        ranks[index] = position
+    return ranks
+
+
+def rank_of_new_item(window, item):
+    """Rank the incoming *item* would take if appended to *window*.
+
+    Equals ``1 +`` the number of window items that are smaller than or equal
+    to *item* (ties favour the earlier -- already stored -- item).
+    """
+    return 1 + sum(1 for value in window if value <= item)
+
+
+class OpeReference:
+    """Streaming behavioural model of an OPE engine with window size ``N``."""
+
+    def __init__(self, window_size):
+        if window_size < 1:
+            raise ConfigurationError("the OPE window size must be at least 1")
+        self.window_size = int(window_size)
+
+    def windows(self, stream):
+        """Yield ``(start_index, window)`` for every full window of *stream*."""
+        stream = list(stream)
+        for start in range(len(stream) - self.window_size + 1):
+            yield start + 1, stream[start:start + self.window_size]
+
+    def encode(self, stream):
+        """Return the list of rank lists, one per window position."""
+        return [ordinal_ranks(window) for _, window in self.windows(stream)]
+
+    def encode_last(self, stream):
+        """Return the rank list of the last full window (``None`` if too short)."""
+        stream = list(stream)
+        if len(stream) < self.window_size:
+            return None
+        return ordinal_ranks(stream[-self.window_size:])
+
+    def checksum(self, stream, modulus=2 ** 32):
+        """A rolling checksum over all rank lists (matches the chip accumulator).
+
+        The accumulator mixes every produced rank with a multiplicative hash;
+        the same computation is implemented on the "silicon" side by
+        :class:`repro.chip.accumulator.ChecksumAccumulator`, which is how the
+        paper validates the random-mode runs against the behavioural model.
+        """
+        digest = 0
+        for ranks in self.encode(stream):
+            for rank in ranks:
+                digest = (digest * 31 + rank) % modulus
+        return digest
+
+    def __repr__(self):
+        return "OpeReference(window_size={})".format(self.window_size)
+
+
+def paper_example_table():
+    """The worked example of Section III-A as a list of table rows.
+
+    Stream ``(3, 1, 4, 1, 5, 9, 2, 6)`` with window size 6.
+    """
+    stream = [3, 1, 4, 1, 5, 9, 2, 6]
+    reference = OpeReference(6)
+    rows = []
+    for index, window in reference.windows(stream):
+        rows.append({
+            "index": index,
+            "window": tuple(window),
+            "rank_list": tuple(ordinal_ranks(window)),
+        })
+    return rows

@@ -1,0 +1,91 @@
+"""Cycle enumeration and per-cycle throughput metrics.
+
+The throughput of a self-timed ring is bounded both by its tokens (forward
+latency limited) and by its holes (bubble limited); a pipeline built of many
+interconnected rings is limited by its slowest ring.  This module enumerates
+the simple cycles of the dataflow graph and computes, per cycle:
+
+* the number of registers and the number of initially marked registers
+  (tokens) and unmarked registers (holes);
+* the total delay around the cycle;
+* the resulting cycle throughput ``min(tokens, holes) / delay``.
+
+Cycles with zero tokens or zero holes have zero throughput: tokens cannot
+move at all, which the analyser reports as a structural problem.
+"""
+
+from repro.utils.graphs import enumerate_simple_cycles
+
+
+class CycleMetrics:
+    """Metrics of one simple cycle of the dataflow graph."""
+
+    def __init__(self, nodes, registers, tokens, delay):
+        self.nodes = list(nodes)
+        self.registers = int(registers)
+        self.tokens = int(tokens)
+        self.delay = float(delay)
+
+    @property
+    def holes(self):
+        """Unmarked registers of the cycle (room for tokens to move into)."""
+        return self.registers - self.tokens
+
+    @property
+    def throughput(self):
+        """Sustainable throughput of the cycle in tokens per time unit."""
+        if self.delay <= 0:
+            return float("inf")
+        limiting = min(self.tokens, self.holes)
+        return limiting / self.delay
+
+    @property
+    def is_stalled(self):
+        """True when the cycle can never advance (no token or no hole)."""
+        return self.registers > 0 and (self.tokens == 0 or self.holes == 0)
+
+    @property
+    def token_limited(self):
+        """True when adding tokens (not holes) would raise the throughput."""
+        return self.tokens < self.holes
+
+    def __repr__(self):
+        return ("CycleMetrics(registers={}, tokens={}, holes={}, delay={:.3g}, "
+                "throughput={:.3g})").format(
+                    self.registers, self.tokens, self.holes, self.delay, self.throughput)
+
+
+def dataflow_cycles(dfs, limit=None):
+    """Return :class:`CycleMetrics` for every simple cycle of the model.
+
+    Parameters
+    ----------
+    dfs:
+        The dataflow structure to analyse.
+    limit:
+        Optional cap on the number of cycles enumerated (protects against
+        models with a combinatorial number of cycles).
+    """
+    cycles = enumerate_simple_cycles(dfs.edges, nodes=dfs.nodes, limit=limit)
+    marking = dfs.initial_marking()
+    metrics = []
+    for cycle in cycles:
+        registers = [name for name in cycle if dfs.is_register(name)]
+        tokens = sum(1 for name in registers if marking.get(name, False))
+        delay = sum(dfs.node(name).delay for name in cycle)
+        metrics.append(CycleMetrics(cycle, len(registers), tokens, delay))
+    return metrics
+
+
+def slowest_cycles(metrics, count=3):
+    """Return the *count* cycles with the lowest throughput (stalled first)."""
+    return sorted(metrics, key=lambda m: (m.throughput, -m.delay))[:count]
+
+
+def cycle_bottlenecks(dfs, cycle_metrics):
+    """Return the nodes of the cycle with the maximum delay."""
+    if not cycle_metrics.nodes:
+        return []
+    node_delays = [(name, dfs.node(name).delay) for name in cycle_metrics.nodes]
+    maximum = max(delay for _, delay in node_delays)
+    return [name for name, delay in node_delays if delay == maximum]

@@ -1,0 +1,99 @@
+"""Optimisation suggestions derived from the cycle analysis.
+
+The paper lists the remedies available to the designer once the slow cycles
+are known: "adjusting the number of tokens, adding registers to buffer the
+flow of tokens, and applying advanced performance optimisation techniques,
+such as wagging".  The helpers here turn the cycle metrics into such
+suggestions and estimate the effect of wagging.
+"""
+
+
+class Suggestion:
+    """A single optimisation suggestion."""
+
+    def __init__(self, kind, message, cycle=None, estimated_throughput=None):
+        self.kind = kind
+        self.message = message
+        self.cycle = cycle
+        self.estimated_throughput = estimated_throughput
+
+    def __repr__(self):
+        return "Suggestion({!r}, {!r})".format(self.kind, self.message)
+
+
+def suggest_optimisations(report, target_throughput=None):
+    """Produce optimisation suggestions from a :class:`PerformanceReport`.
+
+    Parameters
+    ----------
+    report:
+        The report produced by the performance analyser.
+    target_throughput:
+        Optional throughput the designer wants to reach; suggestions are only
+        produced for cycles below the target (all slow cycles otherwise).
+    """
+    suggestions = []
+    for metric in report.slowest:
+        if target_throughput is not None and metric.throughput >= target_throughput:
+            continue
+        cycle_text = " -> ".join(metric.nodes)
+        if metric.is_stalled:
+            if metric.tokens == 0:
+                suggestions.append(Suggestion(
+                    "add-token",
+                    "cycle [{}] holds no token and can never advance; "
+                    "initialise one of its registers".format(cycle_text),
+                    cycle=metric,
+                ))
+            else:
+                suggestions.append(Suggestion(
+                    "add-register",
+                    "cycle [{}] has no hole (every register is marked); "
+                    "insert an empty buffer register".format(cycle_text),
+                    cycle=metric,
+                ))
+            continue
+        if metric.token_limited:
+            new_tokens = metric.tokens + 1
+            estimated = min(new_tokens, metric.registers - new_tokens) / metric.delay
+            suggestions.append(Suggestion(
+                "add-token",
+                "cycle [{}] is token-limited ({} token(s) over {} registers); "
+                "adding a token raises its throughput to about {:.3g}".format(
+                    cycle_text, metric.tokens, metric.registers, estimated),
+                cycle=metric,
+                estimated_throughput=estimated,
+            ))
+        else:
+            new_registers = metric.registers + 1
+            estimated = min(metric.tokens, new_registers - metric.tokens) / metric.delay
+            suggestions.append(Suggestion(
+                "add-register",
+                "cycle [{}] is bubble-limited ({} hole(s) over {} registers); "
+                "inserting a buffer register raises its throughput to about {:.3g}".format(
+                    cycle_text, metric.holes, metric.registers, estimated),
+                cycle=metric,
+                estimated_throughput=estimated,
+            ))
+        suggestions.append(Suggestion(
+            "wagging",
+            "cycle [{}] can be replicated {}-way (wagging) for up to a "
+            "{}x throughput improvement at the cost of area".format(cycle_text, 2, 2),
+            cycle=metric,
+            estimated_throughput=metric.throughput * 2,
+        ))
+    return suggestions
+
+
+def wagging_speedup(ways, duplication_overhead=0.1):
+    """Estimate the speed-up of *ways*-way wagging.
+
+    Wagging (Brej, ACSD 2010) interleaves tokens over *ways* copies of the
+    slow stage; the ideal speed-up is ``ways``, degraded by the splitting and
+    merging overhead modelled here as a fixed fraction per way.
+    """
+    if ways < 1:
+        raise ValueError("the number of ways must be at least 1")
+    ideal = float(ways)
+    overhead = 1.0 + duplication_overhead * (ways - 1)
+    return ideal / overhead

@@ -1,0 +1,184 @@
+"""Timed (event-driven) token simulation of DFS models.
+
+The untimed token game of :mod:`repro.dfs.simulation` answers "what can
+happen"; this module answers "how fast".  Each event, once enabled, completes
+after the delay of its node; the simulator advances a global clock, fires the
+earliest pending event, recomputes enabledness and repeats.  Measured
+throughput at a chosen observation register is then simply the number of
+tokens that passed through it divided by the elapsed time.
+
+This timed view is what the performance benches use to compare the SDFS and
+DFS versions of the motivating example: in the DFS version a False outcome of
+``cond`` bypasses the expensive ``comp`` pipeline entirely, so the measured
+time per item drops with the fraction of False tokens, whereas the SDFS
+version always pays the worst-case latency.
+"""
+
+import heapq
+import itertools
+import random
+
+from repro.exceptions import SimulationError
+from repro.dfs.semantics import EventAction, model_events
+from repro.dfs.state import DfsState
+
+
+class TimedRun:
+    """Result of a timed simulation run."""
+
+    def __init__(self, elapsed, fired_events, tokens_at_observed, observed):
+        self.elapsed = float(elapsed)
+        self.fired_events = list(fired_events)
+        self.tokens_at_observed = int(tokens_at_observed)
+        self.observed = observed
+
+    @property
+    def throughput(self):
+        """Tokens per time unit observed at the observation register."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.tokens_at_observed / self.elapsed
+
+    @property
+    def mean_cycle_time(self):
+        """Average time between tokens at the observation register."""
+        if self.tokens_at_observed == 0:
+            return float("inf")
+        return self.elapsed / self.tokens_at_observed
+
+    def __repr__(self):
+        return "TimedRun(elapsed={:.4g}, tokens={}, throughput={:.4g})".format(
+            self.elapsed, self.tokens_at_observed, self.throughput)
+
+
+class TimedDfsSimulator:
+    """Event-driven timed simulation of the DFS token game."""
+
+    def __init__(self, dfs, choice_policy=None, seed=None):
+        """Create a timed simulator.
+
+        Parameters
+        ----------
+        dfs:
+            The dataflow structure to simulate.
+        choice_policy:
+            Optional ``policy(control_name, occurrence_index) -> bool`` used
+            to resolve the True/False choice of uncontrolled control
+            registers; by default the choice is random (seeded by *seed*).
+        seed:
+            Seed of the random choice resolution and tie-breaking.
+        """
+        self.dfs = dfs
+        self.events = model_events(dfs)
+        self.choice_policy = choice_policy
+        self._rng = random.Random(seed)
+        self.reset()
+
+    def reset(self):
+        self.state = DfsState(self.dfs)
+        self.now = 0.0
+        self.fired = []
+        self._choice_counts = {}
+        self._choice_values = {}
+        self._pending = []       # heap of (time, tiebreak, event_name)
+        self._pending_set = set()
+        self._counter = itertools.count()
+
+    # -- internals ------------------------------------------------------------------
+
+    def _delay_of(self, event):
+        return self.dfs.node(event.node).delay
+
+    def _resolve_choice(self, event):
+        """Return ``False`` when the choice policy vetoes this marking event."""
+        if event.action not in (EventAction.MARK_TRUE, EventAction.MARK_FALSE):
+            return True
+        node = self.dfs.node(event.node)
+        if not node.is_dynamic or self.dfs.controls_of(event.node):
+            return True
+        count = self._choice_counts.get(event.node, 0)
+        key = (event.node, count)
+        if key not in self._choice_values:
+            # The choice is made once per token (occurrence) so that exactly
+            # one of the True/False marking events is admitted.
+            if self.choice_policy is not None:
+                self._choice_values[key] = bool(self.choice_policy(event.node, count))
+            else:
+                self._choice_values[key] = bool(self._rng.getrandbits(1))
+        wanted = self._choice_values[key]
+        return (event.action is EventAction.MARK_TRUE) == wanted
+
+    def _schedule_enabled(self):
+        for name, event in self.events.items():
+            if name in self._pending_set:
+                continue
+            if not self.state.is_enabled(event):
+                continue
+            if not self._resolve_choice(event):
+                continue
+            fire_time = self.now + self._delay_of(event)
+            heapq.heappush(self._pending, (fire_time, next(self._counter), name))
+            self._pending_set.add(name)
+
+    def step(self):
+        """Fire the earliest pending event; return ``(time, event)`` or ``None``."""
+        self._schedule_enabled()
+        while self._pending:
+            fire_time, _, name = heapq.heappop(self._pending)
+            self._pending_set.discard(name)
+            event = self.events[name]
+            # The event may have been disabled by an earlier firing.
+            if not self.state.is_enabled(event):
+                continue
+            self.now = max(self.now, fire_time)
+            self.state.apply(event)
+            if event.action in (EventAction.MARK_TRUE, EventAction.MARK_FALSE):
+                node = self.dfs.node(event.node)
+                if node.is_dynamic and not self.dfs.controls_of(event.node):
+                    self._choice_counts[event.node] = self._choice_counts.get(event.node, 0) + 1
+            self.fired.append((self.now, name))
+            return self.now, name
+        return None
+
+    # -- runs --------------------------------------------------------------------------
+
+    def run(self, observed, token_goal=20, max_events=100000):
+        """Run until *token_goal* tokens have passed through register *observed*.
+
+        Returns a :class:`TimedRun`.  Raises
+        :class:`~repro.exceptions.SimulationError` when the simulation
+        deadlocks before reaching the goal or exceeds *max_events*.
+        """
+        if observed not in self.dfs.register_nodes:
+            raise SimulationError("unknown observation register: {!r}".format(observed))
+        marking_events = {
+            "M_{}+".format(observed),
+            "Mt_{}+".format(observed),
+            "Mf_{}+".format(observed),
+        }
+        tokens = 0
+        for _ in range(max_events):
+            outcome = self.step()
+            if outcome is None:
+                raise SimulationError(
+                    "timed simulation deadlocked at t={:.4g} after {} tokens at {!r}".format(
+                        self.now, tokens, observed))
+            _, name = outcome
+            if name in marking_events:
+                tokens += 1
+                if tokens >= token_goal:
+                    return TimedRun(self.now, self.fired, tokens, observed)
+        raise SimulationError(
+            "timed simulation did not reach {} tokens at {!r} within {} events".format(
+                token_goal, observed, max_events))
+
+    def run_for(self, duration, max_events=100000):
+        """Run until the clock passes *duration*; return the number of fired events."""
+        fired = 0
+        for _ in range(max_events):
+            if self.now >= duration:
+                break
+            if self.step() is None:
+                break
+            fired += 1
+        return fired

@@ -1,0 +1,131 @@
+"""Immutable markings of Petri nets.
+
+A marking maps place names to non-negative token counts.  Markings are
+hashable so that they can be used directly as states of a reachability graph.
+Places holding zero tokens are not stored, which keeps markings compact and
+makes equality independent of which places happen to be mentioned.
+"""
+
+
+class Marking:
+    """An immutable multiset of tokens over place names."""
+
+    __slots__ = ("_tokens", "_hash")
+
+    def __init__(self, tokens=None):
+        items = {}
+        if tokens:
+            for place, count in dict(tokens).items():
+                count = int(count)
+                if count < 0:
+                    raise ValueError(
+                        "negative token count for place {!r}: {}".format(place, count)
+                    )
+                if count > 0:
+                    items[place] = count
+        self._tokens = items
+        self._hash = hash(frozenset(items.items()))
+
+    # -- mapping protocol -------------------------------------------------
+
+    def __getitem__(self, place):
+        return self._tokens.get(place, 0)
+
+    def get(self, place, default=0):
+        return self._tokens.get(place, default)
+
+    def __contains__(self, place):
+        return self._tokens.get(place, 0) > 0
+
+    def __iter__(self):
+        return iter(self._tokens)
+
+    def __len__(self):
+        return len(self._tokens)
+
+    def items(self):
+        return self._tokens.items()
+
+    def total(self):
+        """Total number of tokens in the marking."""
+        return sum(self._tokens.values())
+
+    def marked_places(self):
+        """Return the set of places holding at least one token."""
+        return set(self._tokens)
+
+    # -- comparison / hashing ---------------------------------------------
+
+    def __eq__(self, other):
+        if isinstance(other, Marking):
+            return self._tokens == other._tokens
+        if isinstance(other, dict):
+            return self == Marking(other)
+        return NotImplemented
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self):
+        return self._hash
+
+    def covers(self, other):
+        """Return ``True`` when every place has at least as many tokens as in *other*."""
+        other = other if isinstance(other, Marking) else Marking(other)
+        return all(self[place] >= count for place, count in other.items())
+
+    # -- functional updates -------------------------------------------------
+
+    def add(self, place, count=1):
+        """Return a new marking with *count* extra tokens in *place*."""
+        tokens = dict(self._tokens)
+        tokens[place] = tokens.get(place, 0) + count
+        return Marking(tokens)
+
+    def remove(self, place, count=1):
+        """Return a new marking with *count* tokens removed from *place*."""
+        available = self._tokens.get(place, 0)
+        if available < count:
+            raise ValueError(
+                "cannot remove {} token(s) from place {!r} holding {}".format(
+                    count, place, available
+                )
+            )
+        tokens = dict(self._tokens)
+        tokens[place] = available - count
+        return Marking(tokens)
+
+    def fire(self, consumed, produced):
+        """Return the marking after consuming and producing the given multisets."""
+        tokens = dict(self._tokens)
+        for place, count in consumed.items():
+            available = tokens.get(place, 0)
+            if available < count:
+                raise ValueError(
+                    "cannot consume {} token(s) from place {!r} holding {}".format(
+                        count, place, available
+                    )
+                )
+            tokens[place] = available - count
+        for place, count in produced.items():
+            tokens[place] = tokens.get(place, 0) + count
+        return Marking(tokens)
+
+    def restricted_to(self, places):
+        """Return a marking containing only the given places."""
+        places = set(places)
+        return Marking({p: c for p, c in self._tokens.items() if p in places})
+
+    def as_dict(self):
+        """Return a plain dictionary copy (places with zero tokens omitted)."""
+        return dict(self._tokens)
+
+    def __repr__(self):
+        inside = ", ".join(
+            "{}:{}".format(place, count) if count != 1 else place
+            for place, count in sorted(self._tokens.items())
+        )
+        return "Marking({{{}}})".format(inside)

@@ -1,0 +1,181 @@
+"""Standard behavioural properties checked on the reachability graph.
+
+The paper verifies DFS models for "standard properties (such as deadlock) and
+custom functional properties (such as hazards)".  This module provides the
+standard ones:
+
+* **deadlock freedom** -- no reachable marking without enabled transitions;
+* **persistence** -- no transition is disabled by the firing of another,
+  unless the two are in structural conflict (share a consumed place), which
+  models an intended choice; a violation corresponds to a hazard;
+* **boundedness / safeness** -- no place ever exceeds a given bound;
+* **mutual exclusion** -- two places are never marked together (used e.g. for
+  the ``Mt``/``Mf`` places of a control register).
+"""
+
+
+class PropertyReport:
+    """Outcome of a property check.
+
+    Attributes
+    ----------
+    name:
+        Name of the checked property.
+    holds:
+        ``True`` / ``False``, or ``None`` when the check was inconclusive
+        (truncated state space).
+    witnesses:
+        A list of counterexample descriptors.  Each witness is a dictionary
+        with at least a ``marking`` key and, when available, a ``trace`` key
+        holding a firing sequence from the initial marking.
+    details:
+        Free-form human-readable summary.
+    """
+
+    def __init__(self, name, holds, witnesses=None, details=""):
+        self.name = name
+        self.holds = holds
+        self.witnesses = witnesses or []
+        self.details = details
+
+    def __bool__(self):
+        return bool(self.holds)
+
+    def __repr__(self):
+        status = {True: "holds", False: "violated", None: "inconclusive"}[self.holds]
+        return "PropertyReport({!r}, {}, witnesses={})".format(
+            self.name, status, len(self.witnesses)
+        )
+
+
+def _inconclusive(name, graph):
+    return PropertyReport(
+        name,
+        None,
+        details="state space truncated after {} states; result inconclusive".format(
+            len(graph)
+        ),
+    )
+
+
+def check_deadlock(graph, max_witnesses=5, with_traces=True):
+    """Check deadlock freedom on a reachability graph."""
+    name = "deadlock-freedom"
+    deadlocks = graph.deadlocks()
+    if graph.truncated and deadlocks:
+        # A truncated exploration leaves discovered-but-unexpanded states with
+        # no recorded successors; confirm candidates against the net itself.
+        deadlocks = [m for m in deadlocks if not graph.net.enabled_transitions(m)]
+    if not deadlocks:
+        if graph.truncated:
+            return _inconclusive(name, graph)
+        return PropertyReport(name, True, details="no reachable deadlock")
+    witnesses = []
+    for marking in deadlocks[:max_witnesses]:
+        witness = {"marking": marking}
+        if with_traces:
+            witness["trace"] = graph.trace_to(marking)
+        witnesses.append(witness)
+    return PropertyReport(
+        name,
+        False,
+        witnesses=witnesses,
+        details="{} reachable deadlock state(s)".format(len(deadlocks)),
+    )
+
+
+def check_persistence(graph, allow_conflicts=True, max_witnesses=5, with_traces=True):
+    """Check persistence (absence of hazards).
+
+    A violation is a reachable marking where transitions ``t1`` and ``t2``
+    are both enabled, yet after firing ``t1`` the transition ``t2`` is no
+    longer enabled.  When *allow_conflicts* is true (the default), pairs that
+    share a consumed place are skipped: such pairs model an intended
+    non-deterministic choice (e.g. the True/False outcome of a control
+    register) rather than a hazard.
+    """
+    name = "persistence"
+    net = graph.net
+    witnesses = []
+    violations = 0
+    for marking in graph.states:
+        successors = dict(graph.successors(marking))
+        enabled = sorted(successors)
+        for t1 in enabled:
+            after = successors[t1]
+            for t2 in enabled:
+                if t1 == t2:
+                    continue
+                if allow_conflicts:
+                    shared = set(net.consumed_places(t1)) & set(net.consumed_places(t2))
+                    if shared:
+                        continue
+                if not net.is_enabled(t2, after):
+                    violations += 1
+                    if len(witnesses) < max_witnesses:
+                        witness = {
+                            "marking": marking,
+                            "fired": t1,
+                            "disabled": t2,
+                        }
+                        if with_traces:
+                            witness["trace"] = graph.trace_to(marking)
+                        witnesses.append(witness)
+    if violations:
+        return PropertyReport(
+            name,
+            False,
+            witnesses=witnesses,
+            details="{} persistence violation(s)".format(violations),
+        )
+    if graph.truncated:
+        return _inconclusive(name, graph)
+    return PropertyReport(name, True, details="all transitions persistent")
+
+
+def check_boundedness(graph, bound=1, max_witnesses=5):
+    """Check that no reachable marking puts more than *bound* tokens in a place."""
+    name = "{}-boundedness".format(bound)
+    witnesses = []
+    violations = 0
+    for marking in graph.states:
+        offending = {p: c for p, c in marking.items() if c > bound}
+        if offending:
+            violations += 1
+            if len(witnesses) < max_witnesses:
+                witnesses.append({"marking": marking, "places": offending})
+    if violations:
+        return PropertyReport(
+            name,
+            False,
+            witnesses=witnesses,
+            details="{} marking(s) exceed bound {}".format(violations, bound),
+        )
+    if graph.truncated:
+        return _inconclusive(name, graph)
+    return PropertyReport(name, True, details="net is {}-bounded".format(bound))
+
+
+def check_mutual_exclusion(graph, place_a, place_b, max_witnesses=5, with_traces=True):
+    """Check that *place_a* and *place_b* are never marked simultaneously."""
+    name = "mutex({}, {})".format(place_a, place_b)
+    witnesses = []
+    violations = 0
+    for marking in graph.states:
+        if marking[place_a] > 0 and marking[place_b] > 0:
+            violations += 1
+            if len(witnesses) < max_witnesses:
+                witness = {"marking": marking}
+                if with_traces:
+                    witness["trace"] = graph.trace_to(marking)
+                witnesses.append(witness)
+    if violations:
+        return PropertyReport(
+            name,
+            False,
+            witnesses=witnesses,
+            details="{} marking(s) violate mutual exclusion".format(violations),
+        )
+    if graph.truncated:
+        return _inconclusive(name, graph)
+    return PropertyReport(name, True, details="places are mutually exclusive")

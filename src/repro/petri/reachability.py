@@ -1,0 +1,152 @@
+"""Explicit-state reachability analysis.
+
+In the paper the computationally heavy verification is delegated to the
+MPSAT unfolding tool.  The DFS models considered here translate into Petri
+nets whose reachable state spaces are modest (the OPE pipeline stages are
+analysed per-stage or with a bounded number of stages), so an explicit
+breadth-first exploration with hashed markings is sufficient and keeps the
+library self-contained.
+"""
+
+from collections import deque
+
+from repro.exceptions import VerificationError
+
+
+class ReachabilityGraph:
+    """The reachability graph (state graph) of a Petri net.
+
+    States are :class:`~repro.petri.marking.Marking` objects; edges are
+    labelled by transition names.
+    """
+
+    def __init__(self, net, initial_marking):
+        self.net = net
+        self.initial_marking = initial_marking
+        self._states = {}           # marking -> state index
+        self._successors = {}       # marking -> list of (transition, marking)
+        self._predecessors = {}     # marking -> list of (transition, marking)
+        self.truncated = False
+
+    # -- construction (used by explore) ---------------------------------------
+
+    def _add_state(self, marking):
+        if marking not in self._states:
+            self._states[marking] = len(self._states)
+            self._successors[marking] = []
+            self._predecessors[marking] = []
+        return self._states[marking]
+
+    def _add_edge(self, source, transition, target):
+        self._successors[source].append((transition, target))
+        self._predecessors[target].append((transition, source))
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self):
+        return len(self._states)
+
+    def __contains__(self, marking):
+        return marking in self._states
+
+    @property
+    def states(self):
+        """All reachable markings, in discovery order."""
+        return sorted(self._states, key=self._states.get)
+
+    def successors(self, marking):
+        """List of ``(transition, marking)`` successors of *marking*."""
+        return list(self._successors[marking])
+
+    def predecessors(self, marking):
+        """List of ``(transition, marking)`` predecessors of *marking*."""
+        return list(self._predecessors[marking])
+
+    def enabled(self, marking):
+        """Transitions enabled at *marking* (from the stored edges)."""
+        return sorted({transition for transition, _ in self._successors[marking]})
+
+    def deadlocks(self):
+        """Return the list of reachable deadlocked markings."""
+        return [m for m in self.states if not self._successors[m]]
+
+    def edge_count(self):
+        return sum(len(edges) for edges in self._successors.values())
+
+    def find(self, predicate):
+        """Return the first reachable marking satisfying *predicate*, or ``None``."""
+        for marking in self.states:
+            if predicate(marking):
+                return marking
+        return None
+
+    def filter(self, predicate):
+        """Return all reachable markings satisfying *predicate*."""
+        return [marking for marking in self.states if predicate(marking)]
+
+    def trace_to(self, target):
+        """Return a firing sequence from the initial marking to *target*.
+
+        Uses a breadth-first search over the stored predecessor edges, so the
+        returned trace is one of the shortest.  Raises
+        :class:`~repro.exceptions.VerificationError` if *target* is not a
+        reachable state of this graph.
+        """
+        if target not in self._states:
+            raise VerificationError("marking is not reachable: {!r}".format(target))
+        if target == self.initial_marking:
+            return []
+        # BFS backwards from target to the initial marking.
+        queue = deque([target])
+        parent = {target: None}
+        while queue:
+            current = queue.popleft()
+            if current == self.initial_marking:
+                break
+            for transition, predecessor in self._predecessors[current]:
+                if predecessor not in parent:
+                    parent[predecessor] = (transition, current)
+                    queue.append(predecessor)
+        if self.initial_marking not in parent:
+            raise VerificationError(
+                "no path from the initial marking to {!r}".format(target)
+            )
+        trace = []
+        cursor = self.initial_marking
+        while cursor != target:
+            transition, successor = parent[cursor]
+            trace.append(transition)
+            cursor = successor
+        return trace
+
+
+def explore(net, marking=None, max_states=200000):
+    """Build the reachability graph of *net* starting from *marking*.
+
+    Parameters
+    ----------
+    net:
+        The :class:`~repro.petri.net.PetriNet` to explore.
+    marking:
+        Starting marking; defaults to the net's initial marking.
+    max_states:
+        Safety bound on the number of stored states.  When the bound is hit
+        the returned graph has ``truncated`` set to ``True``; property checks
+        treat a truncated graph as inconclusive.
+    """
+    initial = marking if marking is not None else net.initial_marking()
+    graph = ReachabilityGraph(net, initial)
+    graph._add_state(initial)
+    queue = deque([initial])
+    while queue:
+        current = queue.popleft()
+        for transition in net.enabled_transitions(current):
+            successor = net.fire(transition, current)
+            if successor not in graph:
+                if len(graph) >= max_states:
+                    graph.truncated = True
+                    return graph
+                graph._add_state(successor)
+                queue.append(successor)
+            graph._add_edge(current, transition, successor)
+    return graph

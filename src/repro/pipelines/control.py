@@ -1,0 +1,74 @@
+"""Control loops: the token oscillators that configure reconfigurable stages.
+
+A control loop is a ring of control registers around which a single True or
+False token oscillates.  Three registers is the minimum for oscillation (with
+fewer, the token has nowhere to move), which is why the paper's stages use
+3-register loops.  One register of the loop (the *head*) is connected to the
+push/pop registers it guards; the token can only advance past the head after
+the guarded registers have accepted a data token, which synchronises one
+control oscillation with one data item.
+"""
+
+from repro.exceptions import ModelError
+
+
+def add_control_loop(dfs, base_name, length=3, value=True, guards=(), marked_index=0):
+    """Add a control loop to *dfs* and return the list of its register names.
+
+    Parameters
+    ----------
+    dfs:
+        The dataflow structure to extend.
+    base_name:
+        Prefix of the loop's register names (``<base_name>0`` ... ``<base_name>{length-1}``).
+    length:
+        Number of control registers in the loop (at least 3).
+    value:
+        Initial token value: ``True`` includes the guarded stage in the
+        pipeline, ``False`` excludes it.
+    guards:
+        Names of the push/pop registers guarded by the head of the loop.
+    marked_index:
+        Which register of the loop initially holds the token (the head by
+        default).
+    """
+    if length < 3:
+        raise ModelError(
+            "a control loop needs at least 3 registers for a token to oscillate "
+            "(got {})".format(length))
+    if not 0 <= marked_index < length:
+        raise ModelError("marked_index {} is outside the loop".format(marked_index))
+    names = ["{}{}".format(base_name, index) for index in range(length)]
+    for index, name in enumerate(names):
+        dfs.add_control(name, marked=(index == marked_index), value=value)
+    for index, name in enumerate(names):
+        dfs.connect(name, names[(index + 1) % length])
+    head = names[0]
+    for guard in guards:
+        dfs.connect(head, guard)
+    return names
+
+
+def loop_head(loop_names):
+    """The register of the loop that guards the data path."""
+    return loop_names[0]
+
+
+def set_loop_value(dfs, loop_names, value):
+    """Re-initialise a control loop with a True or False token.
+
+    The token stays on the register that currently holds it (or the head if
+    none does) and only its value changes; this models re-programming the
+    configuration before a run.
+    """
+    marked = [name for name in loop_names if dfs.node(name).marked]
+    if not marked:
+        marked = [loop_head(loop_names)]
+        dfs.node(marked[0]).marked = True
+    for name in loop_names:
+        node = dfs.node(name)
+        if name in marked:
+            node.initial_value = bool(value)
+        else:
+            node.marked = False
+            node.initial_value = None

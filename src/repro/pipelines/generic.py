@@ -1,0 +1,112 @@
+"""The generic N-stage pipeline with local and global channels (Fig. 6a)."""
+
+from repro.exceptions import ConfigurationError
+from repro.dfs.model import DataflowStructure
+from repro.pipelines.stage import add_reconfigurable_stage, add_static_stage
+
+
+class GenericPipeline:
+    """A built pipeline: the DFS model plus the bookkeeping of its stages."""
+
+    def __init__(self, dfs, stages, input_register, output_register, aggregator):
+        self.dfs = dfs
+        self.stages = list(stages)
+        self.input_register = input_register
+        self.output_register = output_register
+        self.aggregator = aggregator
+
+    @property
+    def depth(self):
+        """Number of stages (static plus reconfigurable)."""
+        return len(self.stages)
+
+    @property
+    def reconfigurable_stages(self):
+        return [stage for stage in self.stages if stage.reconfigurable]
+
+    @property
+    def static_stages(self):
+        return [stage for stage in self.stages if not stage.reconfigurable]
+
+    def stage(self, index):
+        """Stage by 1-based index (as in the paper's ``s1 ... sN``)."""
+        if not 1 <= index <= len(self.stages):
+            raise ConfigurationError("stage index {} out of range".format(index))
+        return self.stages[index - 1]
+
+    def control_loops(self):
+        """All control loops of the pipeline, keyed by stage name."""
+        loops = {}
+        for stage in self.stages:
+            if stage.control_loops:
+                loops[stage.name] = stage.control_loops
+        return loops
+
+    def __repr__(self):
+        return "GenericPipeline({!r}, depth={}, reconfigurable={})".format(
+            self.dfs.name, self.depth, len(self.reconfigurable_stages))
+
+
+def build_generic_pipeline(stages, static_prefix_stages=1, included_depth=None,
+                           name="pipeline", f_delay=1.0, g_delay=1.0,
+                           share_control_second_stage=True):
+    """Build a generic pipeline with a static prefix and a reconfigurable tail.
+
+    Parameters
+    ----------
+    stages:
+        Total number of stages ``N``.
+    static_prefix_stages:
+        How many leading stages are always included and therefore built in the
+        static style (the OPE chip uses 1: stage ``s1``).
+    included_depth:
+        Initial configuration: the number of leading stages included in the
+        pipeline.  Defaults to ``stages`` (everything active).  Must be at
+        least ``static_prefix_stages``.
+    share_control_second_stage:
+        Apply the paper's ``s2`` optimisation: the first reconfigurable stage
+        directly after the static prefix uses a single shared control loop.
+
+    Returns a :class:`GenericPipeline`.
+    """
+    if stages < 1:
+        raise ConfigurationError("a pipeline needs at least one stage")
+    if not 0 <= static_prefix_stages <= stages:
+        raise ConfigurationError("invalid number of static prefix stages")
+    included_depth = stages if included_depth is None else int(included_depth)
+    if not static_prefix_stages <= included_depth <= stages:
+        raise ConfigurationError(
+            "included depth {} must be between the static prefix ({}) and the "
+            "total number of stages ({})".format(included_depth, static_prefix_stages, stages))
+
+    dfs = DataflowStructure(name)
+    dfs.add_register("in")
+
+    built = []
+    for index in range(1, stages + 1):
+        stage_name = "s{}".format(index)
+        if index <= static_prefix_stages:
+            stage = add_static_stage(dfs, stage_name, f_delay=f_delay, g_delay=g_delay)
+        else:
+            share = share_control_second_stage and index == static_prefix_stages + 1
+            stage = add_reconfigurable_stage(
+                dfs, stage_name, included=(index <= included_depth),
+                f_delay=f_delay, g_delay=g_delay, share_control=share)
+        built.append(stage)
+
+    # Local channels: the common input feeds the first stage's local input;
+    # each stage's local output feeds the next stage's local input.
+    dfs.connect("in", built[0].local_in)
+    for previous, current in zip(built, built[1:]):
+        dfs.connect(previous.local_out, current.local_in)
+
+    # Global channels: the common input is broadcast to every stage's global
+    # input; every stage's global output feeds the aggregation function.
+    dfs.add_logic("aggregate", delay=g_delay, function="aggregate")
+    dfs.add_register("out")
+    for stage in built:
+        dfs.connect("in", stage.global_in)
+        dfs.connect(stage.global_out, "aggregate")
+    dfs.connect("aggregate", "out")
+
+    return GenericPipeline(dfs, built, "in", "out", "aggregate")

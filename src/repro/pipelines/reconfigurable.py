@@ -1,0 +1,103 @@
+"""Configuration management of reconfigurable pipelines.
+
+The fabricated chip selects the pipeline depth (the OPE window size) by
+initialising the control loops of the leading stages with True tokens and the
+remaining ones with False tokens.  :class:`PipelineConfiguration` applies such
+depth settings to a built :class:`~repro.pipelines.generic.GenericPipeline`,
+validates them, and can enumerate every supported depth (3 to 18 on the chip).
+"""
+
+from repro.exceptions import ConfigurationError
+from repro.pipelines.control import set_loop_value
+
+
+class PipelineConfiguration:
+    """Applies and validates depth configurations of a generic pipeline."""
+
+    def __init__(self, pipeline, min_depth=None):
+        self.pipeline = pipeline
+        static_stages = len(pipeline.static_stages)
+        self.min_depth = static_stages if min_depth is None else int(min_depth)
+        if self.min_depth < static_stages:
+            raise ConfigurationError(
+                "the minimum depth cannot exclude the {} static stage(s)".format(static_stages))
+
+    @property
+    def max_depth(self):
+        return self.pipeline.depth
+
+    def supported_depths(self):
+        """All depths this pipeline supports (min_depth ... total stages)."""
+        return list(range(max(self.min_depth, 1), self.max_depth + 1))
+
+    def current_depth(self):
+        """The depth currently encoded in the control-loop initial values."""
+        depth = len(self.pipeline.static_stages)
+        for stage in self.pipeline.stages:
+            if not stage.reconfigurable:
+                continue
+            if self._stage_value(stage):
+                depth += 1
+        return depth
+
+    def _stage_value(self, stage):
+        dfs = self.pipeline.dfs
+        for loop in stage.control_loops:
+            for name in loop:
+                node = dfs.node(name)
+                if node.marked:
+                    return bool(node.initial_value)
+        return False
+
+    def set_depth(self, depth):
+        """Include the first *depth* stages and exclude the rest."""
+        if depth not in self.supported_depths():
+            raise ConfigurationError(
+                "depth {} is not supported (valid depths: {}..{})".format(
+                    depth, self.min_depth, self.max_depth))
+        dfs = self.pipeline.dfs
+        for index, stage in enumerate(self.pipeline.stages, start=1):
+            if not stage.reconfigurable:
+                continue
+            include = index <= depth
+            for loop in stage.control_loops:
+                set_loop_value(dfs, loop, include)
+        return self.pipeline
+
+    def included_stages(self):
+        """Names of the stages currently included in the pipeline."""
+        names = [stage.name for stage in self.pipeline.static_stages]
+        for stage in self.pipeline.stages:
+            if stage.reconfigurable and self._stage_value(stage):
+                names.append(stage.name)
+        return names
+
+    def validate(self):
+        """Check that the configuration is a contiguous prefix of stages.
+
+        A "hole" (an excluded stage followed by an included one) starves the
+        downstream stage of local tokens and deadlocks the pipeline -- exactly
+        the class of initialisation mistake the paper reports catching with
+        formal verification.  Returns the list of problems found.
+        """
+        problems = []
+        seen_excluded = False
+        for index, stage in enumerate(self.pipeline.stages, start=1):
+            if not stage.reconfigurable:
+                if seen_excluded:
+                    problems.append(
+                        "static stage {} (index {}) follows an excluded stage".format(
+                            stage.name, index))
+                continue
+            included = self._stage_value(stage)
+            if included and seen_excluded:
+                problems.append(
+                    "stage {} (index {}) is included after an excluded stage; the "
+                    "configuration is not a contiguous prefix".format(stage.name, index))
+            if not included:
+                seen_excluded = True
+        return problems
+
+    def __repr__(self):
+        return "PipelineConfiguration(depth={}/{})".format(
+            self.current_depth(), self.max_depth)

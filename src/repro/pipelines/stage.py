@@ -1,0 +1,125 @@
+"""Pipeline stages: the static (Fig. 6b) and reconfigurable (Fig. 6c) designs.
+
+A stage applies a function ``f`` to the token arriving on its *local* input
+(data from the previous stage) and stores the result in its *local* output
+register (data for the next stage).  The produced token, paired with the
+common input token arriving on the *global* input, is passed to a function
+``g`` whose result goes to the *global* output, which is aggregated with the
+other stages' outputs.
+
+In the reconfigurable stage the local input is a push register guarded by the
+``local_ctrl`` loop, and the global input / global output are a push / pop
+pair guarded by the ``global_ctrl`` loop.  Initialising both loops with True
+includes the stage; False excludes it -- the pushes then destroy the tokens
+they receive and the pop keeps producing "empty" tokens so that the
+aggregated output still completes.
+"""
+
+from repro.pipelines.control import add_control_loop
+
+
+class StagePorts:
+    """Names of the interface registers (and control loops) of one stage."""
+
+    def __init__(self, name, local_in, local_out, global_in, global_out,
+                 local_ctrl=None, global_ctrl=None, reconfigurable=False):
+        self.name = name
+        self.local_in = local_in
+        self.local_out = local_out
+        self.global_in = global_in
+        self.global_out = global_out
+        self.local_ctrl = list(local_ctrl or [])
+        self.global_ctrl = list(global_ctrl or [])
+        self.reconfigurable = reconfigurable
+
+    @property
+    def control_loops(self):
+        """All control loops of the stage (empty for a static stage)."""
+        loops = []
+        if self.local_ctrl:
+            loops.append(self.local_ctrl)
+        if self.global_ctrl:
+            loops.append(self.global_ctrl)
+        return loops
+
+    def __repr__(self):
+        return "StagePorts({!r}, reconfigurable={})".format(self.name, self.reconfigurable)
+
+
+def add_static_stage(dfs, name, f_delay=1.0, g_delay=1.0,
+                     f_function="compare", g_function="rank"):
+    """Add a static pipeline stage (Fig. 6b) and return its :class:`StagePorts`."""
+    local_in = "{}.local_in".format(name)
+    local_out = "{}.local_out".format(name)
+    global_in = "{}.global_in".format(name)
+    global_out = "{}.global_out".format(name)
+    f_logic = "{}.f".format(name)
+    g_logic = "{}.g".format(name)
+
+    dfs.add_register(local_in)
+    dfs.add_register(local_out)
+    dfs.add_register(global_in)
+    dfs.add_register(global_out)
+    dfs.add_logic(f_logic, delay=f_delay, function=f_function)
+    dfs.add_logic(g_logic, delay=g_delay, function=g_function)
+
+    dfs.connect(local_in, f_logic)
+    dfs.connect(f_logic, local_out)
+    dfs.connect(local_out, g_logic)
+    dfs.connect(global_in, g_logic)
+    dfs.connect(g_logic, global_out)
+
+    return StagePorts(name, local_in, local_out, global_in, global_out,
+                      reconfigurable=False)
+
+
+def add_reconfigurable_stage(dfs, name, included=True, f_delay=1.0, g_delay=1.0,
+                             f_function="compare", g_function="rank",
+                             share_control=False):
+    """Add a reconfigurable pipeline stage (Fig. 6c) and return its ports.
+
+    Parameters
+    ----------
+    included:
+        Initial configuration of the stage: ``True`` includes it in the
+        pipeline, ``False`` bypasses it.
+    share_control:
+        When true, a single control loop guards both the local and the global
+        interfaces -- the optimisation the paper applies to stage ``s2`` of
+        the OPE pipeline (possible when the previous stage is always included).
+    """
+    local_in = "{}.local_in".format(name)
+    local_out = "{}.local_out".format(name)
+    global_in = "{}.global_in".format(name)
+    global_out = "{}.global_out".format(name)
+    f_logic = "{}.f".format(name)
+    g_logic = "{}.g".format(name)
+
+    dfs.add_push(local_in)
+    dfs.add_register(local_out)
+    dfs.add_push(global_in)
+    dfs.add_pop(global_out)
+    dfs.add_logic(f_logic, delay=f_delay, function=f_function)
+    dfs.add_logic(g_logic, delay=g_delay, function=g_function)
+
+    dfs.connect(local_in, f_logic)
+    dfs.connect(f_logic, local_out)
+    dfs.connect(local_out, g_logic)
+    dfs.connect(global_in, g_logic)
+    dfs.connect(g_logic, global_out)
+
+    if share_control:
+        global_ctrl = add_control_loop(
+            dfs, "{}.ctrl".format(name), value=included,
+            guards=[local_in, global_in, global_out])
+        local_ctrl = []
+    else:
+        local_ctrl = add_control_loop(
+            dfs, "{}.local_ctrl".format(name), value=included, guards=[local_in])
+        global_ctrl = add_control_loop(
+            dfs, "{}.global_ctrl".format(name), value=included,
+            guards=[global_in, global_out])
+
+    return StagePorts(name, local_in, local_out, global_in, global_out,
+                      local_ctrl=local_ctrl, global_ctrl=global_ctrl,
+                      reconfigurable=True)

@@ -1,0 +1,154 @@
+"""Abstract syntax tree of Reach predicate expressions."""
+
+
+class ReachExpression:
+    """Base class of all Reach AST nodes."""
+
+    def evaluate(self, marking):
+        """Evaluate this expression on a marking; subclasses must override."""
+        raise NotImplementedError
+
+    def places(self):
+        """Return the set of place names referenced by the expression."""
+        return set()
+
+    # Operator sugar so that expressions can also be composed in Python.
+    def __and__(self, other):
+        return And(self, other)
+
+    def __or__(self, other):
+        return Or(self, other)
+
+    def __invert__(self):
+        return Not(self)
+
+
+class Constant(ReachExpression):
+    """The literal ``true`` or ``false``."""
+
+    def __init__(self, value):
+        self.value = bool(value)
+
+    def evaluate(self, marking):
+        return self.value
+
+    def __repr__(self):
+        return "true" if self.value else "false"
+
+
+class Marked(ReachExpression):
+    """``$"place"`` -- true when the place holds at least one token."""
+
+    def __init__(self, place):
+        self.place = place
+
+    def evaluate(self, marking):
+        return marking[self.place] > 0
+
+    def places(self):
+        return {self.place}
+
+    def __repr__(self):
+        return '$"{}"'.format(self.place)
+
+
+class Compare(ReachExpression):
+    """``tokens(place) OP value`` for a numeric comparison operator."""
+
+    _OPERATORS = {
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+
+    def __init__(self, place, operator, value):
+        if operator not in self._OPERATORS:
+            raise ValueError("unknown comparison operator: {!r}".format(operator))
+        self.place = place
+        self.operator = operator
+        self.value = int(value)
+
+    def evaluate(self, marking):
+        return self._OPERATORS[self.operator](marking[self.place], self.value)
+
+    def places(self):
+        return {self.place}
+
+    def __repr__(self):
+        return "tokens({}) {} {}".format(self.place, self.operator, self.value)
+
+
+class Not(ReachExpression):
+    """Logical negation."""
+
+    def __init__(self, operand):
+        self.operand = operand
+
+    def evaluate(self, marking):
+        return not self.operand.evaluate(marking)
+
+    def places(self):
+        return self.operand.places()
+
+    def __repr__(self):
+        return "!({!r})".format(self.operand)
+
+
+class _Binary(ReachExpression):
+    symbol = "?"
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+    def places(self):
+        return self.left.places() | self.right.places()
+
+    def __repr__(self):
+        return "({!r} {} {!r})".format(self.left, self.symbol, self.right)
+
+
+class And(_Binary):
+    """Logical conjunction."""
+
+    symbol = "&"
+
+    def evaluate(self, marking):
+        return self.left.evaluate(marking) and self.right.evaluate(marking)
+
+
+class Or(_Binary):
+    """Logical disjunction."""
+
+    symbol = "|"
+
+    def evaluate(self, marking):
+        return self.left.evaluate(marking) or self.right.evaluate(marking)
+
+
+class Implies(_Binary):
+    """Logical implication."""
+
+    symbol = "->"
+
+    def evaluate(self, marking):
+        return (not self.left.evaluate(marking)) or self.right.evaluate(marking)
+
+
+def conjunction(expressions):
+    """Fold an iterable of expressions with ``&`` (``true`` when empty)."""
+    result = None
+    for expression in expressions:
+        result = expression if result is None else And(result, expression)
+    return result if result is not None else Constant(True)
+
+
+def disjunction(expressions):
+    """Fold an iterable of expressions with ``|`` (``false`` when empty)."""
+    result = None
+    for expression in expressions:
+        result = expression if result is None else Or(result, expression)
+    return result if result is not None else Constant(False)

@@ -1,0 +1,61 @@
+"""Evaluation of Reach expressions on markings and reachability graphs."""
+
+from repro.exceptions import ReachEvaluationError
+from repro.reach.ast import ReachExpression
+from repro.reach.parser import parse
+
+
+def _as_expression(expression):
+    if isinstance(expression, ReachExpression):
+        return expression
+    if isinstance(expression, str):
+        return parse(expression)
+    raise ReachEvaluationError(
+        "expected a Reach expression or string, found {!r}".format(type(expression))
+    )
+
+
+def _check_places(expression, net):
+    unknown = {place for place in expression.places() if not net.has_place(place)}
+    if unknown:
+        raise ReachEvaluationError(
+            "Reach expression references unknown place(s): {}".format(
+                ", ".join(sorted(unknown))
+            )
+        )
+
+
+def evaluate(expression, marking, net=None):
+    """Evaluate *expression* (AST or text) on a single marking."""
+    expression = _as_expression(expression)
+    if net is not None:
+        _check_places(expression, net)
+    return expression.evaluate(marking)
+
+
+def find_witnesses(expression, graph, max_witnesses=5, with_traces=True):
+    """Return reachable states of *graph* satisfying *expression*.
+
+    Each witness is a dictionary with a ``marking`` key and, when
+    *with_traces* is true, a ``trace`` key holding a shortest firing sequence
+    leading to the witness.
+    """
+    expression = _as_expression(expression)
+    _check_places(expression, graph.net)
+    witnesses = []
+    for marking in graph.states:
+        if expression.evaluate(marking):
+            witness = {"marking": marking}
+            if with_traces:
+                witness["trace"] = graph.trace_to(marking)
+            witnesses.append(witness)
+            if len(witnesses) >= max_witnesses:
+                break
+    return witnesses
+
+
+def holds_somewhere(expression, graph):
+    """Return ``True`` when some reachable state satisfies *expression*."""
+    expression = _as_expression(expression)
+    _check_places(expression, graph.net)
+    return graph.find(expression.evaluate) is not None

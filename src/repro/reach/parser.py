@@ -1,0 +1,173 @@
+"""Recursive-descent parser for the Reach predicate language."""
+
+import re
+
+from repro.exceptions import ReachSyntaxError
+from repro.reach.ast import And, Compare, Constant, Implies, Marked, Not, Or
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>->)
+  | (?P<cmp>==|!=|<=|>=|<|>)
+  | (?P<and>&)
+  | (?P<or>\|)
+  | (?P<not>!)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<dollar>\$)
+  | (?P<quoted>"[^"]*")
+  | (?P<int>[0-9]+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_\.\[\]]*)
+""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"true", "false", "tokens"}
+
+
+class _Token:
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind, value, position):
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def __repr__(self):
+        return "_Token({!r}, {!r})".format(self.kind, self.value)
+
+
+def _tokenize(text):
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match:
+            raise ReachSyntaxError(
+                "unexpected character {!r} at position {}".format(text[position], position)
+            )
+        kind = match.lastgroup
+        value = match.group()
+        position = match.end()
+        if kind == "ws":
+            continue
+        if kind == "name" and value in _KEYWORDS:
+            kind = value
+        tokens.append(_Token(kind, value, match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self):
+        return self._tokens[self._index]
+
+    def _advance(self):
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind):
+        token = self._peek()
+        if token.kind != kind:
+            raise ReachSyntaxError(
+                "expected {} but found {!r} at position {}".format(
+                    kind, token.value or "end of input", token.position
+                )
+            )
+        return self._advance()
+
+    # Grammar: implies -> or -> and -> not -> atom
+    def parse(self):
+        expression = self._implies()
+        self._expect("eof")
+        return expression
+
+    def _implies(self):
+        left = self._or()
+        while self._peek().kind == "arrow":
+            self._advance()
+            right = self._or()
+            left = Implies(left, right)
+        return left
+
+    def _or(self):
+        left = self._and()
+        while self._peek().kind == "or":
+            self._advance()
+            left = Or(left, self._and())
+        return left
+
+    def _and(self):
+        left = self._not()
+        while self._peek().kind == "and":
+            self._advance()
+            left = And(left, self._not())
+        return left
+
+    def _not(self):
+        if self._peek().kind == "not":
+            self._advance()
+            return Not(self._not())
+        return self._atom()
+
+    def _atom(self):
+        token = self._peek()
+        if token.kind == "lparen":
+            self._advance()
+            expression = self._implies()
+            self._expect("rparen")
+            return expression
+        if token.kind == "true":
+            self._advance()
+            return Constant(True)
+        if token.kind == "false":
+            self._advance()
+            return Constant(False)
+        if token.kind == "dollar":
+            self._advance()
+            name = self._expect("quoted").value.strip('"')
+            return Marked(name)
+        if token.kind == "quoted":
+            self._advance()
+            return Marked(token.value.strip('"'))
+        if token.kind == "tokens":
+            self._advance()
+            self._expect("lparen")
+            place_token = self._peek()
+            if place_token.kind in ("name", "quoted"):
+                self._advance()
+                place = place_token.value.strip('"')
+            else:
+                raise ReachSyntaxError(
+                    "expected a place name at position {}".format(place_token.position)
+                )
+            self._expect("rparen")
+            operator = self._expect("cmp").value
+            value = self._expect("int").value
+            return Compare(place, operator, int(value))
+        if token.kind == "name":
+            self._advance()
+            return Marked(token.value)
+        raise ReachSyntaxError(
+            "unexpected token {!r} at position {}".format(
+                token.value or "end of input", token.position
+            )
+        )
+
+
+def parse(text):
+    """Parse a Reach expression and return its AST.
+
+    >>> expression = parse('$"M_r_1" & !$"C_f_1"')
+    >>> sorted(expression.places())
+    ['C_f_1', 'M_r_1']
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise ReachSyntaxError("empty Reach expression")
+    return _Parser(_tokenize(text)).parse()

@@ -1,0 +1,21 @@
+"""Static Dataflow Structures (SDFS) -- the baseline formalism.
+
+SDFS (Sokolov, Poliakov, Yakovlev, *Fundamenta Informaticae* 2008) supports
+only logic and plain register nodes; it cannot express dynamic pipeline
+reconfiguration, which is the gap the paper's DFS model fills.  The package
+provides a restricted model class and helpers to convert between the two
+formalisms, so that the motivating example (Fig. 1) can be reproduced with
+both and compared by the performance analyser.
+"""
+
+from repro.sdfs.model import StaticDataflowStructure, is_static, strip_dynamic
+from repro.sdfs.analysis import dataflow_depth, register_chains, static_summary
+
+__all__ = [
+    "StaticDataflowStructure",
+    "dataflow_depth",
+    "is_static",
+    "register_chains",
+    "static_summary",
+    "strip_dynamic",
+]

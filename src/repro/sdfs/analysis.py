@@ -1,0 +1,83 @@
+"""Structural analysis helpers for static dataflow structures.
+
+These mirror the kind of "static analysis" performed on SDFS models in the
+earlier literature: pipeline depth (the longest register-to-register chain),
+register chains between the inputs and outputs, and a compact summary used by
+reports and tests.
+"""
+
+from repro.utils.graphs import topological_order
+
+
+def _register_graph(dfs):
+    """Edges between registers: ``(r, r')`` when ``r`` is in the R-preset of ``r'``."""
+    edges = []
+    for register in dfs.register_nodes:
+        for successor in dfs.r_postset(register):
+            edges.append((register, successor))
+    return edges
+
+
+def dataflow_depth(dfs):
+    """Length (in registers) of the longest acyclic register-to-register path.
+
+    Returns ``None`` when the register graph contains a cycle (depth is then
+    unbounded in the unrolled sense and the notion of pipeline depth does not
+    apply directly).
+    """
+    edges = _register_graph(dfs)
+    registers = dfs.register_nodes
+    order = topological_order(edges, nodes=registers)
+    if order is None:
+        return None
+    longest = {name: 1 for name in registers}
+    successors = {}
+    for source, target in edges:
+        successors.setdefault(source, []).append(target)
+    for name in reversed(order):
+        for successor in successors.get(name, []):
+            longest[name] = max(longest[name], 1 + longest[successor])
+    return max(longest.values()) if longest else 0
+
+
+def register_chains(dfs):
+    """Return all maximal register chains from input registers to output registers.
+
+    Each chain is a list of register names.  Only meaningful for acyclic
+    register graphs; cyclic structures return an empty list.
+    """
+    edges = _register_graph(dfs)
+    if topological_order(edges, nodes=dfs.register_nodes) is None:
+        return []
+    successors = {}
+    for source, target in edges:
+        successors.setdefault(source, []).append(target)
+    chains = []
+
+    def _extend(chain):
+        tail = chain[-1]
+        nexts = successors.get(tail, [])
+        if not nexts:
+            chains.append(list(chain))
+            return
+        for target in sorted(nexts):
+            _extend(chain + [target])
+
+    for start in dfs.input_registers():
+        _extend([start])
+    return chains
+
+
+def static_summary(dfs):
+    """Return a dictionary summarising the static structure."""
+    chains = register_chains(dfs)
+    return {
+        "registers": len(dfs.register_nodes),
+        "logic": len(dfs.logic_nodes),
+        "edges": len(dfs.edges),
+        "inputs": dfs.input_registers(),
+        "outputs": dfs.output_registers(),
+        "depth": dataflow_depth(dfs),
+        "chains": len(chains),
+        "initial_tokens": sum(1 for _, marked in dfs.initial_marking().items() if marked),
+    }

@@ -1,0 +1,71 @@
+"""The SDFS model: a DFS restricted to logic and plain register nodes."""
+
+from repro.exceptions import ModelError
+from repro.dfs.model import DataflowStructure
+from repro.dfs.nodes import NodeType
+
+
+class StaticDataflowStructure(DataflowStructure):
+    """A dataflow structure that only allows static (SDFS) node types.
+
+    Attempts to add control, push or pop registers raise
+    :class:`~repro.exceptions.ModelError`.  Everything else (simulation,
+    translation to Petri nets, verification, performance analysis) is
+    inherited unchanged from :class:`~repro.dfs.model.DataflowStructure`,
+    reflecting the fact that SDFS is the static fragment of DFS.
+    """
+
+    def add_control(self, name, marked=False, value=True, delay=None, annotation=None):
+        raise ModelError(
+            "SDFS does not support control registers (attempted to add {!r}); "
+            "use the DFS model for reconfigurable pipelines".format(name)
+        )
+
+    def add_push(self, name, marked=False, value=True, delay=None, annotation=None):
+        raise ModelError(
+            "SDFS does not support push registers (attempted to add {!r}); "
+            "use the DFS model for reconfigurable pipelines".format(name)
+        )
+
+    def add_pop(self, name, marked=False, value=True, delay=None, annotation=None):
+        raise ModelError(
+            "SDFS does not support pop registers (attempted to add {!r}); "
+            "use the DFS model for reconfigurable pipelines".format(name)
+        )
+
+    def add_node(self, node):
+        if node.node_type.is_dynamic:
+            raise ModelError(
+                "SDFS does not support {} registers (attempted to add {!r})".format(
+                    node.node_type.value, node.name
+                )
+            )
+        return super().add_node(node)
+
+
+def is_static(dfs):
+    """Return ``True`` when *dfs* uses only static (SDFS) node types."""
+    return not any(dfs.node(name).is_dynamic for name in dfs.nodes)
+
+
+def strip_dynamic(dfs, name=None):
+    """Return a static copy of *dfs* with dynamic registers demoted to plain ones.
+
+    This is a *structural* conversion used to compare a reconfigurable design
+    against its "always-on" static equivalent: every control, push and pop
+    register becomes a plain register with the same initial marking.  The
+    behaviour of the two models differs by design -- that difference is the
+    point of the paper's motivating example.
+    """
+    static = StaticDataflowStructure(name or "{}_static".format(dfs.name))
+    for node_name in sorted(dfs.nodes):
+        node = dfs.node(node_name)
+        if node.node_type is NodeType.LOGIC:
+            static.add_logic(node.name, delay=node.delay, function=node.function,
+                             annotation=dict(node.annotation))
+        else:
+            static.add_register(node.name, marked=node.marked, delay=node.delay,
+                                annotation=dict(node.annotation))
+    for source, target in sorted(dfs.edges):
+        static.connect(source, target)
+    return static

@@ -1,0 +1,201 @@
+"""Analytic timing/energy model of a pipelined asynchronous accelerator.
+
+The evaluation chip processes a stream of data items through an N-stage
+asynchronous pipeline.  Its per-item cycle time and per-item energy are
+modelled as::
+
+    cycle_time(N) = t_data + t_ctrl + sync_depth(N) * t_c          [ns]
+    energy(N)     = e_base + N * (e_stage + e_ctrl_stage)          [pJ]
+
+where ``sync_depth`` is the depth of the C-element structure joining the
+per-stage acknowledgements -- ``N - 1`` for the daisy chain used by the
+fabricated reconfigurable pipeline and ``ceil(log2 N)`` for the tree used by
+the static pipeline -- and the ``*_ctrl*`` terms are only present for the
+reconfigurable implementation (the extra configuration logic).  Both terms
+scale with the supply voltage through a :class:`~repro.silicon.voltage.VoltageModel`.
+
+The default constants are calibrated so that the static 18-stage pipeline at
+the nominal 1.2 V processes 16 M items in 1.22 s consuming 2.74 mJ (the
+reference measurements of Fig. 9a), and so that the fabricated daisy-chain
+reconfigurable pipeline shows about a 36 % computation-time overhead and a
+5 % energy overhead at the same depth, improving to below 10 % with the
+tree-style synchronisation the paper proposes as future work.
+"""
+
+import math
+from enum import Enum
+
+from repro.exceptions import ConfigurationError
+from repro.silicon.voltage import VoltageModel
+
+
+class SyncStructure(Enum):
+    """How per-stage acknowledgements are merged."""
+
+    DAISY_CHAIN = "daisy_chain"
+    TREE = "tree"
+
+    def depth(self, stages):
+        """Depth of the merging structure in 2-input C-elements."""
+        if stages <= 1:
+            return 0
+        if self is SyncStructure.DAISY_CHAIN:
+            return stages - 1
+        return int(math.ceil(math.log2(stages)))
+
+
+class PipelineSiliconModel:
+    """Per-item timing and energy of an N-stage asynchronous pipeline.
+
+    Parameters
+    ----------
+    stages:
+        Number of active pipeline stages (the OPE window size).
+    reconfigurable:
+        Whether the pipeline carries the reconfiguration control logic.
+    sync_structure:
+        Acknowledgement-merging structure (daisy chain or tree).
+    voltage_model:
+        The supply-voltage scaling model.
+    calibration:
+        Optional overrides of the timing/energy constants (a dict with any of
+        ``t_data_ns``, ``t_ctrl_ns``, ``t_c_ns``, ``e_base_pj``,
+        ``e_stage_pj``, ``e_ctrl_stage_pj``, ``leakage_nom_w``).
+    """
+
+    #: Calibration constants (nominal voltage).  ``t_data_ns`` and ``t_c_ns``
+    #: reproduce the 76.25 ns/item cycle of the static 18-stage pipeline
+    #: (1.22 s / 16 M items); the energy constants reproduce 171 pJ/item
+    #: (2.74 mJ / 16 M items).
+    DEFAULTS = {
+        "t_data_ns": 67.21,        # datapath + register cycle, depth-independent
+        "t_ctrl_ns": 5.75,         # extra control logic of the reconfigurable pipeline
+        "t_c_ns": 1.808,           # one 2-input C-element link in the ack structure
+        "e_base_pj": 15.0,         # LFSR, accumulator, I/O per item
+        "e_stage_pj": 8.667,       # one pipeline stage per item
+        "e_ctrl_stage_pj": 0.475,  # configuration logic of one reconfigurable stage
+        "leakage_nom_w": 2.0e-6,   # whole-chip leakage power at 1.2 V
+    }
+
+    def __init__(self, stages, reconfigurable=False,
+                 sync_structure=SyncStructure.TREE, voltage_model=None,
+                 calibration=None):
+        if stages < 1:
+            raise ConfigurationError("a pipeline needs at least one stage")
+        self.stages = int(stages)
+        self.reconfigurable = bool(reconfigurable)
+        self.sync_structure = sync_structure
+        self.voltage_model = voltage_model or VoltageModel()
+        constants = dict(self.DEFAULTS)
+        if calibration:
+            unknown = set(calibration) - set(constants)
+            if unknown:
+                raise ConfigurationError(
+                    "unknown calibration constant(s): {}".format(", ".join(sorted(unknown))))
+            constants.update(calibration)
+        self.constants = constants
+
+    # -- factory helpers matching the fabricated chip ------------------------------
+
+    @classmethod
+    def static_ope(cls, stages=18, voltage_model=None, calibration=None):
+        """The static OPE pipeline (tree synchronisation, no control logic)."""
+        return cls(stages, reconfigurable=False, sync_structure=SyncStructure.TREE,
+                   voltage_model=voltage_model, calibration=calibration)
+
+    @classmethod
+    def reconfigurable_ope(cls, stages=18, voltage_model=None, calibration=None,
+                           sync_structure=SyncStructure.DAISY_CHAIN):
+        """The reconfigurable OPE pipeline as fabricated (daisy-chain sync)."""
+        return cls(stages, reconfigurable=True, sync_structure=sync_structure,
+                   voltage_model=voltage_model, calibration=calibration)
+
+    # -- nominal-voltage figures ---------------------------------------------------
+
+    def cycle_time_ns(self, voltage=None):
+        """Per-item cycle time in nanoseconds at the given supply voltage."""
+        constants = self.constants
+        nominal = constants["t_data_ns"]
+        if self.reconfigurable:
+            nominal += constants["t_ctrl_ns"]
+        nominal += self.sync_structure.depth(self.stages) * constants["t_c_ns"]
+        if voltage is None:
+            return nominal
+        scale = self.voltage_model.delay_scale(voltage)
+        return nominal * scale
+
+    def energy_per_item_pj(self, voltage=None, include_leakage=False):
+        """Per-item switching energy in picojoules (optionally plus leakage)."""
+        constants = self.constants
+        nominal = constants["e_base_pj"] + self.stages * constants["e_stage_pj"]
+        if self.reconfigurable:
+            nominal += self.stages * constants["e_ctrl_stage_pj"]
+        if voltage is None:
+            energy = nominal
+        else:
+            energy = nominal * self.voltage_model.energy_scale(voltage)
+        if include_leakage and voltage is not None:
+            leakage_power = self.leakage_power_w(voltage)
+            cycle_s = self.cycle_time_ns(voltage) * 1e-9
+            if cycle_s != float("inf"):
+                energy += leakage_power * cycle_s * 1e12
+        return energy
+
+    def leakage_power_w(self, voltage):
+        """Whole-chip leakage power in watts at the given supply voltage."""
+        return self.constants["leakage_nom_w"] * self.voltage_model.leakage_scale(voltage)
+
+    # -- whole-run figures -------------------------------------------------------------
+
+    def computation_time_s(self, items, voltage):
+        """Time to process *items* data items at a constant supply voltage."""
+        if items < 0:
+            raise ConfigurationError("the number of items cannot be negative")
+        cycle_ns = self.cycle_time_ns(voltage)
+        if cycle_ns == float("inf"):
+            return float("inf")
+        return items * cycle_ns * 1e-9
+
+    def consumed_energy_j(self, items, voltage):
+        """Energy to process *items* data items at a constant supply voltage.
+
+        Includes the leakage integrated over the computation time.
+        """
+        time_s = self.computation_time_s(items, voltage)
+        if time_s == float("inf"):
+            return float("inf")
+        switching = items * self.energy_per_item_pj(voltage) * 1e-12
+        leakage = self.leakage_power_w(voltage) * time_s
+        return switching + leakage
+
+    def average_power_w(self, voltage):
+        """Average power while continuously processing items at *voltage*."""
+        cycle_s = self.cycle_time_ns(voltage) * 1e-9
+        if cycle_s == float("inf"):
+            return self.leakage_power_w(voltage)
+        switching = self.energy_per_item_pj(voltage) * 1e-12 / cycle_s
+        return switching + self.leakage_power_w(voltage)
+
+    def item_rate(self, voltage):
+        """Items processed per second at a constant supply voltage."""
+        cycle_s = self.cycle_time_ns(voltage) * 1e-9
+        if cycle_s == float("inf"):
+            return 0.0
+        return 1.0 / cycle_s
+
+    def describe(self):
+        """Return the model parameters as a dictionary (for reports)."""
+        return {
+            "stages": self.stages,
+            "reconfigurable": self.reconfigurable,
+            "sync_structure": self.sync_structure.value,
+            "sync_depth": self.sync_structure.depth(self.stages),
+            "cycle_time_ns_nominal": self.cycle_time_ns(),
+            "energy_per_item_pj_nominal": self.energy_per_item_pj(),
+            "constants": dict(self.constants),
+        }
+
+    def __repr__(self):
+        return ("PipelineSiliconModel(stages={}, reconfigurable={}, sync={}, "
+                "cycle={:.4g}ns)").format(self.stages, self.reconfigurable,
+                                          self.sync_structure.value, self.cycle_time_ns())

@@ -1,0 +1,76 @@
+"""Energy accounting: switching versus leakage contributions."""
+
+
+class EnergyBreakdown:
+    """An immutable switching/leakage energy pair (in joules)."""
+
+    __slots__ = ("switching", "leakage")
+
+    def __init__(self, switching=0.0, leakage=0.0):
+        self.switching = float(switching)
+        self.leakage = float(leakage)
+
+    @property
+    def total(self):
+        return self.switching + self.leakage
+
+    def __add__(self, other):
+        return EnergyBreakdown(self.switching + other.switching,
+                               self.leakage + other.leakage)
+
+    def scaled(self, factor):
+        return EnergyBreakdown(self.switching * factor, self.leakage * factor)
+
+    def __repr__(self):
+        return "EnergyBreakdown(switching={:.4g}J, leakage={:.4g}J)".format(
+            self.switching, self.leakage)
+
+
+class EnergyAccount:
+    """A mutable accumulator of energy contributions."""
+
+    def __init__(self):
+        self._switching = 0.0
+        self._leakage = 0.0
+        self._entries = []
+
+    def add_switching(self, joules, label=None):
+        """Add switching (dynamic) energy."""
+        self._switching += float(joules)
+        self._entries.append(("switching", label, float(joules)))
+
+    def add_leakage(self, joules, label=None):
+        """Add leakage (static) energy."""
+        self._leakage += float(joules)
+        self._entries.append(("leakage", label, float(joules)))
+
+    def add_leakage_power(self, watts, seconds, label=None):
+        """Integrate a leakage power over a duration."""
+        self.add_leakage(float(watts) * float(seconds), label=label)
+
+    @property
+    def switching(self):
+        return self._switching
+
+    @property
+    def leakage(self):
+        return self._leakage
+
+    @property
+    def total(self):
+        return self._switching + self._leakage
+
+    def breakdown(self):
+        """Return the current totals as an :class:`EnergyBreakdown`."""
+        return EnergyBreakdown(self._switching, self._leakage)
+
+    def by_label(self):
+        """Return ``{label: total energy}`` over all recorded entries."""
+        totals = {}
+        for _, label, joules in self._entries:
+            totals[label] = totals.get(label, 0.0) + joules
+        return totals
+
+    def __repr__(self):
+        return "EnergyAccount(total={:.4g}J, switching={:.4g}J, leakage={:.4g}J)".format(
+            self.total, self._switching, self._leakage)

@@ -1,0 +1,102 @@
+"""Supply-voltage waveforms for the unstable-supply experiments.
+
+Fig. 9b of the paper shows the chip running a single computation while the
+supply is gradually lowered from 0.5 V to 0.34 V (where operation freezes)
+and then raised back (operation resumes and completes correctly).  The
+:class:`SupplyWaveform` class describes such experiments as a piecewise-linear
+voltage-versus-time profile.
+"""
+
+from repro.exceptions import MeasurementError
+
+
+class SupplyWaveform:
+    """A piecewise-linear supply-voltage profile.
+
+    The waveform is defined by ``(time, voltage)`` breakpoints; the voltage is
+    linearly interpolated between breakpoints and held constant after the last
+    one.
+    """
+
+    def __init__(self, points):
+        points = [(float(t), float(v)) for t, v in points]
+        if not points:
+            raise MeasurementError("a supply waveform needs at least one point")
+        times = [t for t, _ in points]
+        if times != sorted(times):
+            raise MeasurementError("supply waveform breakpoints must be time-ordered")
+        if times[0] != 0.0:
+            points.insert(0, (0.0, points[0][1]))
+        self.points = points
+
+    def voltage_at(self, time):
+        """Supply voltage at a given time (seconds)."""
+        time = float(time)
+        if time <= self.points[0][0]:
+            return self.points[0][1]
+        for (t0, v0), (t1, v1) in zip(self.points, self.points[1:]):
+            if t0 <= time <= t1:
+                if t1 == t0:
+                    return v1
+                fraction = (time - t0) / (t1 - t0)
+                return v0 + fraction * (v1 - v0)
+        return self.points[-1][1]
+
+    @property
+    def duration(self):
+        """Time of the last breakpoint."""
+        return self.points[-1][0]
+
+    def sample(self, step):
+        """Sample the waveform every *step* seconds up to its duration."""
+        if step <= 0:
+            raise MeasurementError("the sampling step must be positive")
+        samples = []
+        time = 0.0
+        while time <= self.duration + 1e-12:
+            samples.append((time, self.voltage_at(time)))
+            time += step
+        return samples
+
+    def __repr__(self):
+        return "SupplyWaveform({} points, duration={:.4g}s)".format(
+            len(self.points), self.duration)
+
+
+def constant_supply(voltage, duration=float("inf")):
+    """A constant supply voltage."""
+    if duration == float("inf"):
+        return SupplyWaveform([(0.0, voltage)])
+    return SupplyWaveform([(0.0, voltage), (duration, voltage)])
+
+
+def step_supply(steps):
+    """A staircase profile from ``(start_time, voltage)`` steps."""
+    points = []
+    previous_voltage = None
+    for start_time, voltage in steps:
+        if previous_voltage is not None:
+            points.append((start_time, previous_voltage))
+        points.append((start_time, voltage))
+        previous_voltage = voltage
+    return SupplyWaveform(points)
+
+
+def ramp_supply(start_voltage, end_voltage, duration, start_time=0.0):
+    """A linear ramp between two voltages."""
+    return SupplyWaveform([
+        (start_time, start_voltage),
+        (start_time + duration, end_voltage),
+    ])
+
+
+def dip_and_recover(high_voltage=0.5, low_voltage=0.34, start_time=2.0,
+                    fall_duration=4.0, hold_duration=4.0, rise_duration=2.0):
+    """The Fig. 9b profile: ramp down to near-threshold, hold, ramp back up."""
+    return SupplyWaveform([
+        (0.0, high_voltage),
+        (start_time, high_voltage),
+        (start_time + fall_duration, low_voltage),
+        (start_time + fall_duration + hold_duration, low_voltage),
+        (start_time + fall_duration + hold_duration + rise_duration, high_voltage),
+    ])

@@ -1,0 +1,178 @@
+"""The measurement harness: time, energy, power traces and voltage sweeps.
+
+This stands in for the paper's lab setup (Xilinx Virtex-7 test board driving
+the packaged chip, Keithley 2612B source meter monitoring the power): it runs
+a :class:`~repro.silicon.chip.PipelineSiliconModel` over a workload, either at
+a constant supply voltage or following a :class:`~repro.silicon.environment.SupplyWaveform`,
+and records what the instruments would have measured.
+"""
+
+from repro.exceptions import MeasurementError
+from repro.silicon.energy import EnergyAccount
+from repro.silicon.environment import SupplyWaveform, constant_supply
+
+
+class PowerTrace:
+    """A sampled power-versus-time trace (what the source meter records)."""
+
+    def __init__(self, samples=None):
+        # Each sample is (time_s, voltage_v, power_w, items_done).
+        self.samples = list(samples or [])
+
+    def append(self, time_s, voltage_v, power_w, items_done):
+        self.samples.append((float(time_s), float(voltage_v), float(power_w), int(items_done)))
+
+    @property
+    def times(self):
+        return [s[0] for s in self.samples]
+
+    @property
+    def voltages(self):
+        return [s[1] for s in self.samples]
+
+    @property
+    def powers(self):
+        return [s[2] for s in self.samples]
+
+    @property
+    def items(self):
+        return [s[3] for s in self.samples]
+
+    def peak_power(self):
+        return max(self.powers) if self.samples else 0.0
+
+    def rows(self):
+        """Return the trace as a list of dictionaries (for table rendering)."""
+        return [
+            {"time_s": t, "voltage_v": v, "power_uw": p * 1e6, "items_done": n}
+            for t, v, p, n in self.samples
+        ]
+
+    def __repr__(self):
+        return "PowerTrace(samples={}, peak={:.4g}W)".format(
+            len(self.samples), self.peak_power())
+
+
+class Measurement:
+    """Result of one measured run."""
+
+    def __init__(self, items, computation_time_s, energy, trace=None, completed=True,
+                 checksum=None):
+        self.items = int(items)
+        self.computation_time_s = float(computation_time_s)
+        self.energy = energy  # EnergyBreakdown
+        self.trace = trace
+        self.completed = completed
+        self.checksum = checksum
+
+    @property
+    def consumed_energy_j(self):
+        return self.energy.total
+
+    @property
+    def average_power_w(self):
+        if self.computation_time_s <= 0:
+            return 0.0
+        return self.consumed_energy_j / self.computation_time_s
+
+    def normalised_to(self, reference):
+        """Return ``(time ratio, energy ratio)`` against a reference measurement."""
+        return (self.computation_time_s / reference.computation_time_s,
+                self.consumed_energy_j / reference.consumed_energy_j)
+
+    def __repr__(self):
+        return "Measurement(items={}, time={:.4g}s, energy={:.4g}J, completed={})".format(
+            self.items, self.computation_time_s, self.consumed_energy_j, self.completed)
+
+
+class MeasurementHarness:
+    """Runs a silicon model over workloads and voltage conditions."""
+
+    def __init__(self, model):
+        self.model = model
+
+    # -- constant-voltage runs ----------------------------------------------------
+
+    def run(self, items, voltage):
+        """Run *items* data items at a constant supply voltage."""
+        if not self.model.voltage_model.is_operational(voltage):
+            raise MeasurementError(
+                "the circuit does not operate at {:.3g} V (freeze voltage is {:.3g} V)".format(
+                    voltage, self.model.voltage_model.freeze_voltage))
+        account = EnergyAccount()
+        time_s = self.model.computation_time_s(items, voltage)
+        account.add_switching(items * self.model.energy_per_item_pj(voltage) * 1e-12,
+                              label="datapath")
+        account.add_leakage_power(self.model.leakage_power_w(voltage), time_s,
+                                  label="leakage")
+        return Measurement(items, time_s, account.breakdown())
+
+    def voltage_sweep(self, items, voltages):
+        """Run the same workload at several supply voltages."""
+        results = {}
+        for voltage in voltages:
+            results[float(voltage)] = self.run(items, voltage)
+        return results
+
+    # -- waveform-driven runs -------------------------------------------------------
+
+    def run_with_waveform(self, items, waveform, time_step=0.1, max_time=None,
+                          sample_trace=True):
+        """Run a workload while the supply follows a waveform (Fig. 9b experiment).
+
+        The run is integrated in *time_step* increments: in each step the
+        current voltage determines the item rate (zero when frozen) and the
+        power drawn.  The run ends when all items are processed or *max_time*
+        elapses; ``completed`` records which happened.
+        """
+        if isinstance(waveform, (int, float)):
+            waveform = constant_supply(float(waveform))
+        if not isinstance(waveform, SupplyWaveform):
+            raise MeasurementError("expected a SupplyWaveform or a constant voltage")
+        if time_step <= 0:
+            raise MeasurementError("the integration time step must be positive")
+        limit = max_time if max_time is not None else max(waveform.duration * 4.0, 1.0)
+
+        account = EnergyAccount()
+        trace = PowerTrace() if sample_trace else None
+        time_s = 0.0
+        done = 0.0
+        while done < items and time_s < limit:
+            voltage = waveform.voltage_at(time_s)
+            operational = self.model.voltage_model.is_operational(voltage)
+            leakage_power = self.model.leakage_power_w(voltage)
+            if operational:
+                rate = self.model.item_rate(voltage)
+                processed = min(rate * time_step, items - done)
+                switching = processed * self.model.energy_per_item_pj(voltage) * 1e-12
+            else:
+                processed = 0.0
+                switching = 0.0
+            account.add_switching(switching, label="datapath")
+            account.add_leakage_power(leakage_power, time_step, label="leakage")
+            if trace is not None:
+                power = switching / time_step + leakage_power
+                trace.append(time_s, voltage, power, int(done))
+            done += processed
+            time_s += time_step
+        completed = done >= items
+        return Measurement(items, time_s, account.breakdown(), trace=trace,
+                           completed=completed)
+
+    # -- reporting ---------------------------------------------------------------------
+
+    @staticmethod
+    def normalise_sweep(sweep, reference):
+        """Normalise a voltage sweep to a reference measurement (Fig. 9a style)."""
+        rows = []
+        for voltage in sorted(sweep):
+            measurement = sweep[voltage]
+            time_ratio, energy_ratio = measurement.normalised_to(reference)
+            rows.append({
+                "voltage": voltage,
+                "time_s": measurement.computation_time_s,
+                "energy_j": measurement.consumed_energy_j,
+                "normalised_time": time_ratio,
+                "normalised_energy": energy_ratio,
+            })
+        return rows

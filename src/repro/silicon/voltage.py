@@ -1,0 +1,106 @@
+"""Voltage-dependent delay, switching-energy and leakage scaling.
+
+The delay of a CMOS gate follows the alpha-power law::
+
+    delay(V)  proportional to  V / (V - Vth) ** alpha
+
+so delays explode as the supply approaches the threshold voltage -- which is
+exactly the behaviour the chip exhibits: below about 0.34 V its operation
+freezes (no progress, only leakage) and it resumes when the supply recovers
+(Fig. 9b).  Switching energy scales as ``V**2``; leakage power is modelled as
+a power law of the supply.  All scale factors are relative to the nominal
+supply of the process (1.2 V for the 90 nm low-power process used here), so a
+scale of 1.0 means "as characterised in the component library".
+"""
+
+from repro.exceptions import MeasurementError
+
+
+class VoltageModel:
+    """Relative delay / energy / leakage scaling versus supply voltage."""
+
+    def __init__(self, nominal_voltage=1.2, threshold_voltage=0.33, alpha=2.4,
+                 freeze_voltage=0.34, leakage_exponent=3.0,
+                 min_voltage=0.0, max_voltage=2.0):
+        if threshold_voltage >= nominal_voltage:
+            raise MeasurementError("threshold voltage must be below the nominal voltage")
+        if freeze_voltage <= threshold_voltage:
+            raise MeasurementError("freeze voltage must be above the threshold voltage")
+        self.nominal_voltage = float(nominal_voltage)
+        self.threshold_voltage = float(threshold_voltage)
+        self.alpha = float(alpha)
+        self.freeze_voltage = float(freeze_voltage)
+        self.leakage_exponent = float(leakage_exponent)
+        self.min_voltage = float(min_voltage)
+        self.max_voltage = float(max_voltage)
+        self._nominal_drive = self._raw_delay(self.nominal_voltage)
+
+    def _check(self, voltage):
+        if not (self.min_voltage <= voltage <= self.max_voltage):
+            raise MeasurementError(
+                "supply voltage {:.3g} V is outside the modelled range "
+                "[{:.3g}, {:.3g}] V".format(voltage, self.min_voltage, self.max_voltage))
+        return float(voltage)
+
+    def _raw_delay(self, voltage):
+        overdrive = voltage - self.threshold_voltage
+        return voltage / (overdrive ** self.alpha)
+
+    # -- scaling factors -----------------------------------------------------------
+
+    def is_operational(self, voltage):
+        """True when the circuit makes forward progress at this supply voltage.
+
+        At (or below) the freeze voltage the chip stops making progress, as
+        observed on silicon at 0.34 V; it resumes when the supply recovers.
+        """
+        voltage = self._check(voltage)
+        return voltage > self.freeze_voltage
+
+    def delay_scale(self, voltage):
+        """Delay multiplier relative to the nominal voltage (``inf`` when frozen)."""
+        voltage = self._check(voltage)
+        if not self.is_operational(voltage):
+            return float("inf")
+        return self._raw_delay(voltage) / self._nominal_drive
+
+    def speed_scale(self, voltage):
+        """Progress rate multiplier: the inverse of :meth:`delay_scale` (0 when frozen)."""
+        scale = self.delay_scale(voltage)
+        if scale == float("inf"):
+            return 0.0
+        return 1.0 / scale
+
+    def energy_scale(self, voltage):
+        """Switching-energy multiplier (``(V / Vnom) ** 2``)."""
+        voltage = self._check(voltage)
+        return (voltage / self.nominal_voltage) ** 2
+
+    def leakage_scale(self, voltage):
+        """Leakage-power multiplier (power law of the supply)."""
+        voltage = self._check(voltage)
+        return (voltage / self.nominal_voltage) ** self.leakage_exponent
+
+    # -- convenience ------------------------------------------------------------------
+
+    def scales(self, voltage):
+        """Return the ``(delay, energy, leakage)`` scale triple for a voltage."""
+        return (self.delay_scale(voltage), self.energy_scale(voltage),
+                self.leakage_scale(voltage))
+
+    def sweep(self, voltages):
+        """Return a list of per-voltage scale dictionaries."""
+        rows = []
+        for voltage in voltages:
+            rows.append({
+                "voltage": float(voltage),
+                "operational": self.is_operational(voltage),
+                "delay_scale": self.delay_scale(voltage),
+                "energy_scale": self.energy_scale(voltage),
+                "leakage_scale": self.leakage_scale(voltage),
+            })
+        return rows
+
+    def __repr__(self):
+        return ("VoltageModel(Vnom={}V, Vth={}V, alpha={}, freeze={}V)").format(
+            self.nominal_voltage, self.threshold_voltage, self.alpha, self.freeze_voltage)

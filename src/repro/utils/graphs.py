@@ -1,0 +1,70 @@
+"""Thin graph-algorithm layer shared by the DFS and Petri-net packages.
+
+The heavy lifting is delegated to :mod:`networkx`; this module provides a
+stable interface over the handful of algorithms the library needs (simple
+cycle enumeration for performance analysis, SCCs and reachability for
+structural validation) so that the rest of the code never imports networkx
+directly.
+"""
+
+import networkx as nx
+
+
+def _as_digraph(edges, nodes=None):
+    graph = nx.DiGraph()
+    if nodes is not None:
+        graph.add_nodes_from(nodes)
+    graph.add_edges_from(edges)
+    return graph
+
+
+def enumerate_simple_cycles(edges, nodes=None, limit=None):
+    """Enumerate simple (elementary) cycles of a directed graph.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(src, dst)`` pairs.
+    nodes:
+        Optional iterable of nodes (to include isolated nodes).
+    limit:
+        Optional maximum number of cycles to return; ``None`` means all.
+
+    Returns
+    -------
+    list of lists -- each inner list is the sequence of nodes along one cycle.
+    """
+    graph = _as_digraph(edges, nodes)
+    cycles = []
+    for cycle in nx.simple_cycles(graph):
+        cycles.append(list(cycle))
+        if limit is not None and len(cycles) >= limit:
+            break
+    return cycles
+
+
+def strongly_connected_components(edges, nodes=None):
+    """Return the list of SCCs (each a ``set`` of nodes) of a directed graph."""
+    graph = _as_digraph(edges, nodes)
+    return [set(component) for component in nx.strongly_connected_components(graph)]
+
+
+def reachable_from(edges, sources, nodes=None):
+    """Return the set of nodes reachable from any node in *sources*."""
+    graph = _as_digraph(edges, nodes)
+    reached = set()
+    for source in sources:
+        if source not in graph:
+            continue
+        reached.add(source)
+        reached.update(nx.descendants(graph, source))
+    return reached
+
+
+def topological_order(edges, nodes=None):
+    """Return a topological ordering, or ``None`` if the graph has a cycle."""
+    graph = _as_digraph(edges, nodes)
+    try:
+        return list(nx.topological_sort(graph))
+    except nx.NetworkXUnfeasible:
+        return None

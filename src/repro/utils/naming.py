@@ -1,0 +1,80 @@
+"""Helpers for node, place and signal names.
+
+All model elements in the library are addressed by string names (mirroring the
+way Workcraft models reference components).  Names must be valid identifiers
+extended with dots and square brackets so that hierarchical names such as
+``s3.local_in`` or ``stage[4].f`` can be used directly.
+"""
+
+import re
+
+_NAME_RE = re.compile(
+    r"^[A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*|\[[0-9]+\])*[+-]?$"
+)
+
+
+def is_valid_name(name):
+    """Return ``True`` when *name* is a well-formed element name.
+
+    A trailing ``+`` or ``-`` is allowed so that Petri-net transition names in
+    the paper's style (``Mt_ctrl+``, ``C_f-``) are valid element names.
+
+    >>> is_valid_name("local_in")
+    True
+    >>> is_valid_name("s3.local_in")
+    True
+    >>> is_valid_name("stage[4]")
+    True
+    >>> is_valid_name("Mt_ctrl+")
+    True
+    >>> is_valid_name("3bad")
+    False
+    """
+    return isinstance(name, str) and bool(_NAME_RE.match(name))
+
+
+def make_unique(base, taken):
+    """Return *base* if unused, otherwise ``base_1``, ``base_2``, ...
+
+    ``taken`` is any container supporting ``in``.
+    """
+    if base not in taken:
+        return base
+    index = 1
+    while True:
+        candidate = "{}_{}".format(base, index)
+        if candidate not in taken:
+            return candidate
+        index += 1
+
+
+class NameRegistry:
+    """Keeps track of names already used in a model and produces fresh ones."""
+
+    def __init__(self):
+        self._taken = set()
+
+    def __contains__(self, name):
+        return name in self._taken
+
+    def __len__(self):
+        return len(self._taken)
+
+    def register(self, name):
+        """Register *name*, raising ``ValueError`` on duplicates or bad names."""
+        if not is_valid_name(name):
+            raise ValueError("invalid element name: {!r}".format(name))
+        if name in self._taken:
+            raise ValueError("duplicate element name: {!r}".format(name))
+        self._taken.add(name)
+        return name
+
+    def fresh(self, base):
+        """Register and return a fresh name derived from *base*."""
+        name = make_unique(base, self._taken)
+        self._taken.add(name)
+        return name
+
+    def release(self, name):
+        """Remove *name* from the registry (used when deleting elements)."""
+        self._taken.discard(name)

@@ -1,0 +1,54 @@
+"""JSON helpers used by the model serializers.
+
+All on-disk model formats in this library are JSON documents with a
+``"format"`` and ``"version"`` header so that files are self-describing, in
+the spirit of Workcraft ``.work`` files.
+"""
+
+import json
+import os
+
+from repro.exceptions import SerializationError
+
+
+def dump_json(document, path=None, indent=2):
+    """Serialize *document* to JSON.
+
+    When *path* is given the document is written to that file (creating parent
+    directories as needed) and the path is returned; otherwise the JSON text
+    is returned.
+    """
+    text = json.dumps(document, indent=indent, sort_keys=False)
+    if path is None:
+        return text
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory and not os.path.isdir(directory):
+        os.makedirs(directory)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+def load_json(source):
+    """Load a JSON document from a file path or a JSON string.
+
+    Raises :class:`~repro.exceptions.SerializationError` on malformed input.
+    """
+    text = source
+    if isinstance(source, str) and os.path.exists(source):
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    try:
+        return json.loads(text)
+    except (TypeError, ValueError) as error:
+        raise SerializationError("malformed JSON document: {}".format(error))
+
+
+def expect_format(document, expected_format):
+    """Check the ``format`` header of a loaded document."""
+    actual = document.get("format") if isinstance(document, dict) else None
+    if actual != expected_format:
+        raise SerializationError(
+            "expected a {!r} document, found {!r}".format(expected_format, actual)
+        )
+    return document

@@ -1,0 +1,23 @@
+"""Verification of DFS models through their Petri-net semantics.
+
+The paper's flow translates a DFS model into a Petri net and checks it with
+MPSAT for standard properties (deadlock) and custom Reach properties (such
+as control-token mismatch and hazards).  The :class:`Verifier` here does the
+same with the in-package explicit-state engine and reports counterexamples
+both as Petri-net traces and as DFS-level state summaries.
+"""
+
+from repro.verification.results import VerificationResult, VerificationSummary
+from repro.verification.verifier import Verifier
+from repro.verification.properties import (
+    control_mismatch_expression,
+    variable_consistency_pairs,
+)
+
+__all__ = [
+    "VerificationResult",
+    "VerificationSummary",
+    "Verifier",
+    "control_mismatch_expression",
+    "variable_consistency_pairs",
+]

@@ -1,0 +1,159 @@
+"""The high-level verification driver for DFS models."""
+
+from repro.dfs.translation import marking_to_dfs_state, to_petri_net
+from repro.petri.properties import (
+    check_boundedness,
+    check_deadlock,
+    check_mutual_exclusion,
+    check_persistence,
+)
+from repro.petri.reachability import explore
+from repro.reach.evaluator import find_witnesses
+from repro.verification.properties import control_mismatch_expression
+from repro.verification.results import VerificationResult, VerificationSummary
+
+
+class Verifier:
+    """Verifies a DFS model through its Petri-net translation.
+
+    The translation and the reachability graph are built lazily and cached,
+    so several properties can be checked against the same state space.
+    """
+
+    def __init__(self, dfs, max_states=200000):
+        self.dfs = dfs
+        self.max_states = max_states
+        self._net = None
+        self._graph = None
+
+    # -- lazy construction ------------------------------------------------------
+
+    @property
+    def net(self):
+        """The Petri-net translation of the model."""
+        if self._net is None:
+            self._net = to_petri_net(self.dfs)
+        return self._net
+
+    @property
+    def graph(self):
+        """The reachability graph of the translation."""
+        if self._graph is None:
+            self._graph = explore(self.net, max_states=self.max_states)
+        return self._graph
+
+    @property
+    def state_count(self):
+        return len(self.graph)
+
+    def _decorate(self, witnesses):
+        """Attach a DFS-level state summary to Petri-net witnesses."""
+        decorated = []
+        for witness in witnesses:
+            entry = dict(witness)
+            entry["dfs_state"] = marking_to_dfs_state(self.dfs, witness["marking"])
+            decorated.append(entry)
+        return decorated
+
+    # -- individual properties ----------------------------------------------------
+
+    def verify_deadlock_freedom(self, max_witnesses=5):
+        """No reachable state of the model is completely stuck."""
+        report = check_deadlock(self.graph, max_witnesses=max_witnesses)
+        return VerificationResult(
+            "deadlock freedom", report.holds,
+            witnesses=self._decorate(report.witnesses), details=report.details,
+        )
+
+    def verify_control_mismatch(self, max_witnesses=5):
+        """No node ever observes both True and False control tokens."""
+        expression = control_mismatch_expression(self.dfs)
+        if expression is None:
+            return VerificationResult(
+                "control-token mismatch", True,
+                details="no node is guarded by two or more control registers",
+            )
+        witnesses = find_witnesses(expression, self.graph, max_witnesses=max_witnesses)
+        holds = not witnesses
+        if holds and self.graph.truncated:
+            holds = None
+        details = ("no reachable mismatch" if holds
+                   else "{} reachable mismatch state(s)".format(len(witnesses))
+                   if holds is False else "inconclusive (truncated state space)")
+        return VerificationResult(
+            "control-token mismatch", holds,
+            witnesses=self._decorate(witnesses), details=details,
+        )
+
+    def verify_persistence(self, max_witnesses=5):
+        """No event is disabled by another one (hazard-freedom), choices excepted."""
+        report = check_persistence(self.graph, max_witnesses=max_witnesses)
+        witnesses = []
+        for witness in report.witnesses:
+            entry = dict(witness)
+            entry["dfs_state"] = marking_to_dfs_state(self.dfs, witness["marking"])
+            witnesses.append(entry)
+        return VerificationResult(
+            "persistence", report.holds, witnesses=witnesses, details=report.details,
+        )
+
+    def verify_safeness(self, max_witnesses=5):
+        """The translated net is 1-safe (a sanity check on the translation)."""
+        report = check_boundedness(self.graph, bound=1, max_witnesses=max_witnesses)
+        return VerificationResult(
+            "1-safeness", report.holds, witnesses=report.witnesses, details=report.details,
+        )
+
+    def verify_value_mutual_exclusion(self, max_witnesses=5):
+        """A dynamic register never holds a True and a False token at once."""
+        violations = []
+        for name in sorted(self.dfs.nodes):
+            node = self.dfs.node(name)
+            if not node.is_dynamic:
+                continue
+            report = check_mutual_exclusion(
+                self.graph,
+                "Mt_{}_1".format(name),
+                "Mf_{}_1".format(name),
+                max_witnesses=max_witnesses,
+            )
+            if report.holds is False:
+                violations.extend(report.witnesses)
+        holds = not violations
+        if holds and self.graph.truncated:
+            holds = None
+        details = ("token values are mutually exclusive" if holds
+                   else "{} violation(s)".format(len(violations)) if holds is False
+                   else "inconclusive (truncated state space)")
+        return VerificationResult(
+            "token-value exclusion", holds,
+            witnesses=self._decorate(violations), details=details,
+        )
+
+    def verify_custom(self, expression, property_name="custom property", max_witnesses=5):
+        """Check a custom Reach expression describing *bad* states."""
+        witnesses = find_witnesses(expression, self.graph, max_witnesses=max_witnesses)
+        holds = not witnesses
+        if holds and self.graph.truncated:
+            holds = None
+        details = ("no reachable bad state" if holds
+                   else "{} reachable bad state(s)".format(len(witnesses))
+                   if holds is False else "inconclusive (truncated state space)")
+        return VerificationResult(
+            property_name, holds, witnesses=self._decorate(witnesses), details=details,
+        )
+
+    # -- batched verification ---------------------------------------------------------
+
+    def verify_all(self, include_persistence=True):
+        """Run the standard battery of checks and return a summary."""
+        summary = VerificationSummary(
+            self.dfs.name, state_count=self.state_count, truncated=self.graph.truncated,
+        )
+        summary.add(self.verify_safeness())
+        summary.add(self.verify_deadlock_freedom())
+        summary.add(self.verify_control_mismatch())
+        summary.add(self.verify_value_mutual_exclusion())
+        if include_persistence:
+            summary.add(self.verify_persistence())
+        return summary

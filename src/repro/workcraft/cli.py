@@ -1,0 +1,162 @@
+"""The ``repro-dfs`` command-line interface.
+
+Sub-commands (each takes a DFS model file produced by
+:func:`repro.dfs.serialization.dfs_to_json`, or ``--example`` to use a
+built-in model):
+
+* ``info``      -- node/edge statistics;
+* ``validate``  -- structural checks;
+* ``verify``    -- deadlock / mismatch / persistence verification;
+* ``simulate``  -- a random token-game run;
+* ``analyse``   -- cycle-throughput performance analysis;
+* ``export``    -- export to dot / json / pn-dot / g / verilog.
+"""
+
+import argparse
+import sys
+
+from repro._version import __version__
+from repro.dfs.examples import conditional_comp_dfs, token_ring
+from repro.dfs.serialization import dfs_from_json
+from repro.dfs.simulation import DfsSimulator
+from repro.dfs.validation import has_errors, validate_structure
+from repro.performance.analyzer import PerformanceAnalyzer
+from repro.verification.verifier import Verifier
+from repro.workcraft.export import available_formats, export_model
+
+_EXAMPLES = {
+    "conditional": lambda: conditional_comp_dfs(),
+    "ring": lambda: token_ring(),
+}
+
+
+def _load_model(args):
+    if args.example:
+        return _EXAMPLES[args.example]()
+    if not args.model:
+        raise SystemExit("either a model file or --example must be given")
+    return dfs_from_json(args.model)
+
+
+def _add_model_arguments(parser):
+    parser.add_argument("model", nargs="?", help="path to a .json DFS model file")
+    parser.add_argument("--example", choices=sorted(_EXAMPLES),
+                        help="use a built-in example model instead of a file")
+
+
+def _command_info(args):
+    dfs = _load_model(args)
+    stats = dfs.stats()
+    print("model: {}".format(dfs.name))
+    for key in ("nodes", "logic", "register", "control", "push", "pop", "edges"):
+        print("  {:<10} {}".format(key, stats[key]))
+    print("  inputs     {}".format(", ".join(dfs.input_registers()) or "-"))
+    print("  outputs    {}".format(", ".join(dfs.output_registers()) or "-"))
+    return 0
+
+
+def _command_validate(args):
+    dfs = _load_model(args)
+    issues = validate_structure(dfs)
+    if not issues:
+        print("no structural issues found")
+        return 0
+    for issue in issues:
+        print("[{}] {}".format(issue.severity.value, issue.message))
+    return 1 if has_errors(issues) else 0
+
+
+def _command_verify(args):
+    dfs = _load_model(args)
+    verifier = Verifier(dfs, max_states=args.max_states)
+    summary = verifier.verify_all(include_persistence=not args.no_persistence)
+    print(summary.report())
+    return 0 if summary.passed else 1
+
+
+def _command_simulate(args):
+    dfs = _load_model(args)
+    simulator = DfsSimulator(dfs)
+    fired = simulator.run_random(args.steps, seed=args.seed)
+    print("fired {} event(s)".format(len(fired)))
+    if args.trace:
+        for name in fired:
+            print("  {}".format(name))
+    print("final state: {}".format(simulator.state.describe()))
+    print("deadlocked: {}".format(simulator.is_deadlocked()))
+    return 0
+
+
+def _command_analyse(args):
+    dfs = _load_model(args)
+    report = PerformanceAnalyzer(dfs).analyse(slowest_count=args.slowest)
+    print(report.render())
+    return 0
+
+
+def _command_export(args):
+    dfs = _load_model(args)
+    text = export_model(dfs, args.format)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print("written {}".format(args.output))
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def build_parser():
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dfs",
+        description="Design and verification of reconfigurable asynchronous pipelines",
+    )
+    parser.add_argument("--version", action="version", version="repro-dfs " + __version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="show model statistics")
+    _add_model_arguments(info)
+    info.set_defaults(handler=_command_info)
+
+    validate = subparsers.add_parser("validate", help="run structural checks")
+    _add_model_arguments(validate)
+    validate.set_defaults(handler=_command_validate)
+
+    verify = subparsers.add_parser("verify", help="run formal verification")
+    _add_model_arguments(verify)
+    verify.add_argument("--max-states", type=int, default=200000)
+    verify.add_argument("--no-persistence", action="store_true",
+                        help="skip the (slower) persistence check")
+    verify.set_defaults(handler=_command_verify)
+
+    simulate = subparsers.add_parser("simulate", help="run a random token-game simulation")
+    _add_model_arguments(simulate)
+    simulate.add_argument("--steps", type=int, default=100)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--trace", action="store_true", help="print the fired events")
+    simulate.set_defaults(handler=_command_simulate)
+
+    analyse = subparsers.add_parser("analyse", help="cycle-throughput performance analysis")
+    _add_model_arguments(analyse)
+    analyse.add_argument("--slowest", type=int, default=5)
+    analyse.set_defaults(handler=_command_analyse)
+
+    export = subparsers.add_parser("export", help="export the model")
+    _add_model_arguments(export)
+    export.add_argument("--format", choices=sorted(available_formats()), default="dot")
+    export.add_argument("--output", "-o", help="output file (stdout when omitted)")
+    export.set_defaults(handler=_command_export)
+
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""A small plugin registry describing the tool's model types and operations.
+
+Workcraft organises its functionality as plugins contributed per model type
+(editors, simulators, verifiers, exporters).  The registry here captures the
+same structure so that generic code -- the project workspace and the CLI --
+can operate on any registered model type without hard-coding it.
+"""
+
+from repro.exceptions import ModelError
+from repro.dfs.model import DataflowStructure
+from repro.dfs.serialization import dfs_from_document, dfs_to_document
+from repro.petri.net import PetriNet
+
+
+class ModelPlugin:
+    """Description of one model type supported by the tool."""
+
+    def __init__(self, name, model_class, description="", serializer=None,
+                 deserializer=None, operations=None):
+        self.name = name
+        self.model_class = model_class
+        self.description = description
+        self.serializer = serializer
+        self.deserializer = deserializer
+        self.operations = dict(operations or {})
+
+    def handles(self, model):
+        return isinstance(model, self.model_class)
+
+    def to_document(self, model):
+        if self.serializer is None:
+            raise ModelError("model type {!r} has no serializer".format(self.name))
+        return self.serializer(model)
+
+    def from_document(self, document):
+        if self.deserializer is None:
+            raise ModelError("model type {!r} has no deserializer".format(self.name))
+        return self.deserializer(document)
+
+    def __repr__(self):
+        return "ModelPlugin({!r}, operations={})".format(self.name, sorted(self.operations))
+
+
+class PluginRegistry:
+    """A collection of :class:`ModelPlugin` objects."""
+
+    def __init__(self):
+        self._plugins = {}
+
+    def register(self, plugin):
+        if plugin.name in self._plugins:
+            raise ModelError("duplicate plugin: {!r}".format(plugin.name))
+        self._plugins[plugin.name] = plugin
+        return plugin
+
+    @property
+    def plugins(self):
+        return dict(self._plugins)
+
+    def plugin(self, name):
+        try:
+            return self._plugins[name]
+        except KeyError:
+            raise ModelError("unknown plugin: {!r}".format(name))
+
+    def plugin_for(self, model):
+        """Find the plugin handling the given model instance."""
+        for plugin in self._plugins.values():
+            if plugin.handles(model):
+                return plugin
+        raise ModelError(
+            "no registered plugin handles objects of type {!r}".format(type(model).__name__))
+
+    def __contains__(self, name):
+        return name in self._plugins
+
+    def __repr__(self):
+        return "PluginRegistry({})".format(sorted(self._plugins))
+
+
+def _dfs_operations():
+    # Imported lazily to keep module import costs low and avoid cycles.
+    from repro.dfs.simulation import DfsSimulator
+    from repro.dfs.translation import to_petri_net
+    from repro.dfs.validation import validate_structure
+    from repro.performance.analyzer import PerformanceAnalyzer
+    from repro.verification.verifier import Verifier
+
+    return {
+        "validate": validate_structure,
+        "verify": lambda dfs, **kw: Verifier(dfs, **kw).verify_all(),
+        "simulate": lambda dfs, **kw: DfsSimulator(dfs),
+        "translate": to_petri_net,
+        "analyse": lambda dfs, **kw: PerformanceAnalyzer(dfs).analyse(**kw),
+    }
+
+
+def default_registry():
+    """The registry with the built-in DFS and Petri-net plugins."""
+    registry = PluginRegistry()
+    registry.register(ModelPlugin(
+        "dfs", DataflowStructure,
+        description="Dataflow Structures (reconfigurable asynchronous pipelines)",
+        serializer=dfs_to_document,
+        deserializer=dfs_from_document,
+        operations=_dfs_operations(),
+    ))
+    registry.register(ModelPlugin(
+        "petri", PetriNet,
+        description="Petri nets with read arcs (verification back-end)",
+        operations={},
+    ))
+    return registry

@@ -1,0 +1,107 @@
+"""Project workspaces: named models persisted as a directory of JSON files."""
+
+import os
+
+from repro.exceptions import ModelError, SerializationError
+from repro.utils.serialization import dump_json, load_json
+from repro.workcraft.plugins import default_registry
+
+_MANIFEST_NAME = "project.json"
+_MANIFEST_FORMAT = "repro-project"
+
+
+class Project:
+    """A named collection of models (the tool's workspace)."""
+
+    def __init__(self, name="workspace", registry=None):
+        self.name = name
+        self.registry = registry or default_registry()
+        self._models = {}       # model name -> (plugin name, model object)
+
+    # -- membership -----------------------------------------------------------------
+
+    def add(self, name, model):
+        """Add a model under a name; the handling plugin is found automatically."""
+        if name in self._models:
+            raise ModelError("the project already contains a model named {!r}".format(name))
+        plugin = self.registry.plugin_for(model)
+        self._models[name] = (plugin.name, model)
+        return model
+
+    def get(self, name):
+        try:
+            return self._models[name][1]
+        except KeyError:
+            raise ModelError("no model named {!r} in the project".format(name))
+
+    def plugin_of(self, name):
+        """The plugin handling the named model."""
+        try:
+            return self.registry.plugin(self._models[name][0])
+        except KeyError:
+            raise ModelError("no model named {!r} in the project".format(name))
+
+    def remove(self, name):
+        if name not in self._models:
+            raise ModelError("no model named {!r} in the project".format(name))
+        del self._models[name]
+
+    def names(self):
+        return sorted(self._models)
+
+    def __contains__(self, name):
+        return name in self._models
+
+    def __len__(self):
+        return len(self._models)
+
+    # -- operations -------------------------------------------------------------------
+
+    def run(self, model_name, operation, **kwargs):
+        """Run a plugin operation (validate, verify, analyse, ...) on a model."""
+        plugin = self.plugin_of(model_name)
+        if operation not in plugin.operations:
+            raise ModelError(
+                "model {!r} (type {!r}) does not support operation {!r}; "
+                "available: {}".format(model_name, plugin.name, operation,
+                                       ", ".join(sorted(plugin.operations))))
+        return plugin.operations[operation](self.get(model_name), **kwargs)
+
+    # -- persistence --------------------------------------------------------------------
+
+    def save(self, directory):
+        """Save every serialisable model plus a manifest to *directory*."""
+        if not os.path.isdir(directory):
+            os.makedirs(directory)
+        manifest = {"format": _MANIFEST_FORMAT, "version": 1,
+                    "name": self.name, "models": []}
+        for name in self.names():
+            plugin_name, model = self._models[name]
+            plugin = self.registry.plugin(plugin_name)
+            if plugin.serializer is None:
+                continue
+            filename = "{}.json".format(name)
+            dump_json(plugin.to_document(model), os.path.join(directory, filename))
+            manifest["models"].append({"name": name, "plugin": plugin_name,
+                                       "file": filename})
+        dump_json(manifest, os.path.join(directory, _MANIFEST_NAME))
+        return directory
+
+    @classmethod
+    def load(cls, directory, registry=None):
+        """Load a project previously written by :meth:`save`."""
+        manifest_path = os.path.join(directory, _MANIFEST_NAME)
+        if not os.path.exists(manifest_path):
+            raise SerializationError("no project manifest found in {!r}".format(directory))
+        manifest = load_json(manifest_path)
+        if manifest.get("format") != _MANIFEST_FORMAT:
+            raise SerializationError("not a repro project manifest: {!r}".format(manifest_path))
+        project = cls(manifest.get("name", "workspace"), registry=registry)
+        for entry in manifest.get("models", []):
+            plugin = project.registry.plugin(entry["plugin"])
+            document = load_json(os.path.join(directory, entry["file"]))
+            project.add(entry["name"], plugin.from_document(document))
+        return project
+
+    def __repr__(self):
+        return "Project({!r}, models={})".format(self.name, self.names())

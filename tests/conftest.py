@@ -1,0 +1,53 @@
+"""Shared fixtures: example models used across the test suite."""
+
+import pytest
+
+from repro.dfs.examples import (
+    conditional_comp_dfs,
+    conditional_comp_sdfs,
+    linear_pipeline,
+    token_ring,
+)
+from repro.dfs.model import DataflowStructure
+from repro.pipelines.generic import build_generic_pipeline
+
+
+@pytest.fixture
+def conditional_dfs():
+    """The motivating example of Fig. 1b (one comp stage)."""
+    return conditional_comp_dfs(comp_stages=1)
+
+
+@pytest.fixture
+def conditional_sdfs():
+    """The SDFS rendering of the motivating example (Fig. 1a)."""
+    return conditional_comp_sdfs(comp_stages=1)
+
+
+@pytest.fixture
+def ring():
+    """A 4-register token ring with one token."""
+    return token_ring(registers=4, tokens=1)
+
+
+@pytest.fixture
+def pipeline3():
+    """A 3-stage linear pipeline (no cycles)."""
+    return linear_pipeline(stages=3)
+
+
+@pytest.fixture
+def small_reconfigurable_pipeline():
+    """A 2-stage generic pipeline: one static stage plus one reconfigurable stage."""
+    return build_generic_pipeline(2, static_prefix_stages=1, name="pipe2")
+
+
+@pytest.fixture
+def simple_chain():
+    """A minimal register -> logic -> register chain."""
+    dfs = DataflowStructure("chain")
+    dfs.add_register("a", marked=True)
+    dfs.add_logic("f")
+    dfs.add_register("b")
+    dfs.connect_chain("a", "f", "b")
+    return dfs

@@ -1,0 +1,179 @@
+"""Tests for the evaluation chip: LFSR, accumulator, top level and testbench."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.chip.accumulator import ChecksumAccumulator
+from repro.chip.lfsr import Lfsr
+from repro.chip.testbench import (
+    depth_scaling_experiment,
+    random_mode_experiment,
+    unstable_supply_experiment,
+    voltage_sweep_experiment,
+)
+from repro.chip.top import ChipConfig, ChipMode, OpeChip
+from repro.ope.reference import OpeReference
+
+
+class TestLfsr:
+    def test_deterministic_stream(self):
+        assert Lfsr(seed=0xACE1).stream(20) == Lfsr(seed=0xACE1).stream(20)
+
+    def test_different_seeds_differ(self):
+        assert Lfsr(seed=1).stream(20) != Lfsr(seed=2).stream(20)
+
+    def test_values_fit_width(self):
+        assert all(0 < value < (1 << 16) for value in Lfsr(seed=3).stream(1000))
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Lfsr(seed=0)
+        with pytest.raises(ConfigurationError):
+            Lfsr(seed=0x10000)  # masks to zero for a 16-bit register
+
+    def test_reset_reproduces_sequence(self):
+        lfsr = Lfsr(seed=0xBEEF)
+        first = lfsr.stream(10)
+        lfsr.reset()
+        assert lfsr.stream(10) == first
+
+    def test_no_short_cycles(self):
+        lfsr = Lfsr(seed=0xACE1)
+        seen = set()
+        for value in lfsr.iter_stream(5000):
+            assert value not in seen
+            seen.add(value)
+
+    def test_unsupported_width_needs_taps(self):
+        with pytest.raises(ConfigurationError):
+            Lfsr(seed=1, width=12)
+        assert Lfsr(seed=1, width=12, taps=0x829).next() > 0
+
+
+class TestAccumulator:
+    def test_matches_reference_checksum(self):
+        stream = Lfsr(seed=0x1234).stream(300)
+        reference = OpeReference(6)
+        accumulator = ChecksumAccumulator()
+        for ranks in reference.encode(stream):
+            accumulator.add_rank_list(ranks)
+        assert accumulator.digest() == reference.checksum(stream)
+
+    def test_reset(self):
+        accumulator = ChecksumAccumulator()
+        accumulator.add_rank_list([1, 2, 3])
+        accumulator.reset()
+        assert accumulator.digest() == 0
+        assert accumulator.ranks_accumulated == 0
+
+    def test_order_sensitivity(self):
+        a = ChecksumAccumulator()
+        b = ChecksumAccumulator()
+        a.add_rank_list([1, 2])
+        b.add_rank_list([2, 1])
+        assert a.digest() != b.digest()
+
+    def test_digest_stays_within_modulus(self):
+        accumulator = ChecksumAccumulator()
+        for rank in range(10000):
+            assert accumulator.add_rank(rank % 19) < 2 ** 32
+
+
+class TestOpeChip:
+    def test_random_mode_checksum_matches_behavioural_model(self):
+        chip = OpeChip()
+        chip.set_mode(ChipMode.RANDOM)
+        for config, depth in ((ChipConfig.STATIC, None), (ChipConfig.RECONFIGURABLE, 6)):
+            chip.set_config(config)
+            if depth:
+                chip.set_depth(depth)
+            run = chip.run_random(seed=0xACE1, count=600)
+            assert run["checksum"] == chip.behavioural_checksum(seed=0xACE1, count=600)
+
+    def test_static_config_ignores_depth_setting(self):
+        chip = OpeChip()
+        chip.set_depth(5)
+        chip.set_config(ChipConfig.STATIC)
+        assert chip.depth == chip.stages
+
+    def test_depth_bounds(self):
+        chip = OpeChip()
+        with pytest.raises(ConfigurationError):
+            chip.set_depth(2)
+        with pytest.raises(ConfigurationError):
+            chip.set_depth(19)
+
+    def test_normal_mode_processes_external_stream(self):
+        chip = OpeChip()
+        chip.set_mode(ChipMode.NORMAL)
+        chip.set_config(ChipConfig.RECONFIGURABLE)
+        chip.set_depth(4)
+        stream = [5, 3, 8, 1, 9, 2]
+        assert chip.process_stream(stream) == OpeReference(4).encode(stream)
+
+    def test_run_random_requires_random_mode(self):
+        chip = OpeChip()
+        chip.set_mode(ChipMode.NORMAL)
+        with pytest.raises(ConfigurationError):
+            chip.run_random(seed=1, count=10)
+
+    def test_measure_reconfigurable_slower_than_static(self):
+        chip = OpeChip()
+        static = chip.measure(1_000_000, 1.2, config=ChipConfig.STATIC)
+        reconfigurable = chip.measure(1_000_000, 1.2, config=ChipConfig.RECONFIGURABLE,
+                                      depth=18)
+        assert reconfigurable.computation_time_s > static.computation_time_s
+        assert reconfigurable.consumed_energy_j > static.consumed_energy_j
+
+    def test_silicon_model_cache_reuse(self):
+        chip = OpeChip()
+        first = chip.silicon_model(config=ChipConfig.STATIC)
+        second = chip.silicon_model(config=ChipConfig.STATIC)
+        assert first is second
+
+
+class TestTestbenchExperiments:
+    def test_random_mode_experiment_validates_checksum(self):
+        result = random_mode_experiment(count=2000, functional_count=400, depth=6)
+        assert result["checksum_ok"]
+        assert result["computation_time_s"] > 0
+
+    def test_voltage_sweep_reproduces_reference_and_overheads(self):
+        result = voltage_sweep_experiment(items=16_000_000, voltages=(0.5, 1.2, 1.6))
+        assert result["reference_time_s"] == pytest.approx(1.22, rel=0.02)
+        assert result["reference_energy_j"] == pytest.approx(2.74e-3, rel=0.02)
+        nominal = [row for row in result["rows"] if row["voltage"] == 1.2][0]
+        assert nominal["time_overhead"] == pytest.approx(0.36, abs=0.02)
+        assert nominal["energy_overhead"] == pytest.approx(0.05, abs=0.01)
+
+    def test_voltage_sweep_trends(self):
+        rows = voltage_sweep_experiment(items=1_000_000,
+                                        voltages=(0.5, 0.8, 1.2, 1.6))["rows"]
+        times = [row["static_time_s"] for row in rows]
+        energies = [row["static_energy_j"] for row in rows]
+        assert times == sorted(times, reverse=True)      # slower at low voltage
+        assert energies == sorted(energies)              # cheaper at low voltage
+
+    def test_unstable_supply_freezes_and_completes(self):
+        result = unstable_supply_experiment()
+        assert result["completed"]
+        assert result["frozen_interval_s"] > 0
+        assert result["trace"]
+
+    def test_depth_scaling_is_linear(self):
+        result = depth_scaling_experiment(depths=[4, 8, 12, 16], voltages=(1.2,),
+                                          items=1_000_000)
+        rows = [row for row in result["rows"] if row["voltage"] == 1.2]
+        times = [row["computation_time_s"] for row in rows]
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        assert all(delta > 0 for delta in deltas)
+        assert max(deltas) == pytest.approx(min(deltas), rel=1e-6)
+
+    def test_depth_scaling_slope_inverse_to_voltage(self):
+        result = depth_scaling_experiment(depths=[6, 12], voltages=(0.6, 1.2),
+                                          items=1_000_000)
+        slopes = {}
+        for voltage in (0.6, 1.2):
+            rows = [row for row in result["rows"] if row["voltage"] == voltage]
+            slopes[voltage] = rows[1]["computation_time_s"] - rows[0]["computation_time_s"]
+        assert slopes[0.6] > slopes[1.2]

@@ -1,0 +1,147 @@
+"""Tests for the component library, netlist, mapping and Verilog export."""
+
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.circuits.handshake import Channel, ChannelPhase, FourPhaseProtocol
+from repro.circuits.library import default_library
+from repro.circuits.mapping import MappingOptions, SyncStyle, map_dfs_to_netlist, mapping_summary, sanitize
+from repro.circuits.netlist import Module, Netlist, PortDirection
+from repro.circuits.verilog import to_verilog
+from repro.dfs.examples import conditional_comp_dfs, linear_pipeline
+
+
+class TestLibrary:
+    def test_default_library_has_paper_components(self):
+        library = default_library()
+        for name in ("dr_register", "ctrl_register", "push_register", "pop_register",
+                     "dr_comparator", "dr_adder", "c_element", "lfsr16", "accumulator32"):
+            assert library.has_component(name)
+
+    def test_duplicate_component_rejected(self):
+        library = default_library()
+        with pytest.raises(CircuitError):
+            library.add_component(library.component("dr_register"))
+
+    def test_component_lookup_by_kind(self):
+        library = default_library()
+        kinds = {c.kind for c in library.components_of_kind("logic")}
+        assert kinds == {"logic"}
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(CircuitError):
+            default_library().component("flux_capacitor")
+
+
+class TestNetlist:
+    def test_module_ports_and_nets(self):
+        module = Module("m")
+        module.add_input("a", width=2)
+        module.add_output("z")
+        module.add_net("w")
+        assert module.ports["a"].direction is PortDirection.INPUT
+        assert module.has_net("w") and module.has_net("a")
+
+    def test_instance_connection_validation(self):
+        module = Module("m")
+        module.add_net("n")
+        module.add_instance("u1", "cell", connections={"a": "n"})
+        module.validate()
+        module.add_instance("u2", "cell", connections={"a": "missing"})
+        with pytest.raises(CircuitError):
+            module.validate()
+
+    def test_netlist_component_counts_recursive(self):
+        netlist = Netlist("top", library=default_library())
+        leaf = netlist.new_module("leaf")
+        leaf.add_net("n")
+        leaf.add_instance("u1", "c_element", connections={})
+        top = netlist.new_module("top_mod", top=True)
+        top.add_net("n")
+        top.add_instance("x0", "leaf", connections={})
+        top.add_instance("x1", "leaf", connections={})
+        counts = netlist.component_counts()
+        assert counts == {"c_element": 2}
+        assert netlist.total_area() == pytest.approx(2 * 7.5)
+
+
+class TestHandshake:
+    def test_cycle_time_is_sum_of_phases(self):
+        protocol = FourPhaseProtocol(1.0, 0.5)
+        assert protocol.cycle_time == pytest.approx(3.0)
+
+    def test_channel_transfer_counts(self):
+        channel = Channel("ch", "a", "b", FourPhaseProtocol(1.0, 0.5))
+        total = channel.complete_transfer(payload=42)
+        assert total == pytest.approx(3.0)
+        assert channel.transfers == 1
+        assert channel.phase is ChannelPhase.IDLE
+
+    def test_transfer_from_busy_channel_rejected(self):
+        channel = Channel("ch", "a", "b", FourPhaseProtocol(1.0, 0.5))
+        channel.advance()
+        with pytest.raises(CircuitError):
+            channel.complete_transfer()
+
+
+class TestMapping:
+    def test_sanitize(self):
+        assert sanitize("s3.local_in") == "s3_local_in"
+        assert sanitize("stage[4]") == "stage_4_"
+
+    def test_every_dfs_node_becomes_an_instance(self, conditional_dfs):
+        netlist = map_dfs_to_netlist(conditional_dfs)
+        top = netlist.top_module()
+        dfs_instances = [i for i in top.instances.values() if "dfs_node" in i.attributes]
+        assert len(dfs_instances) == len(conditional_dfs.nodes)
+
+    def test_node_types_map_to_expected_components(self, conditional_dfs):
+        netlist = map_dfs_to_netlist(conditional_dfs)
+        references = {i.attributes.get("dfs_node"): i.reference
+                      for i in netlist.top_module().instances.values()
+                      if "dfs_node" in i.attributes}
+        assert references["ctrl"] == "ctrl_register"
+        assert references["filt"] == "push_register"
+        assert references["out"] == "pop_register"
+        assert references["in"] == "dr_register"
+
+    def test_function_map_selects_logic_component(self, conditional_dfs):
+        netlist = map_dfs_to_netlist(conditional_dfs)
+        references = {i.attributes.get("dfs_node"): i.reference
+                      for i in netlist.top_module().instances.values()}
+        assert references["cond"] == "dr_comparator"
+
+    def test_sync_style_changes_c_element_count(self):
+        # A node with large fan-out needs an ack-merge structure; chain and
+        # tree use the same number of 2-input C-elements but different depth,
+        # so compare against a model with fan-out > 2.
+        dfs = linear_pipeline(stages=1)
+        for index in range(4):
+            dfs.add_register("sink{}".format(index))
+            dfs.connect("f1", "sink{}".format(index))
+        chain = map_dfs_to_netlist(dfs, options=MappingOptions(sync_style=SyncStyle.DAISY_CHAIN))
+        tree = map_dfs_to_netlist(dfs, options=MappingOptions(sync_style=SyncStyle.TREE))
+        assert mapping_summary(chain)["sync_elements"] == mapping_summary(tree)["sync_elements"]
+        assert mapping_summary(chain)["sync_elements"] >= 4
+
+    def test_mapping_summary_fields(self, conditional_dfs):
+        summary = mapping_summary(map_dfs_to_netlist(conditional_dfs))
+        assert summary["instances"] > 0
+        assert summary["area_um2"] > 0
+        assert summary["leakage_nw"] > 0
+
+
+class TestVerilog:
+    def test_verilog_contains_top_module_and_instances(self, conditional_dfs):
+        netlist = map_dfs_to_netlist(conditional_dfs)
+        text = to_verilog(netlist)
+        assert "module {} (".format(netlist.top) in text
+        assert "ctrl_register" in text
+        assert text.count("endmodule") >= 2  # top + black boxes
+
+    def test_verilog_blackboxes_optional(self, conditional_dfs):
+        netlist = map_dfs_to_netlist(conditional_dfs)
+        with_stubs = to_verilog(netlist, include_blackboxes=True)
+        without = to_verilog(netlist, include_blackboxes=False)
+        assert len(with_stubs) > len(without)
+        assert "black-box stub" not in without

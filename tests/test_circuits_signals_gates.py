@@ -1,0 +1,123 @@
+"""Tests for dual-rail signals and NCL gates."""
+
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.circuits.gates import (
+    CElement,
+    NclGate,
+    and_gate,
+    c_element_chain_depth,
+    c_element_tree_depth,
+    majority,
+    not_gate,
+    or_gate,
+    threshold,
+)
+from repro.circuits.signals import (
+    DualRail,
+    Rail,
+    completion,
+    decode_word,
+    encode_word,
+    is_complete,
+    is_null,
+    null_word,
+)
+
+
+class TestDualRail:
+    def test_states(self):
+        assert DualRail.null().state is Rail.NULL
+        assert DualRail.from_bool(True).state is Rail.TRUE
+        assert DualRail.from_bool(False).state is Rail.FALSE
+
+    def test_illegal_state_rejected(self):
+        with pytest.raises(CircuitError):
+            DualRail(1, 1)
+
+    def test_decode(self):
+        assert DualRail.from_bool(True).to_bool() is True
+        with pytest.raises(CircuitError):
+            DualRail.null().to_bool()
+
+    def test_word_round_trip(self):
+        for value in (0, 1, 5, 255):
+            assert decode_word(encode_word(value, 8)) == value
+
+    def test_word_overflow_rejected(self):
+        with pytest.raises(CircuitError):
+            encode_word(16, 4)
+        with pytest.raises(CircuitError):
+            encode_word(-1, 4)
+
+    def test_completion_detection(self):
+        word = encode_word(9, 4)
+        assert is_complete(word) and completion(word) == 1
+        spacer = null_word(4)
+        assert is_null(spacer) and completion(spacer) == 0
+        partial = (DualRail.from_bool(True),) + tuple(null_word(3))
+        assert completion(partial) is None
+
+    def test_decode_incomplete_word_rejected(self):
+        with pytest.raises(CircuitError):
+            decode_word(null_word(4))
+
+
+class TestGates:
+    def test_simple_gates(self):
+        assert and_gate(2).evaluate([1, 1]) == 1
+        assert and_gate(2).evaluate([1, 0]) == 0
+        assert or_gate(2).evaluate([0, 1]) == 1
+        assert not_gate().evaluate([0]) == 1
+
+    def test_gate_arity_check(self):
+        with pytest.raises(CircuitError):
+            and_gate(2).evaluate([1])
+
+    def test_threshold_gate_hysteresis(self):
+        gate = threshold(2, 3)
+        assert gate.evaluate([1, 1, 0], previous=0) == 1
+        # Holds its value until all inputs return to zero.
+        assert gate.evaluate([1, 0, 0], previous=1) == 1
+        assert gate.evaluate([0, 0, 0], previous=1) == 0
+        assert gate.evaluate([1, 0, 0], previous=0) == 0
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(CircuitError):
+            NclGate(4, 3)
+
+    def test_c_element_behaviour(self):
+        gate = CElement(2)
+        assert gate.evaluate([1, 1], previous=0) == 1
+        assert gate.evaluate([1, 0], previous=1) == 1
+        assert gate.evaluate([0, 0], previous=1) == 0
+
+    def test_majority_gate(self):
+        gate = majority(3)
+        assert gate.evaluate([1, 1, 0], previous=0) == 1
+        with pytest.raises(CircuitError):
+            majority(4)
+
+
+class TestSyncDepths:
+    def test_tree_depth_is_logarithmic(self):
+        assert c_element_tree_depth(2) == 1
+        assert c_element_tree_depth(8) == 3
+        assert c_element_tree_depth(18) == 5
+
+    def test_chain_depth_is_linear(self):
+        assert c_element_chain_depth(2) == 1
+        assert c_element_chain_depth(18) == 17
+
+    def test_single_leaf(self):
+        assert c_element_tree_depth(1) == 0
+        assert c_element_chain_depth(1) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(CircuitError):
+            c_element_tree_depth(0)
+        with pytest.raises(CircuitError):
+            c_element_tree_depth(4, fan_in=1)
+        with pytest.raises(CircuitError):
+            c_element_chain_depth(0)

@@ -1,0 +1,51 @@
+"""Tests for the component-level circuit simulator."""
+
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.circuits.simulation import CircuitSimulator
+from repro.dfs.examples import conditional_comp_dfs, token_ring
+
+
+class TestCircuitSimulator:
+    def test_run_produces_tokens_and_energy(self, conditional_dfs):
+        simulator = CircuitSimulator(conditional_dfs, seed=1)
+        stats = simulator.run("out", token_goal=10)
+        assert stats.tokens == 10
+        assert stats.elapsed_ns > 0
+        assert stats.dynamic_energy_pj > 0
+        assert stats.leakage_energy_pj > 0
+        assert stats.energy_pj == pytest.approx(
+            stats.dynamic_energy_pj + stats.leakage_energy_pj)
+
+    def test_voltage_scaling_slows_and_saves_energy(self, conditional_dfs):
+        nominal = CircuitSimulator(conditional_dfs, seed=2).run("out", token_goal=10)
+        scaled = CircuitSimulator(conditional_dfs, delay_scale=4.0, energy_scale=0.25,
+                                  seed=2).run("out", token_goal=10)
+        assert scaled.elapsed_ns > nominal.elapsed_ns
+        assert scaled.dynamic_energy_pj < nominal.dynamic_energy_pj
+
+    def test_cycle_time_and_throughput_consistent(self):
+        ring = token_ring(registers=4, tokens=1)
+        stats = CircuitSimulator(ring, seed=0).run("r0", token_goal=8)
+        assert stats.cycle_time_ns == pytest.approx(stats.elapsed_ns / stats.tokens)
+        assert stats.throughput_mhz == pytest.approx(1e3 / stats.cycle_time_ns)
+
+    def test_unknown_observation_register(self, conditional_dfs):
+        with pytest.raises(CircuitError):
+            CircuitSimulator(conditional_dfs).run("missing")
+
+    def test_original_model_delays_untouched(self, conditional_dfs):
+        before = {name: conditional_dfs.node(name).delay for name in conditional_dfs.nodes}
+        CircuitSimulator(conditional_dfs, seed=0).run("out", token_goal=5)
+        after = {name: conditional_dfs.node(name).delay for name in conditional_dfs.nodes}
+        assert before == after
+
+    def test_false_heavy_workload_is_cheaper(self):
+        model = conditional_comp_dfs(comp_stages=3)
+        all_false = CircuitSimulator(model, choice_policy=lambda n, i: False, seed=3)
+        all_true = CircuitSimulator(model, choice_policy=lambda n, i: True, seed=3)
+        false_stats = all_false.run("out", token_goal=12)
+        true_stats = all_true.run("out", token_goal=12)
+        assert false_stats.elapsed_ns < true_stats.elapsed_ns
+        assert false_stats.dynamic_energy_pj < true_stats.dynamic_energy_pj

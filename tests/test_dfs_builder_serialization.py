@@ -1,0 +1,119 @@
+"""Tests for the DFS builder and JSON serialization."""
+
+import pytest
+
+from repro.exceptions import ModelError, SerializationError
+from repro.dfs.builder import DfsBuilder
+from repro.dfs.examples import conditional_comp_dfs
+from repro.dfs.nodes import NodeType
+from repro.dfs.serialization import (
+    dfs_from_document,
+    dfs_from_json,
+    dfs_to_document,
+    dfs_to_json,
+)
+
+
+class TestBuilder:
+    def test_chain_building(self):
+        dfs = (DfsBuilder("pipe")
+               .register("in", marked=True)
+               .logic("f")
+               .register("out")
+               .chain("in", "f", "out")
+               .build())
+        assert dfs.preset("f") == {"in"}
+        assert dfs.postset("f") == {"out"}
+
+    def test_then_connects_last_node(self):
+        dfs = (DfsBuilder()
+               .register("a", marked=True)
+               .logic("f").then("a")  # f -> a would be odd but legal structurally
+               .build())
+        assert ("f", "a") in dfs.edges
+
+    def test_then_without_node_raises(self):
+        with pytest.raises(ModelError):
+            DfsBuilder().then("x")
+
+    def test_chain_needs_two_nodes(self):
+        builder = DfsBuilder().register("a")
+        with pytest.raises(ModelError):
+            builder.chain("a")
+
+    def test_control_with_guards(self):
+        dfs = (DfsBuilder()
+               .register("a", marked=True)
+               .push("p")
+               .control("c", marked=True, value=False, controls=["p"])
+               .connect("a", "p")
+               .build())
+        assert dfs.controls_of("p") == {"c"}
+        assert dfs.node("c").initial_value is False
+
+    def test_control_loop_structure(self):
+        builder = DfsBuilder()
+        builder.push("p")
+        names = builder.control_loop("loop", length=3, value=True, guards=["p"])
+        dfs = builder.build()
+        assert len(names) == 3
+        assert dfs.node(names[0]).marked
+        assert not dfs.node(names[1]).marked
+        assert (names[2], names[0]) in dfs.edges
+        assert dfs.controls_of("p") == {names[0]}
+
+    def test_control_loop_too_short_rejected(self):
+        with pytest.raises(ModelError):
+            DfsBuilder().control_loop("loop", length=2)
+
+
+class TestSerialization:
+    def test_round_trip_preserves_structure(self):
+        original = conditional_comp_dfs(comp_stages=2)
+        document = dfs_to_document(original)
+        restored = dfs_from_document(document)
+        assert restored.nodes.keys() == original.nodes.keys()
+        assert restored.edges == original.edges
+        for name in original.nodes:
+            assert restored.kind(name) == original.kind(name)
+            assert restored.node(name).delay == original.node(name).delay
+
+    def test_round_trip_preserves_marking_and_values(self):
+        original = conditional_comp_dfs()
+        original.node("ctrl").marked = True
+        original.node("ctrl").initial_value = False
+        restored = dfs_from_json(dfs_to_json(original))
+        assert restored.node("ctrl").marked
+        assert restored.node("ctrl").initial_value is False
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "model.json")
+        dfs_to_json(conditional_comp_dfs(), path=path)
+        restored = dfs_from_json(path)
+        assert restored.kind("filt") is NodeType.PUSH
+
+    def test_unknown_node_type_rejected(self):
+        document = dfs_to_document(conditional_comp_dfs())
+        document["nodes"][0]["type"] = "quantum"
+        with pytest.raises(SerializationError):
+            dfs_from_document(document)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializationError):
+            dfs_from_document({"format": "something-else", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        document = dfs_to_document(conditional_comp_dfs())
+        document["version"] = 99
+        with pytest.raises(SerializationError):
+            dfs_from_document(document)
+
+    def test_malformed_edge_rejected(self):
+        document = dfs_to_document(conditional_comp_dfs())
+        document["edges"].append(["only-one"])
+        with pytest.raises(SerializationError):
+            dfs_from_document(document)
+
+    def test_logic_function_preserved(self):
+        restored = dfs_from_document(dfs_to_document(conditional_comp_dfs()))
+        assert restored.node("cond").function == "cond"

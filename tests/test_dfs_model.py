@@ -1,0 +1,149 @@
+"""Tests for repro.dfs.model and repro.dfs.nodes."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.dfs.model import DataflowStructure
+from repro.dfs.nodes import NodeType, RegisterNode
+
+
+class TestNodeCreation:
+    def test_node_type_categories(self):
+        assert not NodeType.LOGIC.is_register
+        assert NodeType.REGISTER.is_register
+        assert not NodeType.REGISTER.is_dynamic
+        assert NodeType.CONTROL.is_dynamic
+        assert NodeType.PUSH.is_dynamic
+        assert NodeType.POP.is_dynamic
+
+    def test_register_node_requires_register_type(self):
+        with pytest.raises(ModelError):
+            RegisterNode("r", NodeType.LOGIC)
+
+    def test_initial_value_only_for_marked_dynamic_registers(self):
+        plain = RegisterNode("r", NodeType.REGISTER, marked=True, initial_value=True)
+        assert plain.initial_value is None
+        unmarked = RegisterNode("c", NodeType.CONTROL, marked=False, initial_value=False)
+        assert unmarked.initial_value is None
+        marked = RegisterNode("c2", NodeType.CONTROL, marked=True, initial_value=False)
+        assert marked.initial_value is False
+
+    def test_default_initial_value_is_true(self):
+        node = RegisterNode("c", NodeType.CONTROL, marked=True)
+        assert node.initial_value is True
+
+    def test_invalid_name_rejected(self):
+        dfs = DataflowStructure()
+        with pytest.raises(ModelError):
+            dfs.add_logic("1bad")
+
+
+class TestStructure:
+    def build(self):
+        dfs = DataflowStructure("m")
+        dfs.add_register("in", marked=True)
+        dfs.add_logic("f")
+        dfs.add_logic("g")
+        dfs.add_register("mid")
+        dfs.add_register("out")
+        dfs.connect_chain("in", "f", "mid", "g", "out")
+        return dfs
+
+    def test_duplicate_node_rejected(self):
+        dfs = DataflowStructure()
+        dfs.add_logic("f")
+        with pytest.raises(ValueError):
+            dfs.add_logic("f")
+
+    def test_self_loop_rejected(self):
+        dfs = DataflowStructure()
+        dfs.add_register("r")
+        with pytest.raises(ModelError):
+            dfs.connect("r", "r")
+
+    def test_edge_to_unknown_node_rejected(self):
+        dfs = DataflowStructure()
+        dfs.add_register("r")
+        with pytest.raises(ModelError):
+            dfs.connect("r", "missing")
+
+    def test_preset_postset(self):
+        dfs = self.build()
+        assert dfs.preset("f") == {"in"}
+        assert dfs.postset("f") == {"mid"}
+
+    def test_r_preset_through_logic(self):
+        dfs = self.build()
+        assert dfs.r_preset("mid") == {"in"}
+        assert dfs.r_preset("out") == {"mid"}
+
+    def test_r_postset_through_logic(self):
+        dfs = self.build()
+        assert dfs.r_postset("in") == {"mid"}
+        assert dfs.r_postset("mid") == {"out"}
+
+    def test_r_preset_stops_at_registers(self):
+        dfs = self.build()
+        # "in" is separated from "out" by the register "mid".
+        assert "in" not in dfs.r_preset("out")
+
+    def test_r_sets_updated_after_edit(self):
+        dfs = self.build()
+        assert dfs.r_postset("mid") == {"out"}
+        dfs.add_register("extra")
+        dfs.connect("g", "extra")
+        assert dfs.r_postset("mid") == {"out", "extra"}
+
+    def test_remove_edge(self):
+        dfs = self.build()
+        dfs.remove_edge("g", "out")
+        assert dfs.postset("g") == set()
+        with pytest.raises(ModelError):
+            dfs.remove_edge("g", "out")
+
+    def test_inputs_and_outputs(self):
+        dfs = self.build()
+        assert dfs.input_registers() == ["in"]
+        assert dfs.output_registers() == ["out"]
+
+    def test_stats(self):
+        stats = self.build().stats()
+        assert stats["register"] == 3
+        assert stats["logic"] == 2
+        assert stats["edges"] == 4
+
+    def test_copy_is_deep(self):
+        dfs = self.build()
+        clone = dfs.copy()
+        clone.node("in").marked = False
+        assert dfs.node("in").marked is True
+        assert clone.edges == dfs.edges
+
+
+class TestControls:
+    def test_controls_of_and_controlled_by(self):
+        dfs = DataflowStructure()
+        dfs.add_control("ctrl", marked=True, value=True)
+        dfs.add_push("p")
+        dfs.add_register("r", marked=True)
+        dfs.connect("ctrl", "p")
+        dfs.connect("r", "p")
+        assert dfs.controls_of("p") == {"ctrl"}
+        assert dfs.controlled_by("ctrl") == {"p"}
+
+    def test_set_initial_marking(self):
+        dfs = DataflowStructure()
+        dfs.add_register("a")
+        dfs.add_control("c")
+        dfs.set_initial_marking(["a", "c"], values={"c": False})
+        assert dfs.node("a").marked
+        assert dfs.node("c").marked and dfs.node("c").initial_value is False
+        dfs.set_initial_marking({"a": False, "c": False})
+        assert not dfs.node("a").marked
+        assert dfs.node("c").initial_value is None
+
+    def test_cannot_mark_logic(self):
+        dfs = DataflowStructure()
+        dfs.add_logic("f")
+        with pytest.raises(ModelError):
+            dfs.set_initial_marking(["f"])

@@ -1,0 +1,162 @@
+"""Tests for the DFS enabling rules (repro.dfs.semantics) on small models.
+
+These check the paper's equations (1)-(5) case by case: logic
+evaluation/reset, static register marking, the push/pop dynamic behaviour and
+the control-register choice.
+"""
+
+import pytest
+
+from repro.dfs.model import DataflowStructure
+from repro.dfs.semantics import EventAction, Literal, events_for_node, model_events
+from repro.dfs.simulation import DfsSimulator
+
+
+class TestEventGeneration:
+    def test_logic_node_has_two_events(self, simple_chain):
+        events = events_for_node(simple_chain, "f")
+        assert {event.action for event in events} == {EventAction.EVALUATE, EventAction.RESET}
+
+    def test_plain_register_has_two_events(self, simple_chain):
+        events = events_for_node(simple_chain, "b")
+        assert {event.action for event in events} == {EventAction.MARK, EventAction.UNMARK}
+
+    def test_event_names_follow_paper_convention(self, simple_chain):
+        names = set(model_events(simple_chain))
+        assert {"C_f+", "C_f-", "M_a+", "M_a-", "M_b+", "M_b-"} == names
+
+    def test_uncontrolled_push_acts_static(self):
+        dfs = DataflowStructure()
+        dfs.add_register("a", marked=True)
+        dfs.add_push("p")
+        dfs.connect("a", "p")
+        actions = {event.action for event in events_for_node(dfs, "p")}
+        assert EventAction.MARK_FALSE not in actions
+        assert EventAction.MARK_TRUE in actions
+
+    def test_controlled_push_has_false_events(self):
+        dfs = DataflowStructure()
+        dfs.add_register("a", marked=True)
+        dfs.add_control("c", marked=True, value=False)
+        dfs.add_push("p")
+        dfs.connect("a", "p")
+        dfs.connect("c", "p")
+        actions = {event.action for event in events_for_node(dfs, "p")}
+        assert EventAction.MARK_FALSE in actions
+        assert EventAction.UNMARK_FALSE in actions
+
+    def test_control_register_always_has_both_choices(self):
+        dfs = DataflowStructure()
+        dfs.add_register("a", marked=True)
+        dfs.add_logic("cond")
+        dfs.add_control("ctrl")
+        dfs.connect_chain("a", "cond", "ctrl")
+        actions = {event.action for event in events_for_node(dfs, "ctrl")}
+        assert EventAction.MARK_TRUE in actions and EventAction.MARK_FALSE in actions
+
+    def test_invalid_literal_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Literal("X", "node", True)
+
+
+class TestLogicGuards:
+    def test_logic_evaluation_requires_preset_register_marked(self, simple_chain):
+        events = model_events(simple_chain)
+        guard = events["C_f+"].guard
+        assert Literal("M", "a", True) in guard
+
+    def test_logic_reset_requires_preset_register_unmarked(self, simple_chain):
+        guard = model_events(simple_chain)["C_f-"].guard
+        assert Literal("M", "a", False) in guard
+
+    def test_logic_after_push_requires_true_token(self):
+        dfs = DataflowStructure()
+        dfs.add_control("c", marked=True)
+        dfs.add_push("p")
+        dfs.add_logic("f")
+        dfs.add_register("r", marked=False)
+        dfs.add_register("src", marked=True)
+        dfs.connect("src", "p")
+        dfs.connect("c", "p")
+        dfs.connect("p", "f")
+        dfs.connect("f", "r")
+        guard = model_events(dfs)["C_f+"].guard
+        assert Literal("Mt", "p", True) in guard
+
+
+class TestRegisterGuards:
+    def test_register_marking_requires_r_postset_empty(self, simple_chain):
+        guard = model_events(simple_chain)["M_a+"].guard
+        assert Literal("M", "b", False) in guard
+
+    def test_register_unmarking_requires_r_postset_marked(self, simple_chain):
+        guard = model_events(simple_chain)["M_a-"].guard
+        assert Literal("M", "b", True) in guard
+
+    def test_data_register_waits_for_real_token_in_downstream_pop(self):
+        dfs = DataflowStructure()
+        dfs.add_register("r", marked=True)
+        dfs.add_control("c", marked=True)
+        dfs.add_pop("o")
+        dfs.connect("r", "o")
+        dfs.connect("c", "o")
+        guard = model_events(dfs)["M_r-"].guard
+        assert Literal("Mt", "o", True) in guard
+
+    def test_control_register_accepts_any_token_in_controlled_pop(self):
+        dfs = DataflowStructure()
+        dfs.add_register("r", marked=True)
+        dfs.add_control("c", marked=True)
+        dfs.add_pop("o")
+        dfs.connect("r", "o")
+        dfs.connect("c", "o")
+        for event_name in ("Mt_c-", "Mf_c-"):
+            guard = model_events(dfs)[event_name].guard
+            assert Literal("Mt", "o", True) not in guard
+            assert Literal("M", "o", True) in guard
+
+
+class TestMotivatingExampleBehaviour:
+    """Directed token-game scenarios on the Fig. 1b model."""
+
+    def test_true_path_goes_through_comp(self, conditional_dfs):
+        simulator = DfsSimulator(conditional_dfs, choice_policy=lambda node, idx: True)
+        simulator.fire_sequence([
+            "M_in+", "C_cond+", "Mt_ctrl+", "Mt_filt+", "C_comp1+", "M_r1+",
+        ])
+        assert simulator.state.is_marked("r1")
+        # The pop takes the token as a static register would.
+        assert "Mt_out+" in simulator.enabled_events()
+
+    def test_false_path_bypasses_comp(self, conditional_dfs):
+        simulator = DfsSimulator(conditional_dfs, choice_policy=lambda node, idx: False)
+        simulator.fire_sequence(["M_in+", "C_cond+", "Mf_ctrl+", "Mf_filt+"])
+        # The expensive pipeline never sees the token...
+        assert "C_comp1+" not in simulator.enabled_events()
+        # ...but the pop produces an empty token at the output.
+        assert "Mf_out+" in simulator.enabled_events()
+        simulator.fire("Mf_out+")
+        assert simulator.state.token_value("out") is False
+
+    def test_false_token_is_destroyed_by_push(self, conditional_dfs):
+        simulator = DfsSimulator(conditional_dfs, choice_policy=lambda node, idx: False)
+        simulator.fire_sequence([
+            "M_in+", "C_cond+", "Mf_ctrl+", "Mf_filt+", "Mf_out+", "M_in-",
+            "C_cond-", "Mf_ctrl-",
+        ])
+        # The push can now destroy the token without the comp register ever marking.
+        assert "Mf_filt-" in simulator.enabled_events()
+        simulator.fire("Mf_filt-")
+        assert not simulator.state.is_marked("filt")
+        assert not simulator.state.is_marked("r1")
+
+    def test_full_false_cycle_returns_to_idle(self, conditional_dfs):
+        simulator = DfsSimulator(conditional_dfs, choice_policy=lambda node, idx: False)
+        sequence = [
+            "M_in+", "C_cond+", "Mf_ctrl+", "Mf_filt+", "Mf_out+", "M_in-",
+            "C_cond-", "Mf_ctrl-", "Mf_filt-", "Mf_out-",
+        ]
+        simulator.fire_sequence(sequence)
+        assert simulator.state.marked_registers() == []
+        # A new item can now be processed.
+        assert "M_in+" in simulator.enabled_events()

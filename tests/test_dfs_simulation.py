@@ -1,0 +1,106 @@
+"""Tests for the DFS token-game simulator and state object."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.dfs.simulation import DfsSimulator
+from repro.dfs.state import DfsState
+
+
+class TestDfsState:
+    def test_initial_state_reflects_marking(self, conditional_dfs):
+        state = DfsState(conditional_dfs)
+        assert not state.is_marked("in")
+        assert not state.is_evaluated("cond")
+        assert state.token_count() == 0
+
+    def test_initial_value_of_marked_control(self):
+        from repro.dfs.model import DataflowStructure
+        dfs = DataflowStructure()
+        dfs.add_control("c", marked=True, value=False)
+        state = DfsState(dfs)
+        assert state.is_marked("c")
+        assert state.token_value("c") is False
+
+    def test_freeze_is_hashable_and_stable(self, simple_chain):
+        state = DfsState(simple_chain)
+        assert state.freeze() == DfsState(simple_chain).freeze()
+        assert isinstance(hash(state.freeze()), int)
+
+    def test_copy_is_independent(self, simple_chain):
+        state = DfsState(simple_chain)
+        clone = state.copy()
+        clone.marked["a"] = False
+        assert state.marked["a"] is True
+
+    def test_describe_mentions_marked_registers(self, simple_chain):
+        assert "a" in DfsState(simple_chain).describe()
+
+
+class TestSimulator:
+    def test_fire_unknown_event_raises(self, simple_chain):
+        simulator = DfsSimulator(simple_chain)
+        with pytest.raises(SimulationError):
+            simulator.fire("M_zzz+")
+
+    def test_fire_disabled_event_raises(self, simple_chain):
+        simulator = DfsSimulator(simple_chain)
+        with pytest.raises(SimulationError):
+            simulator.fire("M_b+")  # b needs f evaluated first
+
+    def test_token_propagates_along_chain(self, simple_chain):
+        simulator = DfsSimulator(simple_chain)
+        simulator.fire_sequence(["C_f+", "M_b+", "M_a-"])
+        assert simulator.state.is_marked("b")
+        assert not simulator.state.is_marked("a")
+
+    def test_reset_restores_initial_state(self, simple_chain):
+        simulator = DfsSimulator(simple_chain)
+        simulator.fire("C_f+")
+        simulator.reset()
+        assert not simulator.state.is_evaluated("f")
+        assert simulator.trace == []
+
+    def test_random_run_reproducible(self, conditional_dfs):
+        first = DfsSimulator(conditional_dfs).run_random(100, seed=7)
+        second = DfsSimulator(conditional_dfs).run_random(100, seed=7)
+        assert first == second
+
+    def test_random_run_never_deadlocks_on_conditional(self, conditional_dfs):
+        simulator = DfsSimulator(conditional_dfs)
+        simulator.run_random(300, seed=11)
+        assert not simulator.is_deadlocked()
+
+    def test_choice_policy_forces_value(self, conditional_dfs):
+        simulator = DfsSimulator(conditional_dfs, choice_policy=lambda node, idx: False)
+        simulator.fire_sequence(["M_in+", "C_cond+"])
+        enabled = simulator.enabled_events()
+        assert "Mf_ctrl+" in enabled
+        assert "Mt_ctrl+" not in enabled
+
+    def test_tokens_produced_counts_marking_events(self, conditional_dfs):
+        simulator = DfsSimulator(conditional_dfs)
+        simulator.run_random(200, seed=3)
+        count = simulator.tokens_produced("out")
+        assert count >= 1
+        expected = sum(1 for name in simulator.trace if name in ("Mt_out+", "Mf_out+"))
+        assert count == expected
+
+    def test_token_ring_never_empties_or_fills(self, ring):
+        """A ring can neither lose its token nor fill every register.
+
+        With the spread-token register semantics the number of marked
+        registers fluctuates while a token is being copied downstream, but
+        the ring must always keep at least one marked register (the token
+        cannot vanish) and at least one unmarked register (a token can only
+        move into a hole).
+        """
+        import random
+        simulator = DfsSimulator(ring)
+        rng = random.Random(5)
+        registers = len(ring.register_nodes)
+        for _ in range(150):
+            if simulator.step_random(rng) is None:
+                break
+            count = simulator.state.token_count()
+            assert 1 <= count <= registers - 1

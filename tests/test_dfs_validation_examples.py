@@ -1,0 +1,131 @@
+"""Tests for repro.dfs.validation and repro.dfs.examples."""
+
+import pytest
+
+from repro.dfs.examples import (
+    conditional_comp_dfs,
+    conditional_comp_sdfs,
+    linear_pipeline,
+    token_ring,
+)
+from repro.dfs.model import DataflowStructure
+from repro.dfs.validation import Severity, has_errors, validate_structure
+
+
+class TestValidation:
+    def test_clean_model_has_no_errors(self, conditional_dfs):
+        issues = validate_structure(conditional_dfs)
+        assert not has_errors(issues)
+
+    def test_combinational_cycle_is_an_error(self):
+        dfs = DataflowStructure()
+        dfs.add_logic("f")
+        dfs.add_logic("g")
+        dfs.add_register("r", marked=True)
+        dfs.connect("f", "g")
+        dfs.connect("g", "f")
+        dfs.connect("r", "f")
+        issues = validate_structure(dfs)
+        assert any("combinational cycle" in issue.message for issue in issues)
+        assert has_errors(issues)
+
+    def test_dangling_logic_reported(self):
+        dfs = DataflowStructure()
+        dfs.add_logic("f")
+        dfs.add_register("r", marked=True)
+        dfs.connect("r", "f")
+        issues = validate_structure(dfs)
+        assert any("no postset" in issue.message for issue in issues)
+
+    def test_logic_without_preset_is_an_error(self):
+        dfs = DataflowStructure()
+        dfs.add_logic("f")
+        dfs.add_register("r")
+        dfs.connect("f", "r")
+        issues = validate_structure(dfs)
+        assert any("no preset" in issue.message and issue.is_error for issue in issues)
+
+    def test_uncontrolled_push_is_a_warning(self):
+        dfs = DataflowStructure()
+        dfs.add_register("a", marked=True)
+        dfs.add_push("p")
+        dfs.connect("a", "p")
+        issues = validate_structure(dfs)
+        warnings = [issue for issue in issues if issue.severity is Severity.WARNING]
+        assert any("no control register" in issue.message for issue in warnings)
+
+    def test_short_control_loop_is_an_error(self):
+        dfs = DataflowStructure()
+        dfs.add_control("c0", marked=True)
+        dfs.add_control("c1")
+        dfs.connect("c0", "c1")
+        dfs.connect("c1", "c0")
+        issues = validate_structure(dfs)
+        assert any("fewer than 3 registers" in issue.message for issue in issues)
+
+    def test_mixed_initial_control_values_is_an_error(self):
+        dfs = DataflowStructure()
+        dfs.add_control("ct", marked=True, value=True)
+        dfs.add_control("cf", marked=True, value=False)
+        dfs.add_push("p")
+        dfs.add_register("src", marked=True)
+        dfs.connect("src", "p")
+        dfs.connect("ct", "p")
+        dfs.connect("cf", "p")
+        issues = validate_structure(dfs)
+        assert any("both True and False" in issue.message for issue in issues)
+
+    def test_isolated_node_is_a_warning(self):
+        dfs = DataflowStructure()
+        dfs.add_register("r", marked=True)
+        dfs.add_register("lonely")
+        dfs.add_logic("f")
+        dfs.connect("r", "f")
+        dfs.connect("f", "r")  # would be a self edge? no: r -> f -> r forms a loop
+        issues = validate_structure(dfs)
+        assert any("isolated" in issue.message for issue in issues)
+
+    def test_registerless_model_is_an_error(self):
+        dfs = DataflowStructure()
+        dfs.add_logic("f")
+        dfs.add_logic("g")
+        dfs.connect("f", "g")
+        assert has_errors(validate_structure(dfs))
+
+
+class TestExamples:
+    def test_conditional_dfs_node_types(self):
+        dfs = conditional_comp_dfs()
+        assert dfs.kind("ctrl").value == "control"
+        assert dfs.kind("filt").value == "push"
+        assert dfs.kind("out").value == "pop"
+
+    def test_conditional_dfs_scales_with_comp_stages(self):
+        small = conditional_comp_dfs(comp_stages=1)
+        large = conditional_comp_dfs(comp_stages=4)
+        assert len(large.nodes) == len(small.nodes) + 6
+
+    def test_conditional_sdfs_is_static(self):
+        from repro.sdfs.model import is_static
+        assert is_static(conditional_comp_sdfs())
+
+    def test_linear_pipeline_structure(self):
+        dfs = linear_pipeline(stages=4)
+        assert len(dfs.plain_registers) == 5
+        assert len(dfs.logic_nodes) == 4
+        assert dfs.input_registers() == ["r0"]
+        assert dfs.output_registers() == ["r4"]
+
+    def test_token_ring_token_count(self):
+        dfs = token_ring(registers=5, tokens=2)
+        marked = [name for name, flag in dfs.initial_marking().items() if flag]
+        assert len(marked) == 2
+
+    def test_token_ring_rejects_full_ring(self):
+        with pytest.raises(ValueError):
+            token_ring(registers=3, tokens=3)
+
+    def test_examples_pass_structural_validation(self):
+        for dfs in (conditional_comp_dfs(), conditional_comp_sdfs(),
+                    linear_pipeline(), token_ring()):
+            assert not has_errors(validate_structure(dfs))

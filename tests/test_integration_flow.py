@@ -1,0 +1,94 @@
+"""End-to-end integration tests: the full design flow of the paper.
+
+model -> structural validation -> verification -> performance analysis ->
+technology mapping -> Verilog export -> silicon measurements, exercised on
+the motivating example and on a small reconfigurable OPE pipeline.
+"""
+
+import pytest
+
+from repro.chip.top import ChipConfig, OpeChip
+from repro.circuits.mapping import SyncStyle
+from repro.circuits.verilog import to_verilog
+from repro.dfs.examples import conditional_comp_dfs
+from repro.dfs.serialization import dfs_from_json, dfs_to_json
+from repro.dfs.validation import has_errors, validate_structure
+from repro.ope.circuit import ope_netlist
+from repro.ope.pipeline import build_reconfigurable_ope_pipeline
+from repro.performance.analyzer import PerformanceAnalyzer
+from repro.verification.verifier import Verifier
+from repro.workcraft.project import Project
+
+
+class TestMotivatingExampleFlow:
+    def test_full_flow(self, tmp_path):
+        # 1. Model capture and persistence.
+        dfs = conditional_comp_dfs(comp_stages=2)
+        path = str(tmp_path / "conditional.json")
+        dfs_to_json(dfs, path=path)
+        dfs = dfs_from_json(path)
+
+        # 2. Structural validation.
+        assert not has_errors(validate_structure(dfs))
+
+        # 3. Formal verification through the Petri-net semantics.
+        summary = Verifier(dfs).verify_all(include_persistence=False)
+        assert summary.passed
+
+        # 4. Performance analysis.
+        report = PerformanceAnalyzer(dfs).analyse()
+        assert report is not None
+
+        # 5. Technology mapping and Verilog export.
+        from repro.circuits.mapping import map_dfs_to_netlist
+        netlist = map_dfs_to_netlist(dfs)
+        verilog = to_verilog(netlist)
+        assert "module" in verilog and "push_register" in verilog
+
+
+class TestOpePipelineFlow:
+    def test_small_reconfigurable_ope_flow(self):
+        pipeline, configuration = build_reconfigurable_ope_pipeline(stages=3, depth=3)
+
+        # Structural validation and configuration sanity.
+        assert not has_errors(validate_structure(pipeline.dfs))
+        assert configuration.validate() == []
+
+        # Verification of the fully-included configuration.
+        verifier = Verifier(pipeline.dfs, max_states=500000)
+        assert verifier.verify_deadlock_freedom().holds is True
+        assert verifier.verify_control_mismatch().holds is True
+
+        # Mapping with the fabricated (daisy-chain) synchronisation style.
+        netlist = ope_netlist(pipeline, sync_style=SyncStyle.DAISY_CHAIN)
+        assert netlist.total_area() > 0
+
+    def test_reconfigured_depth_still_verifies(self):
+        pipeline, configuration = build_reconfigurable_ope_pipeline(stages=3, depth=3,
+                                                                    min_depth=2)
+        configuration.set_depth(2)
+        assert configuration.current_depth() == 2
+        verifier = Verifier(pipeline.dfs, max_states=500000)
+        assert verifier.verify_deadlock_freedom().holds is True
+
+
+class TestChipLevelFlow:
+    def test_chip_measurements_consistent_with_functional_model(self):
+        chip = OpeChip()
+        chip.set_config(ChipConfig.RECONFIGURABLE)
+        chip.set_depth(6)
+        run = chip.run_random(seed=0x5EED, count=800)
+        assert run["checksum"] == chip.behavioural_checksum(seed=0x5EED, count=800)
+        measurement = chip.measure(1_000_000, 0.8)
+        assert measurement.computation_time_s > 0
+
+    def test_project_workspace_holds_the_whole_design(self, tmp_path):
+        project = Project("ope_design")
+        project.add("conditional", conditional_comp_dfs())
+        pipeline, _ = build_reconfigurable_ope_pipeline(stages=3, depth=3)
+        project.add("ope3", pipeline.dfs)
+        directory = str(tmp_path / "ws")
+        project.save(directory)
+        restored = Project.load(directory)
+        assert set(restored.names()) == {"conditional", "ope3"}
+        assert restored.run("ope3", "validate") is not None

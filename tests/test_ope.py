@@ -1,0 +1,153 @@
+"""Tests for the OPE case study: reference model, functional pipeline, DFS models."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.ope.circuit import ope_netlist, ope_silicon_model
+from repro.ope.functional import OpePipelineFunctional
+from repro.ope.pipeline import build_reconfigurable_ope_pipeline, build_static_ope_pipeline
+from repro.ope.reference import OpeReference, ordinal_ranks, paper_example_table, rank_of_new_item
+from repro.circuits.mapping import SyncStyle, mapping_summary
+from repro.silicon.chip import SyncStructure
+
+
+class TestOrdinalRanks:
+    def test_footnote_example(self):
+        assert ordinal_ranks([2, 0, 1, 7]) == [3, 1, 2, 4]
+
+    def test_paper_window_example(self):
+        assert ordinal_ranks([3, 1, 4, 1, 5, 9]) == [3, 1, 4, 2, 5, 6]
+
+    def test_ties_resolved_by_position(self):
+        assert ordinal_ranks([5, 5, 5]) == [1, 2, 3]
+
+    def test_rank_is_a_permutation(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            window = [rng.randrange(50) for _ in range(8)]
+            assert sorted(ordinal_ranks(window)) == list(range(1, 9))
+
+    def test_rank_of_new_item(self):
+        assert rank_of_new_item([3, 1, 4], 2) == 2
+        assert rank_of_new_item([3, 1, 4], 10) == 4
+        assert rank_of_new_item([], 7) == 1
+
+
+class TestOpeReference:
+    def test_paper_table(self):
+        rows = paper_example_table()
+        assert [row["rank_list"] for row in rows] == [
+            (3, 1, 4, 2, 5, 6), (1, 4, 2, 5, 6, 3), (3, 1, 4, 6, 2, 5)]
+        assert [row["index"] for row in rows] == [1, 2, 3]
+
+    def test_encode_window_count(self):
+        reference = OpeReference(6)
+        assert len(reference.encode(range(10))) == 5
+
+    def test_short_stream_produces_nothing(self):
+        reference = OpeReference(6)
+        assert reference.encode([1, 2, 3]) == []
+        assert reference.encode_last([1, 2, 3]) is None
+
+    def test_encode_last(self):
+        assert OpeReference(3).encode_last([5, 1, 9, 2]) == ordinal_ranks([1, 9, 2])
+
+    def test_checksum_is_deterministic_and_sensitive(self):
+        reference = OpeReference(4)
+        stream = [3, 1, 4, 1, 5, 9, 2, 6]
+        assert reference.checksum(stream) == reference.checksum(stream)
+        assert reference.checksum(stream) != reference.checksum(stream[::-1])
+
+    def test_invalid_window_size(self):
+        with pytest.raises(ConfigurationError):
+            OpeReference(0)
+
+
+class TestFunctionalPipeline:
+    def test_matches_reference_on_random_streams(self):
+        rng = random.Random(7)
+        for depth in (1, 2, 3, 6, 10):
+            stream = [rng.randrange(1000) for _ in range(120)]
+            assert OpePipelineFunctional(depth).process(stream) == OpeReference(depth).encode(stream)
+
+    def test_matches_reference_with_many_ties(self):
+        rng = random.Random(8)
+        stream = [rng.randrange(4) for _ in range(100)]
+        assert OpePipelineFunctional(5).process(stream) == OpeReference(5).encode(stream)
+
+    def test_latency_before_window_fills(self):
+        pipeline = OpePipelineFunctional(4)
+        outputs = [pipeline.push(i) for i in range(6)]
+        assert outputs[:3] == [None, None, None]
+        assert outputs[3] is not None
+
+    def test_internal_consistency_check(self):
+        pipeline = OpePipelineFunctional(5)
+        pipeline.process(range(20))
+        assert pipeline.check_against_reference()
+
+    def test_reset(self):
+        pipeline = OpePipelineFunctional(3)
+        pipeline.process([5, 6, 7])
+        pipeline.reset()
+        assert pipeline.window == []
+        assert not pipeline.full
+
+    def test_invalid_depth(self):
+        with pytest.raises(ConfigurationError):
+            OpePipelineFunctional(0)
+
+
+class TestOpeDfsPipelines:
+    def test_static_pipeline_is_fully_static(self):
+        pipeline = build_static_ope_pipeline(stages=4)
+        assert len(pipeline.static_stages) == 4
+        assert pipeline.reconfigurable_stages == []
+
+    def test_reconfigurable_pipeline_structure(self):
+        pipeline, configuration = build_reconfigurable_ope_pipeline(stages=4, depth=3)
+        assert len(pipeline.static_stages) == 1
+        assert len(pipeline.reconfigurable_stages) == 3
+        assert configuration.current_depth() == 3
+        # The s2 optimisation: a single shared control loop.
+        assert len(pipeline.stage(2).control_loops) == 1
+        assert len(pipeline.stage(3).control_loops) == 2
+
+    def test_depth_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            build_reconfigurable_ope_pipeline(stages=4, depth=1)
+        with pytest.raises(ConfigurationError):
+            build_reconfigurable_ope_pipeline(stages=4, depth=9)
+        with pytest.raises(ConfigurationError):
+            build_static_ope_pipeline(stages=0)
+
+    def test_function_annotations_for_mapping(self):
+        pipeline = build_static_ope_pipeline(stages=2)
+        functions = {pipeline.dfs.node(name).function for name in pipeline.dfs.logic_nodes}
+        assert {"compare", "rank", "aggregate"} <= functions
+
+
+class TestOpeCircuit:
+    def test_netlist_instance_count_grows_with_stages(self):
+        small, _ = build_reconfigurable_ope_pipeline(stages=3, depth=3)
+        large, _ = build_reconfigurable_ope_pipeline(stages=5, depth=5)
+        small_summary = mapping_summary(ope_netlist(small))
+        large_summary = mapping_summary(ope_netlist(large))
+        assert large_summary["instances"] > small_summary["instances"]
+        assert large_summary["area_um2"] > small_summary["area_um2"]
+
+    def test_netlist_sync_style_selectable(self):
+        pipeline, _ = build_reconfigurable_ope_pipeline(stages=3, depth=3)
+        chain = ope_netlist(pipeline, sync_style=SyncStyle.DAISY_CHAIN)
+        tree = ope_netlist(pipeline, sync_style=SyncStyle.TREE)
+        assert chain.component_counts().get("c_element", 0) == \
+            tree.component_counts().get("c_element", 0)
+
+    def test_silicon_model_defaults_match_fabricated_chip(self):
+        static = ope_silicon_model(18, reconfigurable=False)
+        reconfigurable = ope_silicon_model(18, reconfigurable=True)
+        assert static.sync_structure is SyncStructure.TREE
+        assert reconfigurable.sync_structure is SyncStructure.DAISY_CHAIN
+        assert reconfigurable.cycle_time_ns() > static.cycle_time_ns()

@@ -1,0 +1,145 @@
+"""Tests for the performance analysis package (cycles, analyser, timed sim)."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.dfs.examples import conditional_comp_dfs, conditional_comp_sdfs, linear_pipeline, token_ring
+from repro.performance.analyzer import PerformanceAnalyzer
+from repro.performance.cycles import CycleMetrics, cycle_bottlenecks, dataflow_cycles, slowest_cycles
+from repro.performance.optimization import suggest_optimisations, wagging_speedup
+from repro.performance.timed import TimedDfsSimulator
+
+
+class TestCycleMetrics:
+    def test_ring_metrics(self):
+        ring = token_ring(registers=4, tokens=1, logic_delay=1.0)
+        metrics = dataflow_cycles(ring)
+        assert len(metrics) == 1
+        cycle = metrics[0]
+        assert cycle.registers == 4
+        assert cycle.tokens == 1
+        assert cycle.holes == 3
+        assert cycle.delay == pytest.approx(4 * 1.0 + 4 * 0.2)
+        assert cycle.throughput == pytest.approx(1 / cycle.delay)
+
+    def test_hole_limited_cycle(self):
+        ring = token_ring(registers=4, tokens=3)
+        cycle = dataflow_cycles(ring)[0]
+        assert cycle.holes == 1
+        assert not cycle.token_limited
+        assert cycle.throughput == pytest.approx(1 / cycle.delay)
+
+    def test_stalled_cycle_with_no_token(self):
+        ring = token_ring(registers=3, tokens=1)
+        ring.node("r0").marked = False
+        cycle = dataflow_cycles(ring)[0]
+        assert cycle.is_stalled
+        assert cycle.throughput == 0.0
+
+    def test_feed_forward_pipeline_has_no_cycles(self):
+        assert dataflow_cycles(linear_pipeline(stages=3)) == []
+
+    def test_slowest_cycles_ordering(self):
+        fast = CycleMetrics(["a"], registers=2, tokens=1, delay=1.0)
+        slow = CycleMetrics(["b"], registers=2, tokens=1, delay=10.0)
+        assert slowest_cycles([fast, slow], count=1) == [slow]
+
+    def test_bottleneck_nodes_are_max_delay(self):
+        ring = token_ring(registers=3, tokens=1, logic_delay=2.0)
+        ring.node("f1").delay = 9.0
+        cycle = dataflow_cycles(ring)[0]
+        assert cycle_bottlenecks(ring, cycle) == ["f1"]
+
+
+class TestAnalyzer:
+    def test_report_throughput_matches_slowest_cycle(self):
+        ring = token_ring(registers=4, tokens=1)
+        report = PerformanceAnalyzer(ring).analyse()
+        assert report.throughput == pytest.approx(min(m.throughput for m in report.cycles))
+
+    def test_report_for_acyclic_model(self):
+        report = PerformanceAnalyzer(linear_pipeline()).analyse()
+        assert report.throughput is None
+        assert "no cycles" in report.render()
+
+    def test_report_render_lists_bottlenecks(self):
+        report = PerformanceAnalyzer(token_ring(registers=4, tokens=1)).analyse()
+        text = report.render()
+        assert "bottleneck node" in text
+        assert report.table()
+
+    def test_control_loop_cycles_visible_in_reconfigurable_pipeline(
+            self, small_reconfigurable_pipeline):
+        report = PerformanceAnalyzer(small_reconfigurable_pipeline.dfs).analyse()
+        # Each control loop of the reconfigurable stage is a cycle.
+        assert len(report.cycles) >= 1
+
+
+class TestOptimisation:
+    def test_token_limited_suggestion(self):
+        report = PerformanceAnalyzer(token_ring(registers=6, tokens=1)).analyse()
+        suggestions = suggest_optimisations(report)
+        kinds = {s.kind for s in suggestions}
+        assert "add-token" in kinds
+        assert "wagging" in kinds
+
+    def test_bubble_limited_suggestion(self):
+        report = PerformanceAnalyzer(token_ring(registers=4, tokens=3)).analyse()
+        kinds = {s.kind for s in suggest_optimisations(report)}
+        assert "add-register" in kinds
+
+    def test_stalled_cycle_suggestion(self):
+        ring = token_ring(registers=3, tokens=1)
+        ring.node("r0").marked = False
+        report = PerformanceAnalyzer(ring).analyse()
+        suggestions = suggest_optimisations(report)
+        assert any("never advance" in s.message for s in suggestions)
+
+    def test_target_throughput_filters(self):
+        report = PerformanceAnalyzer(token_ring(registers=4, tokens=1)).analyse()
+        assert suggest_optimisations(report, target_throughput=1e-9) == []
+
+    def test_wagging_speedup(self):
+        assert wagging_speedup(1) == pytest.approx(1.0)
+        assert wagging_speedup(2) > 1.5
+        assert wagging_speedup(4) < 4.0
+        with pytest.raises(ValueError):
+            wagging_speedup(0)
+
+
+class TestTimedSimulation:
+    def test_throughput_of_ring_matches_analysis(self):
+        ring = token_ring(registers=4, tokens=1, logic_delay=1.0)
+        run = TimedDfsSimulator(ring, seed=0).run("r0", token_goal=20)
+        analytic = PerformanceAnalyzer(ring).analyse().throughput
+        # The timed simulation should land in the same ballpark as the
+        # analytic cycle bound (within a factor of two).
+        assert run.throughput == pytest.approx(analytic, rel=1.0)
+        assert run.tokens_at_observed == 20
+
+    def test_false_fraction_speeds_up_conditional_dfs(self):
+        dfs_false = TimedDfsSimulator(
+            conditional_comp_dfs(comp_stages=2),
+            choice_policy=lambda node, idx: False, seed=1).run("out", token_goal=20)
+        dfs_true = TimedDfsSimulator(
+            conditional_comp_dfs(comp_stages=2),
+            choice_policy=lambda node, idx: True, seed=1).run("out", token_goal=20)
+        assert dfs_false.mean_cycle_time < dfs_true.mean_cycle_time
+
+    def test_sdfs_pays_worst_case_regardless_of_data(self):
+        sdfs_run = TimedDfsSimulator(conditional_comp_sdfs(comp_stages=2), seed=1).run(
+            "out", token_goal=20)
+        dfs_false = TimedDfsSimulator(
+            conditional_comp_dfs(comp_stages=2),
+            choice_policy=lambda node, idx: False, seed=1).run("out", token_goal=20)
+        assert dfs_false.mean_cycle_time < sdfs_run.mean_cycle_time
+
+    def test_unknown_observation_register_raises(self, conditional_dfs):
+        with pytest.raises(SimulationError):
+            TimedDfsSimulator(conditional_dfs).run("nope", token_goal=1)
+
+    def test_run_for_advances_clock(self, ring):
+        simulator = TimedDfsSimulator(ring, seed=0)
+        fired = simulator.run_for(10.0)
+        assert fired > 0
+        assert simulator.now >= 10.0 or simulator.step() is None

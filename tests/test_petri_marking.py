@@ -1,0 +1,80 @@
+"""Tests for repro.petri.marking."""
+
+import pytest
+
+from repro.petri.marking import Marking
+
+
+class TestConstruction:
+    def test_zero_counts_are_dropped(self):
+        marking = Marking({"a": 0, "b": 1})
+        assert "a" not in marking
+        assert marking["a"] == 0
+        assert marking["b"] == 1
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            Marking({"a": -1})
+
+    def test_empty_marking(self):
+        marking = Marking()
+        assert len(marking) == 0
+        assert marking.total() == 0
+
+
+class TestEqualityAndHashing:
+    def test_equality_ignores_zero_places(self):
+        assert Marking({"a": 1, "b": 0}) == Marking({"a": 1})
+
+    def test_equality_with_dict(self):
+        assert Marking({"a": 2}) == {"a": 2}
+
+    def test_hash_consistency(self):
+        assert hash(Marking({"a": 1, "b": 2})) == hash(Marking({"b": 2, "a": 1}))
+
+    def test_usable_as_dict_key(self):
+        store = {Marking({"a": 1}): "state1"}
+        assert store[Marking({"a": 1})] == "state1"
+
+
+class TestUpdates:
+    def test_add_returns_new_marking(self):
+        original = Marking({"a": 1})
+        updated = original.add("a")
+        assert updated["a"] == 2
+        assert original["a"] == 1
+
+    def test_remove(self):
+        assert Marking({"a": 2}).remove("a")["a"] == 1
+
+    def test_remove_too_many_raises(self):
+        with pytest.raises(ValueError):
+            Marking({"a": 1}).remove("a", 2)
+
+    def test_fire_consumes_and_produces(self):
+        marking = Marking({"p": 1})
+        successor = marking.fire({"p": 1}, {"q": 1})
+        assert successor == Marking({"q": 1})
+
+    def test_fire_insufficient_tokens_raises(self):
+        with pytest.raises(ValueError):
+            Marking({"p": 0}).fire({"p": 1}, {})
+
+
+class TestQueries:
+    def test_covers(self):
+        assert Marking({"a": 2, "b": 1}).covers({"a": 1})
+        assert not Marking({"a": 1}).covers({"a": 2})
+
+    def test_marked_places(self):
+        assert Marking({"a": 1, "b": 3}).marked_places() == {"a", "b"}
+
+    def test_total(self):
+        assert Marking({"a": 1, "b": 3}).total() == 4
+
+    def test_restricted_to(self):
+        marking = Marking({"a": 1, "b": 2, "c": 3})
+        assert marking.restricted_to(["a", "c"]) == Marking({"a": 1, "c": 3})
+
+    def test_as_dict(self):
+        assert Marking({"a": 1, "b": 0}).as_dict() == {"a": 1}

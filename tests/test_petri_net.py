@@ -1,0 +1,120 @@
+"""Tests for repro.petri.net."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.petri.marking import Marking
+from repro.petri.net import ArcKind, PetriNet
+
+
+def build_producer_consumer():
+    """p -> t -> q with one token in p."""
+    net = PetriNet("pc")
+    net.add_place("p", tokens=1)
+    net.add_place("q")
+    net.add_transition("t")
+    net.add_arc("p", "t")
+    net.add_arc("t", "q")
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_place_rejected(self):
+        net = PetriNet()
+        net.add_place("p")
+        with pytest.raises(ValueError):
+            net.add_place("p")
+
+    def test_arc_must_connect_place_and_transition(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_place("q")
+        with pytest.raises(ModelError):
+            net.add_arc("p", "q")
+
+    def test_arc_kinds_recorded(self):
+        net = build_producer_consumer()
+        kinds = {arc.kind for arc in net.arcs}
+        assert kinds == {ArcKind.CONSUME, ArcKind.PRODUCE}
+
+    def test_read_arc(self):
+        net = build_producer_consumer()
+        net.add_place("guard", tokens=1)
+        net.add_read_arc("guard", "t")
+        assert "guard" in net.read_places("t")
+        assert "guard" in net.preset("t")
+        assert "guard" not in net.consumed_places("t")
+
+
+class TestSemantics:
+    def test_enabled_and_fire(self):
+        net = build_producer_consumer()
+        marking = net.initial_marking()
+        assert net.is_enabled("t", marking)
+        successor = net.fire("t", marking)
+        assert successor == Marking({"q": 1})
+
+    def test_disabled_without_token(self):
+        net = build_producer_consumer()
+        assert not net.is_enabled("t", Marking())
+
+    def test_read_arc_requires_token_but_does_not_consume(self):
+        net = build_producer_consumer()
+        net.add_place("guard", tokens=0)
+        net.add_read_arc("guard", "t")
+        assert not net.is_enabled("t", net.initial_marking())
+        net.place("guard").tokens = 1
+        marking = net.initial_marking()
+        successor = net.fire("t", marking)
+        assert successor["guard"] == 1  # unchanged
+
+    def test_fire_disabled_raises(self):
+        net = build_producer_consumer()
+        with pytest.raises(ModelError):
+            net.fire("t", Marking())
+
+    def test_capacity_violation_raises(self):
+        net = PetriNet()
+        net.add_place("p", tokens=1)
+        net.add_place("q", tokens=1, capacity=1)
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "q")
+        with pytest.raises(ModelError):
+            net.fire("t", net.initial_marking())
+
+    def test_enabled_transitions_sorted(self):
+        net = PetriNet()
+        net.add_place("p", tokens=1)
+        for name in ("t_b", "t_a"):
+            net.add_transition(name)
+            net.add_arc("p", name)
+            net.add_arc(name, "p")
+        assert net.enabled_transitions(net.initial_marking()) == ["t_a", "t_b"]
+
+
+class TestStructure:
+    def test_presets_and_postsets(self):
+        net = build_producer_consumer()
+        assert net.preset("t") == {"p"}
+        assert net.postset("t") == {"q"}
+        assert net.place_postset("p") == {"t"}
+        assert net.place_preset("q") == {"t"}
+
+    def test_initial_marking_round_trip(self):
+        net = build_producer_consumer()
+        net.set_initial_marking({"q": 1})
+        assert net.initial_marking() == Marking({"q": 1})
+
+    def test_validate_flags_disconnected_transition(self):
+        net = PetriNet()
+        net.add_transition("lonely")
+        with pytest.raises(ModelError):
+            net.validate()
+
+    def test_unknown_lookup_raises(self):
+        net = PetriNet()
+        with pytest.raises(ModelError):
+            net.place("missing")
+        with pytest.raises(ModelError):
+            net.transition("missing")

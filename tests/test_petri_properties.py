@@ -1,0 +1,119 @@
+"""Tests for repro.petri.properties."""
+
+from repro.petri.net import PetriNet
+from repro.petri.properties import (
+    check_boundedness,
+    check_deadlock,
+    check_mutual_exclusion,
+    check_persistence,
+)
+from repro.petri.reachability import explore
+
+
+def choice_net():
+    """One token, two competing transitions (a structural conflict / choice)."""
+    net = PetriNet("choice")
+    net.add_place("p", tokens=1)
+    net.add_place("a")
+    net.add_place("b")
+    net.add_transition("ta")
+    net.add_transition("tb")
+    net.add_arc("p", "ta")
+    net.add_arc("p", "tb")
+    net.add_arc("ta", "a")
+    net.add_arc("tb", "b")
+    return net
+
+
+def hazard_net():
+    """A transition disabled through a read arc by another one (a hazard)."""
+    net = PetriNet("hazard")
+    net.add_place("g", tokens=1)
+    net.add_place("g_done")
+    net.add_place("p", tokens=1)
+    net.add_place("q")
+    net.add_transition("kill")      # consumes g
+    net.add_transition("observe")   # consumes p, reads g
+    net.add_arc("g", "kill")
+    net.add_arc("kill", "g_done")
+    net.add_arc("p", "observe")
+    net.add_arc("observe", "q")
+    net.add_read_arc("g", "observe")
+    return net
+
+
+def unbounded_like_net():
+    """A net where a place accumulates two tokens (not 1-safe)."""
+    net = PetriNet("unsafe")
+    net.add_place("src", tokens=2)
+    net.add_place("sink")
+    net.add_transition("move")
+    net.add_arc("src", "move")
+    net.add_arc("move", "sink")
+    return net
+
+
+class TestDeadlock:
+    def test_choice_net_deadlocks(self):
+        report = check_deadlock(explore(choice_net()))
+        assert report.holds is False
+        assert report.witnesses
+        assert "trace" in report.witnesses[0]
+
+    def test_cycle_free_of_deadlock(self):
+        net = PetriNet("loop")
+        net.add_place("p", tokens=1)
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "p")
+        report = check_deadlock(explore(net))
+        assert report.holds is True
+
+
+class TestPersistence:
+    def test_structural_conflict_is_not_a_hazard(self):
+        report = check_persistence(explore(choice_net()))
+        assert report.holds is True
+
+    def test_read_arc_disabling_is_a_hazard(self):
+        report = check_persistence(explore(hazard_net()))
+        assert report.holds is False
+        witness = report.witnesses[0]
+        assert witness["fired"] == "kill"
+        assert witness["disabled"] == "observe"
+
+    def test_conflicts_can_be_counted_when_not_allowed(self):
+        report = check_persistence(explore(choice_net()), allow_conflicts=False)
+        assert report.holds is False
+
+
+class TestBoundedness:
+    def test_safe_net_passes(self):
+        report = check_boundedness(explore(choice_net()), bound=1)
+        assert report.holds is True
+
+    def test_two_token_place_fails_safeness(self):
+        report = check_boundedness(explore(unbounded_like_net()), bound=1)
+        assert report.holds is False
+
+    def test_higher_bound_passes(self):
+        report = check_boundedness(explore(unbounded_like_net()), bound=2)
+        assert report.holds is True
+
+
+class TestMutualExclusion:
+    def test_exclusive_places(self):
+        report = check_mutual_exclusion(explore(choice_net()), "a", "b")
+        assert report.holds is True
+
+    def test_non_exclusive_places(self):
+        net = PetriNet("both")
+        net.add_place("p", tokens=1)
+        net.add_place("a")
+        net.add_place("b")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "a")
+        net.add_arc("t", "b")
+        report = check_mutual_exclusion(explore(net), "a", "b")
+        assert report.holds is False

@@ -1,0 +1,125 @@
+"""Tests for repro.petri.reachability and repro.petri.simulation."""
+
+import pytest
+
+from repro.exceptions import SimulationError, VerificationError
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.petri.reachability import explore
+from repro.petri.simulation import PetriSimulator, random_trace
+
+
+def ring_net(places=3, tokens=1):
+    """A ring of places and transitions (a free-choice marked graph)."""
+    net = PetriNet("ring")
+    for index in range(places):
+        net.add_place("p{}".format(index), tokens=1 if index < tokens else 0)
+        net.add_transition("t{}".format(index))
+    for index in range(places):
+        net.add_arc("p{}".format(index), "t{}".format(index))
+        net.add_arc("t{}".format(index), "p{}".format((index + 1) % places))
+    return net
+
+
+def dead_end_net():
+    """p -> t -> q and then nothing: q is a deadlock."""
+    net = PetriNet("dead")
+    net.add_place("p", tokens=1)
+    net.add_place("q")
+    net.add_transition("t")
+    net.add_arc("p", "t")
+    net.add_arc("t", "q")
+    return net
+
+
+class TestExplore:
+    def test_ring_state_count(self):
+        graph = explore(ring_net())
+        # The single token can sit in any of the three places.
+        assert len(graph) == 3
+        assert not graph.truncated
+
+    def test_deadlock_detection(self):
+        graph = explore(dead_end_net())
+        deadlocks = graph.deadlocks()
+        assert deadlocks == [Marking({"q": 1})]
+
+    def test_ring_has_no_deadlock(self):
+        assert explore(ring_net()).deadlocks() == []
+
+    def test_trace_to_reaches_target(self):
+        net = dead_end_net()
+        graph = explore(net)
+        trace = graph.trace_to(Marking({"q": 1}))
+        assert trace == ["t"]
+
+    def test_trace_to_initial_is_empty(self):
+        graph = explore(ring_net())
+        assert graph.trace_to(graph.initial_marking) == []
+
+    def test_trace_to_unreachable_raises(self):
+        graph = explore(ring_net())
+        with pytest.raises(VerificationError):
+            graph.trace_to(Marking({"p0": 5}))
+
+    def test_truncation_flag(self):
+        graph = explore(ring_net(places=6), max_states=2)
+        assert graph.truncated
+        assert len(graph) <= 3
+
+    def test_successors_and_predecessors(self):
+        graph = explore(ring_net())
+        initial = graph.initial_marking
+        successors = graph.successors(initial)
+        assert len(successors) == 1
+        transition, target = successors[0]
+        assert transition == "t0"
+        assert (transition, initial) in graph.predecessors(target)
+
+    def test_find_and_filter(self):
+        graph = explore(ring_net())
+        found = graph.find(lambda m: m["p2"] > 0)
+        assert found is not None
+        assert len(graph.filter(lambda m: True)) == len(graph)
+
+
+class TestSimulator:
+    def test_fire_and_undo(self):
+        simulator = PetriSimulator(dead_end_net())
+        simulator.fire("t")
+        assert simulator.marking == Marking({"q": 1})
+        assert simulator.undo() == "t"
+        assert simulator.marking == Marking({"p": 1})
+
+    def test_fire_disabled_raises(self):
+        simulator = PetriSimulator(dead_end_net())
+        simulator.fire("t")
+        with pytest.raises(SimulationError):
+            simulator.fire("t")
+
+    def test_undo_without_history_raises(self):
+        with pytest.raises(SimulationError):
+            PetriSimulator(ring_net()).undo()
+
+    def test_random_run_stops_on_deadlock(self):
+        simulator = PetriSimulator(dead_end_net())
+        fired = simulator.run_random(10, seed=0)
+        assert fired == ["t"]
+        assert simulator.is_deadlocked()
+
+    def test_random_run_is_reproducible(self):
+        first, _ = random_trace(ring_net(places=5, tokens=2), steps=20, seed=42)
+        second, _ = random_trace(ring_net(places=5, tokens=2), steps=20, seed=42)
+        assert first == second
+
+    def test_reset_restores_initial_marking(self):
+        simulator = PetriSimulator(ring_net())
+        simulator.run_random(5, seed=1)
+        simulator.reset()
+        assert simulator.marking == ring_net().initial_marking()
+        assert simulator.trace == []
+
+    def test_fire_sequence(self):
+        simulator = PetriSimulator(ring_net())
+        simulator.fire_sequence(["t0", "t1", "t2"])
+        assert simulator.marking == ring_net().initial_marking()

@@ -1,0 +1,179 @@
+"""Tests for the reconfigurable-pipeline methodology package."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ModelError
+from repro.dfs.model import DataflowStructure
+from repro.dfs.nodes import NodeType
+from repro.pipelines.control import add_control_loop, loop_head, set_loop_value
+from repro.pipelines.generic import build_generic_pipeline
+from repro.pipelines.reconfigurable import PipelineConfiguration
+from repro.pipelines.stage import add_reconfigurable_stage, add_static_stage
+from repro.verification.verifier import Verifier
+
+
+class TestControlLoop:
+    def test_loop_structure(self):
+        dfs = DataflowStructure()
+        dfs.add_push("p")
+        names = add_control_loop(dfs, "loop", length=3, value=True, guards=["p"])
+        assert len(names) == 3
+        assert dfs.node(names[0]).marked and dfs.node(names[0]).initial_value is True
+        assert not dfs.node(names[1]).marked
+        # The loop is closed.
+        assert (names[2], names[0]) in dfs.edges
+        assert dfs.controls_of("p") == {names[0]}
+        assert loop_head(names) == names[0]
+
+    def test_minimum_length_enforced(self):
+        dfs = DataflowStructure()
+        with pytest.raises(ModelError):
+            add_control_loop(dfs, "loop", length=2)
+
+    def test_set_loop_value(self):
+        dfs = DataflowStructure()
+        names = add_control_loop(dfs, "loop", value=True)
+        set_loop_value(dfs, names, False)
+        marked = [n for n in names if dfs.node(n).marked]
+        assert len(marked) == 1
+        assert dfs.node(marked[0]).initial_value is False
+
+    def test_loop_token_oscillates(self):
+        """A 3-register control loop with one token never deadlocks."""
+        dfs = DataflowStructure("loop_only")
+        add_control_loop(dfs, "loop", length=3, value=True)
+        assert Verifier(dfs).verify_deadlock_freedom().holds is True
+
+
+class TestStages:
+    def test_static_stage_node_types(self):
+        dfs = DataflowStructure()
+        ports = add_static_stage(dfs, "s1")
+        assert dfs.kind(ports.local_in) is NodeType.REGISTER
+        assert dfs.kind(ports.global_in) is NodeType.REGISTER
+        assert not ports.reconfigurable
+        assert ports.control_loops == []
+
+    def test_reconfigurable_stage_node_types(self):
+        dfs = DataflowStructure()
+        ports = add_reconfigurable_stage(dfs, "s2", included=True)
+        assert dfs.kind(ports.local_in) is NodeType.PUSH
+        assert dfs.kind(ports.global_in) is NodeType.PUSH
+        assert dfs.kind(ports.global_out) is NodeType.POP
+        assert len(ports.control_loops) == 2
+
+    def test_shared_control_stage_has_single_loop(self):
+        dfs = DataflowStructure()
+        ports = add_reconfigurable_stage(dfs, "s2", share_control=True)
+        assert len(ports.control_loops) == 1
+        head = ports.global_ctrl[0]
+        assert dfs.controls_of(ports.local_in) == {head}
+        assert dfs.controls_of(ports.global_in) == {head}
+        assert dfs.controls_of(ports.global_out) == {head}
+
+    def test_excluded_stage_initialised_with_false(self):
+        dfs = DataflowStructure()
+        ports = add_reconfigurable_stage(dfs, "s3", included=False)
+        head = ports.local_ctrl[0]
+        assert dfs.node(head).initial_value is False
+
+
+class TestGenericPipeline:
+    def test_structure_counts(self):
+        pipeline = build_generic_pipeline(3, static_prefix_stages=1)
+        assert pipeline.depth == 3
+        assert len(pipeline.static_stages) == 1
+        assert len(pipeline.reconfigurable_stages) == 2
+        assert pipeline.input_register == "in"
+        assert pipeline.output_register == "out"
+
+    def test_stage_indexing(self):
+        pipeline = build_generic_pipeline(3, static_prefix_stages=1)
+        assert pipeline.stage(1).name == "s1"
+        assert pipeline.stage(3).name == "s3"
+        with pytest.raises(ConfigurationError):
+            pipeline.stage(4)
+
+    def test_local_chain_connectivity(self):
+        pipeline = build_generic_pipeline(3, static_prefix_stages=1)
+        dfs = pipeline.dfs
+        assert ("in", pipeline.stage(1).local_in) in dfs.edges
+        assert (pipeline.stage(1).local_out, pipeline.stage(2).local_in) in dfs.edges
+
+    def test_global_broadcast_and_aggregation(self):
+        pipeline = build_generic_pipeline(3, static_prefix_stages=1)
+        dfs = pipeline.dfs
+        for stage in pipeline.stages:
+            assert ("in", stage.global_in) in dfs.edges
+            assert (stage.global_out, "aggregate") in dfs.edges
+        assert ("aggregate", "out") in dfs.edges
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            build_generic_pipeline(0)
+        with pytest.raises(ConfigurationError):
+            build_generic_pipeline(3, static_prefix_stages=5)
+        with pytest.raises(ConfigurationError):
+            build_generic_pipeline(3, static_prefix_stages=1, included_depth=0)
+
+    def test_fully_included_pipeline_is_deadlock_free(self, small_reconfigurable_pipeline):
+        verifier = Verifier(small_reconfigurable_pipeline.dfs, max_states=500000)
+        assert verifier.verify_deadlock_freedom().holds is True
+        assert verifier.verify_control_mismatch().holds is True
+
+    def test_depth_configured_pipeline_is_deadlock_free(self):
+        """Excluding the trailing stage must keep the pipeline alive."""
+        pipeline = build_generic_pipeline(2, static_prefix_stages=1, included_depth=1,
+                                          name="pipe2_depth1")
+        verifier = Verifier(pipeline.dfs, max_states=500000)
+        assert verifier.verify_deadlock_freedom().holds is True
+
+
+class TestConfiguration:
+    def _pipeline(self, stages=4):
+        return build_generic_pipeline(stages, static_prefix_stages=1,
+                                      name="cfg{}".format(stages))
+
+    def test_supported_depths(self):
+        configuration = PipelineConfiguration(self._pipeline(), min_depth=2)
+        assert configuration.supported_depths() == [2, 3, 4]
+        assert configuration.max_depth == 4
+
+    def test_set_depth_updates_loops(self):
+        pipeline = self._pipeline()
+        configuration = PipelineConfiguration(pipeline, min_depth=1)
+        configuration.set_depth(2)
+        assert configuration.current_depth() == 2
+        assert configuration.included_stages() == ["s1", "s2"]
+        assert configuration.validate() == []
+
+    def test_set_depth_out_of_range(self):
+        configuration = PipelineConfiguration(self._pipeline(), min_depth=2)
+        with pytest.raises(ConfigurationError):
+            configuration.set_depth(1)
+        with pytest.raises(ConfigurationError):
+            configuration.set_depth(5)
+
+    def test_min_depth_cannot_exclude_static_prefix(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfiguration(self._pipeline(), min_depth=0)
+
+    def test_hole_configuration_reported(self):
+        pipeline = self._pipeline()
+        configuration = PipelineConfiguration(pipeline, min_depth=1)
+        # Manually exclude stage 2 while stage 3 stays included: a "hole".
+        from repro.pipelines.control import set_loop_value
+        for loop in pipeline.stage(2).control_loops:
+            set_loop_value(pipeline.dfs, loop, False)
+        problems = configuration.validate()
+        assert problems
+        assert any("not a contiguous prefix" in problem for problem in problems)
+
+    def test_hole_configuration_deadlocks(self):
+        """The bad configuration class the paper caught by verification."""
+        pipeline = build_generic_pipeline(3, static_prefix_stages=1, name="hole3")
+        from repro.pipelines.control import set_loop_value
+        for loop in pipeline.stage(2).control_loops:
+            set_loop_value(pipeline.dfs, loop, False)
+        verifier = Verifier(pipeline.dfs, max_states=500000)
+        assert verifier.verify_deadlock_freedom().holds is False

@@ -1,0 +1,70 @@
+"""Tests for the SDFS baseline package."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.dfs.examples import conditional_comp_dfs, linear_pipeline, token_ring
+from repro.dfs.nodes import NodeType, RegisterNode
+from repro.sdfs.analysis import dataflow_depth, register_chains, static_summary
+from repro.sdfs.model import StaticDataflowStructure, is_static, strip_dynamic
+
+
+class TestStaticModel:
+    def test_rejects_control_registers(self):
+        sdfs = StaticDataflowStructure()
+        with pytest.raises(ModelError):
+            sdfs.add_control("c")
+
+    def test_rejects_push_and_pop(self):
+        sdfs = StaticDataflowStructure()
+        with pytest.raises(ModelError):
+            sdfs.add_push("p")
+        with pytest.raises(ModelError):
+            sdfs.add_pop("o")
+
+    def test_rejects_dynamic_node_objects(self):
+        sdfs = StaticDataflowStructure()
+        with pytest.raises(ModelError):
+            sdfs.add_node(RegisterNode("c", NodeType.CONTROL))
+
+    def test_allows_static_nodes(self):
+        sdfs = StaticDataflowStructure()
+        sdfs.add_register("r", marked=True)
+        sdfs.add_logic("f")
+        sdfs.connect("r", "f")
+        assert is_static(sdfs)
+
+    def test_is_static_detects_dynamic_nodes(self):
+        assert not is_static(conditional_comp_dfs())
+        assert is_static(linear_pipeline())
+
+    def test_strip_dynamic_demotes_registers(self):
+        static = strip_dynamic(conditional_comp_dfs())
+        assert is_static(static)
+        assert static.kind("filt") is NodeType.REGISTER
+        assert static.kind("ctrl") is NodeType.REGISTER
+        assert static.edges == conditional_comp_dfs().edges
+
+
+class TestAnalysis:
+    def test_depth_of_linear_pipeline(self):
+        assert dataflow_depth(linear_pipeline(stages=3)) == 4  # r0..r3
+
+    def test_depth_of_cyclic_structure_is_none(self):
+        assert dataflow_depth(token_ring()) is None
+
+    def test_register_chains_of_linear_pipeline(self):
+        chains = register_chains(linear_pipeline(stages=2))
+        assert chains == [["r0", "r1", "r2"]]
+
+    def test_register_chains_empty_for_cycles(self):
+        assert register_chains(token_ring()) == []
+
+    def test_static_summary_fields(self):
+        summary = static_summary(linear_pipeline(stages=3, marked_first=True))
+        assert summary["registers"] == 4
+        assert summary["logic"] == 3
+        assert summary["depth"] == 4
+        assert summary["initial_tokens"] == 1
+        assert summary["inputs"] == ["r0"]
+        assert summary["outputs"] == ["r3"]

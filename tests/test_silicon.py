@@ -1,0 +1,199 @@
+"""Tests for the silicon package: voltage model, energy, waveforms, chip model."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, MeasurementError
+from repro.silicon.chip import PipelineSiliconModel, SyncStructure
+from repro.silicon.energy import EnergyAccount, EnergyBreakdown
+from repro.silicon.environment import (
+    SupplyWaveform,
+    constant_supply,
+    dip_and_recover,
+    ramp_supply,
+    step_supply,
+)
+from repro.silicon.measurement import MeasurementHarness
+from repro.silicon.voltage import VoltageModel
+
+
+class TestVoltageModel:
+    def test_nominal_scales_are_unity(self):
+        model = VoltageModel()
+        assert model.delay_scale(1.2) == pytest.approx(1.0)
+        assert model.energy_scale(1.2) == pytest.approx(1.0)
+        assert model.leakage_scale(1.2) == pytest.approx(1.0)
+
+    def test_lower_voltage_is_slower_but_cheaper(self):
+        model = VoltageModel()
+        assert model.delay_scale(0.6) > 1.0
+        assert model.energy_scale(0.6) < 1.0
+        assert model.delay_scale(1.6) < 1.0
+        assert model.energy_scale(1.6) > 1.0
+
+    def test_delay_monotonically_decreases_with_voltage(self):
+        model = VoltageModel()
+        voltages = [0.5, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6]
+        scales = [model.delay_scale(v) for v in voltages]
+        assert scales == sorted(scales, reverse=True)
+
+    def test_freeze_below_threshold(self):
+        model = VoltageModel()
+        assert not model.is_operational(0.34)
+        assert not model.is_operational(0.3)
+        assert model.is_operational(0.35)
+        assert model.delay_scale(0.3) == float("inf")
+        assert model.speed_scale(0.3) == 0.0
+
+    def test_out_of_range_voltage_rejected(self):
+        with pytest.raises(MeasurementError):
+            VoltageModel().delay_scale(5.0)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(MeasurementError):
+            VoltageModel(nominal_voltage=1.0, threshold_voltage=1.2)
+        with pytest.raises(MeasurementError):
+            VoltageModel(threshold_voltage=0.4, freeze_voltage=0.3)
+
+    def test_sweep_rows(self):
+        rows = VoltageModel().sweep([0.3, 1.2])
+        assert rows[0]["operational"] is False
+        assert rows[1]["delay_scale"] == pytest.approx(1.0)
+
+
+class TestEnergy:
+    def test_breakdown_addition_and_scaling(self):
+        total = EnergyBreakdown(1.0, 2.0) + EnergyBreakdown(0.5, 0.5)
+        assert total.total == pytest.approx(4.0)
+        assert total.scaled(2.0).switching == pytest.approx(3.0)
+
+    def test_account_accumulates_by_label(self):
+        account = EnergyAccount()
+        account.add_switching(1e-3, label="datapath")
+        account.add_leakage_power(1e-6, 10.0, label="leakage")
+        assert account.total == pytest.approx(1e-3 + 1e-5)
+        assert account.by_label()["leakage"] == pytest.approx(1e-5)
+        assert account.breakdown().leakage == pytest.approx(1e-5)
+
+
+class TestWaveforms:
+    def test_constant_supply(self):
+        waveform = constant_supply(0.9)
+        assert waveform.voltage_at(0) == pytest.approx(0.9)
+        assert waveform.voltage_at(100) == pytest.approx(0.9)
+
+    def test_ramp_interpolation(self):
+        waveform = ramp_supply(1.0, 0.5, duration=10.0)
+        assert waveform.voltage_at(5.0) == pytest.approx(0.75)
+        assert waveform.voltage_at(20.0) == pytest.approx(0.5)
+
+    def test_step_supply(self):
+        waveform = step_supply([(0.0, 1.2), (5.0, 0.6)])
+        assert waveform.voltage_at(4.999) == pytest.approx(1.2)
+        assert waveform.voltage_at(5.001) == pytest.approx(0.6)
+
+    def test_unordered_points_rejected(self):
+        with pytest.raises(MeasurementError):
+            SupplyWaveform([(5.0, 1.0), (1.0, 0.5)])
+
+    def test_dip_and_recover_reaches_low_voltage(self):
+        waveform = dip_and_recover(high_voltage=0.5, low_voltage=0.34)
+        voltages = [v for _, v in waveform.sample(0.5)]
+        assert min(voltages) == pytest.approx(0.34)
+        assert voltages[0] == pytest.approx(0.5)
+        assert voltages[-1] == pytest.approx(0.5)
+
+    def test_sample_step_validation(self):
+        with pytest.raises(MeasurementError):
+            constant_supply(1.0, duration=1.0).sample(0)
+
+
+class TestPipelineSiliconModel:
+    def test_reference_point_calibration(self):
+        static = PipelineSiliconModel.static_ope(18)
+        time_s = static.computation_time_s(16_000_000, 1.2)
+        energy_j = static.consumed_energy_j(16_000_000, 1.2)
+        assert time_s == pytest.approx(1.22, rel=0.02)
+        assert energy_j == pytest.approx(2.74e-3, rel=0.02)
+
+    def test_reconfigurable_overheads_match_paper(self):
+        static = PipelineSiliconModel.static_ope(18)
+        reconfigurable = PipelineSiliconModel.reconfigurable_ope(18)
+        time_overhead = (reconfigurable.cycle_time_ns() / static.cycle_time_ns()) - 1.0
+        energy_overhead = (reconfigurable.energy_per_item_pj() /
+                           static.energy_per_item_pj()) - 1.0
+        assert time_overhead == pytest.approx(0.36, abs=0.02)
+        assert energy_overhead == pytest.approx(0.05, abs=0.01)
+
+    def test_tree_sync_reduces_overhead_below_ten_percent(self):
+        static = PipelineSiliconModel.static_ope(18)
+        improved = PipelineSiliconModel.reconfigurable_ope(
+            18, sync_structure=SyncStructure.TREE)
+        overhead = (improved.cycle_time_ns() / static.cycle_time_ns()) - 1.0
+        assert 0.0 < overhead < 0.10
+
+    def test_linear_scaling_with_depth(self):
+        model_a = PipelineSiliconModel.reconfigurable_ope(6)
+        model_b = PipelineSiliconModel.reconfigurable_ope(12)
+        model_c = PipelineSiliconModel.reconfigurable_ope(18)
+        t = [m.cycle_time_ns() for m in (model_a, model_b, model_c)]
+        e = [m.energy_per_item_pj() for m in (model_a, model_b, model_c)]
+        # Equal depth increments produce equal increments (linearity).
+        assert (t[1] - t[0]) == pytest.approx(t[2] - t[1], rel=1e-6)
+        assert (e[1] - e[0]) == pytest.approx(e[2] - e[1], rel=1e-6)
+
+    def test_frozen_voltage_gives_infinite_time(self):
+        model = PipelineSiliconModel.static_ope(18)
+        assert model.computation_time_s(1000, 0.3) == float("inf")
+        assert model.item_rate(0.3) == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PipelineSiliconModel(0)
+        with pytest.raises(ConfigurationError):
+            PipelineSiliconModel(4, calibration={"bogus": 1.0})
+
+    def test_sync_depths(self):
+        assert SyncStructure.DAISY_CHAIN.depth(18) == 17
+        assert SyncStructure.TREE.depth(18) == 5
+        assert SyncStructure.TREE.depth(1) == 0
+
+
+class TestMeasurementHarness:
+    def test_run_returns_measurement(self):
+        harness = MeasurementHarness(PipelineSiliconModel.static_ope(18))
+        measurement = harness.run(1_000_000, 1.2)
+        assert measurement.computation_time_s > 0
+        assert measurement.consumed_energy_j > 0
+        assert measurement.average_power_w > 0
+
+    def test_run_at_frozen_voltage_rejected(self):
+        harness = MeasurementHarness(PipelineSiliconModel.static_ope(18))
+        with pytest.raises(MeasurementError):
+            harness.run(1000, 0.3)
+
+    def test_voltage_sweep_and_normalisation(self):
+        harness = MeasurementHarness(PipelineSiliconModel.static_ope(18))
+        sweep = harness.voltage_sweep(1_000_000, [0.6, 1.2])
+        rows = MeasurementHarness.normalise_sweep(sweep, sweep[1.2])
+        by_voltage = {row["voltage"]: row for row in rows}
+        assert by_voltage[1.2]["normalised_time"] == pytest.approx(1.0)
+        assert by_voltage[0.6]["normalised_time"] > 1.0
+        assert by_voltage[0.6]["normalised_energy"] < 1.0
+
+    def test_waveform_run_freezes_and_recovers(self):
+        harness = MeasurementHarness(PipelineSiliconModel.reconfigurable_ope(18))
+        waveform = dip_and_recover()
+        measurement = harness.run_with_waveform(2_000_000, waveform, time_step=0.1)
+        assert measurement.completed
+        trace = measurement.trace
+        assert trace is not None and trace.samples
+        # While frozen the chip draws only leakage power (well under a microwatt).
+        frozen_powers = [p for _, v, p, _ in trace.samples if v <= 0.34]
+        active_powers = [p for _, v, p, _ in trace.samples if v >= 0.5]
+        assert frozen_powers and max(frozen_powers) < min(max(active_powers), 1e-5)
+
+    def test_waveform_run_can_time_out(self):
+        harness = MeasurementHarness(PipelineSiliconModel.reconfigurable_ope(18))
+        measurement = harness.run_with_waveform(
+            10_000_000, constant_supply(0.35), time_step=0.5, max_time=2.0)
+        assert not measurement.completed

@@ -1,0 +1,64 @@
+"""Tests for repro.utils.graphs."""
+
+from repro.utils.graphs import (
+    enumerate_simple_cycles,
+    reachable_from,
+    strongly_connected_components,
+    topological_order,
+)
+
+
+class TestEnumerateSimpleCycles:
+    def test_single_cycle(self):
+        cycles = enumerate_simple_cycles([("a", "b"), ("b", "c"), ("c", "a")])
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {"a", "b", "c"}
+
+    def test_acyclic_graph_has_no_cycles(self):
+        assert enumerate_simple_cycles([("a", "b"), ("b", "c")]) == []
+
+    def test_two_cycles(self):
+        edges = [("a", "b"), ("b", "a"), ("c", "d"), ("d", "c")]
+        cycles = enumerate_simple_cycles(edges)
+        assert len(cycles) == 2
+
+    def test_limit_caps_enumeration(self):
+        edges = [("a", "b"), ("b", "a"), ("c", "d"), ("d", "c")]
+        assert len(enumerate_simple_cycles(edges, limit=1)) == 1
+
+
+class TestStronglyConnectedComponents:
+    def test_cycle_forms_single_component(self):
+        components = strongly_connected_components([("a", "b"), ("b", "a"), ("b", "c")])
+        assert {"a", "b"} in components
+        assert {"c"} in components
+
+    def test_isolated_nodes_included(self):
+        components = strongly_connected_components([], nodes=["x", "y"])
+        assert {"x"} in components and {"y"} in components
+
+
+class TestReachableFrom:
+    def test_simple_chain(self):
+        edges = [("a", "b"), ("b", "c"), ("d", "e")]
+        assert reachable_from(edges, ["a"]) == {"a", "b", "c"}
+
+    def test_multiple_sources(self):
+        edges = [("a", "b"), ("d", "e")]
+        assert reachable_from(edges, ["a", "d"]) == {"a", "b", "d", "e"}
+
+    def test_unknown_source_ignored(self):
+        assert reachable_from([("a", "b")], ["zzz"]) == set()
+
+
+class TestTopologicalOrder:
+    def test_orders_a_dag(self):
+        order = topological_order([("a", "b"), ("b", "c")])
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_returns_none_for_cycle(self):
+        assert topological_order([("a", "b"), ("b", "a")]) is None
+
+    def test_includes_isolated_nodes(self):
+        order = topological_order([("a", "b")], nodes=["a", "b", "z"])
+        assert set(order) == {"a", "b", "z"}

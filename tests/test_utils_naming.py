@@ -1,0 +1,82 @@
+"""Tests for repro.utils.naming."""
+
+import pytest
+
+from repro.utils.naming import NameRegistry, is_valid_name, make_unique
+
+
+class TestIsValidName:
+    def test_simple_identifier(self):
+        assert is_valid_name("local_in")
+
+    def test_hierarchical_name(self):
+        assert is_valid_name("s3.local_in")
+
+    def test_indexed_name(self):
+        assert is_valid_name("stage[4]")
+
+    def test_transition_suffix_plus(self):
+        assert is_valid_name("Mt_ctrl+")
+
+    def test_transition_suffix_minus(self):
+        assert is_valid_name("C_f-")
+
+    def test_rejects_leading_digit(self):
+        assert not is_valid_name("3bad")
+
+    def test_rejects_spaces(self):
+        assert not is_valid_name("bad name")
+
+    def test_rejects_empty(self):
+        assert not is_valid_name("")
+
+    def test_rejects_non_string(self):
+        assert not is_valid_name(42)
+
+    def test_rejects_double_sign(self):
+        assert not is_valid_name("x++")
+
+
+class TestMakeUnique:
+    def test_returns_base_when_free(self):
+        assert make_unique("reg", set()) == "reg"
+
+    def test_appends_counter(self):
+        assert make_unique("reg", {"reg"}) == "reg_1"
+
+    def test_skips_taken_counters(self):
+        assert make_unique("reg", {"reg", "reg_1", "reg_2"}) == "reg_3"
+
+
+class TestNameRegistry:
+    def test_register_and_contains(self):
+        registry = NameRegistry()
+        registry.register("a")
+        assert "a" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_rejected(self):
+        registry = NameRegistry()
+        registry.register("a")
+        with pytest.raises(ValueError):
+            registry.register("a")
+
+    def test_invalid_rejected(self):
+        registry = NameRegistry()
+        with pytest.raises(ValueError):
+            registry.register("1bad")
+
+    def test_fresh_generates_unique_names(self):
+        registry = NameRegistry()
+        first = registry.fresh("node")
+        second = registry.fresh("node")
+        assert first == "node"
+        assert second == "node_1"
+        assert first in registry and second in registry
+
+    def test_release_frees_name(self):
+        registry = NameRegistry()
+        registry.register("a")
+        registry.release("a")
+        assert "a" not in registry
+        registry.register("a")

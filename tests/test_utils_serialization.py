@@ -1,0 +1,44 @@
+"""Tests for repro.utils.serialization."""
+
+import os
+
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.utils.serialization import dump_json, expect_format, load_json
+
+
+class TestDumpAndLoad:
+    def test_round_trip_via_string(self):
+        document = {"format": "demo", "values": [1, 2, 3]}
+        text = dump_json(document)
+        assert load_json(text) == document
+
+    def test_round_trip_via_file(self, tmp_path):
+        path = os.path.join(str(tmp_path), "nested", "doc.json")
+        document = {"format": "demo", "name": "x"}
+        written = dump_json(document, path=path)
+        assert written == path
+        assert load_json(path) == document
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(SerializationError):
+            load_json("{not json")
+
+    def test_load_from_nonexistent_path_treats_as_text(self):
+        with pytest.raises(SerializationError):
+            load_json("/definitely/not/a/file.json")
+
+
+class TestExpectFormat:
+    def test_accepts_matching_format(self):
+        document = {"format": "repro-dfs"}
+        assert expect_format(document, "repro-dfs") is document
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(SerializationError):
+            expect_format({"format": "other"}, "repro-dfs")
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(SerializationError):
+            expect_format(["not", "a", "dict"], "repro-dfs")

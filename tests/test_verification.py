@@ -1,0 +1,136 @@
+"""Tests for the verification engine (deadlock, mismatch, persistence...)."""
+
+import pytest
+
+from repro.dfs.examples import conditional_comp_dfs, token_ring
+from repro.dfs.model import DataflowStructure
+from repro.verification.properties import (
+    consistency_violation_expression,
+    control_mismatch_expression,
+    variable_consistency_pairs,
+)
+from repro.verification.verifier import Verifier
+
+
+def deadlocking_model():
+    """Two registers in mutual wait: an empty ring of length 2 via logic.
+
+    A two-register loop with no token can never move: marking either register
+    requires the other one to be marked first.
+    """
+    dfs = DataflowStructure("deadlock")
+    dfs.add_register("a")
+    dfs.add_register("b")
+    dfs.add_logic("f")
+    dfs.add_logic("g")
+    dfs.connect_chain("a", "f", "b")
+    dfs.connect_chain("b", "g", "a")
+    return dfs
+
+
+def mismatch_model():
+    """A push guarded by two control registers initialised with opposite values."""
+    dfs = DataflowStructure("mismatch")
+    dfs.add_register("src", marked=True)
+    dfs.add_control("ct", marked=True, value=True)
+    dfs.add_control("cf", marked=True, value=False)
+    dfs.add_push("p")
+    dfs.add_register("dst")
+    dfs.connect("src", "p")
+    dfs.connect("ct", "p")
+    dfs.connect("cf", "p")
+    dfs.connect("p", "dst")
+    return dfs
+
+
+class TestStandardProperties:
+    def test_conditional_example_passes_all_checks(self, conditional_dfs):
+        summary = Verifier(conditional_dfs).verify_all()
+        assert summary.passed
+        assert summary.state_count > 0
+        assert "deadlock freedom" in [r.property_name for r in summary.results]
+
+    def test_token_ring_passes(self, ring):
+        assert Verifier(ring).verify_all().passed
+
+    def test_deadlock_detected_with_counterexample(self):
+        verifier = Verifier(deadlocking_model())
+        result = verifier.verify_deadlock_freedom()
+        assert result.holds is False
+        assert result.witnesses
+        assert "dfs_state" in result.witnesses[0]
+
+    def test_safeness_always_holds_for_translations(self, conditional_dfs):
+        assert Verifier(conditional_dfs).verify_safeness().holds is True
+
+    def test_value_exclusion(self, conditional_dfs):
+        assert Verifier(conditional_dfs).verify_value_mutual_exclusion().holds is True
+
+
+class TestControlMismatch:
+    def test_mismatch_expression_none_when_single_control(self, conditional_dfs):
+        assert control_mismatch_expression(conditional_dfs) is None
+
+    def test_mismatch_detected(self):
+        verifier = Verifier(mismatch_model())
+        result = verifier.verify_control_mismatch()
+        assert result.holds is False
+        assert result.witnesses
+
+    def test_mismatch_expression_for_specific_node(self):
+        expression = control_mismatch_expression(mismatch_model(), "p")
+        assert expression is not None
+        assert {"Mt_ct_1", "Mf_ct_1", "Mt_cf_1", "Mf_cf_1"} >= expression.places()
+
+    def test_mismatched_node_is_disabled(self):
+        """The guarded push can never accept a token -- the pipe deadlocks."""
+        verifier = Verifier(mismatch_model())
+        assert verifier.verify_deadlock_freedom().holds is False
+
+
+class TestCustomProperties:
+    def test_custom_reach_property_pass(self, conditional_dfs):
+        verifier = Verifier(conditional_dfs)
+        # "comp register marked while the control register holds False" must
+        # never happen -- that is the whole point of the bypass.
+        result = verifier.verify_custom('$"M_r1_1" & $"Mf_ctrl_1"',
+                                        property_name="bypass isolation")
+        assert result.holds is True
+
+    def test_custom_reach_property_fail(self, conditional_dfs):
+        verifier = Verifier(conditional_dfs)
+        result = verifier.verify_custom('$"M_in_1"', property_name="input never marked")
+        assert result.holds is False
+        assert result.witnesses[0]["trace"]
+
+    def test_consistency_pairs_and_expression(self, conditional_dfs):
+        pairs = variable_consistency_pairs(conditional_dfs)
+        assert ("M_ctrl_0", "M_ctrl_1") in pairs
+        verifier = Verifier(conditional_dfs)
+        result = verifier.verify_custom(
+            consistency_violation_expression(conditional_dfs),
+            property_name="variable consistency")
+        assert result.holds is True
+
+
+class TestSummary:
+    def test_report_is_readable(self, conditional_dfs):
+        summary = Verifier(conditional_dfs).verify_all(include_persistence=False)
+        text = summary.report()
+        assert "deadlock freedom" in text
+        assert "OK" in text
+
+    def test_summary_collects_violations(self):
+        summary = Verifier(deadlocking_model()).verify_all(include_persistence=False)
+        assert not summary.passed
+        assert summary.violations
+        assert summary.result("deadlock freedom").violated
+
+    def test_larger_comp_pipeline_still_verifies(self):
+        verifier = Verifier(conditional_comp_dfs(comp_stages=3))
+        assert verifier.verify_deadlock_freedom().holds is True
+
+    def test_truncated_exploration_is_inconclusive(self):
+        verifier = Verifier(token_ring(registers=6, tokens=2), max_states=5)
+        result = verifier.verify_deadlock_freedom()
+        assert result.holds is None
