@@ -11,7 +11,7 @@ from repro.dfs.examples import conditional_comp_dfs
 from repro.dfs.translation import to_petri_net
 from repro.petri.net import ArcKind
 from repro.petri.properties import check_boundedness, check_deadlock
-from repro.petri.reachability import explore
+from repro.petri.reachability import build_reachability_graph
 
 from .conftest import print_table
 
@@ -19,7 +19,9 @@ from .conftest import print_table
 def _build_and_explore():
     dfs = conditional_comp_dfs(comp_stages=1)
     net = to_petri_net(dfs)
-    graph = explore(net)
+    # The translation is 1-safe, so this resolves to the compiled bitmask
+    # engine; the checks below hold identically on either backend.
+    graph = build_reachability_graph(net)
     return dfs, net, graph
 
 

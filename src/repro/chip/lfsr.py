@@ -33,6 +33,7 @@ class Lfsr:
             raise ConfigurationError("an LFSR seed of zero locks the register at zero")
         self.seed = seed
         self.state = seed
+        self._period = None
 
     def reset(self, seed=None):
         """Reload the seed (optionally a new one)."""
@@ -41,15 +42,15 @@ class Lfsr:
             if seed == 0:
                 raise ConfigurationError("an LFSR seed of zero locks the register at zero")
             self.seed = seed
+            # Non-primitive taps split the state space into several cycles,
+            # so a new seed can land on a cycle of a different length.
+            self._period = None
         self.state = self.seed
         return self.state
 
     def next(self):
         """Advance one step and return the new state."""
-        lsb = self.state & 1
-        self.state >>= 1
-        if lsb:
-            self.state ^= self.taps
+        self.state = self._step_state(self.state)
         return self.state
 
     def stream(self, count):
@@ -61,10 +62,61 @@ class Lfsr:
         for _ in range(count):
             yield self.next()
 
+    #: Widths above this measure their period by stepping a shadow register,
+    #: which is only feasible for short cycles; see :attr:`period`.
+    _PERIOD_MEASUREMENT_LIMIT = 1 << 22
+
     @property
     def period(self):
-        """Period of a maximal-length LFSR of this width."""
-        return (1 << self.width) - 1
+        """Period of the sequence generated from the current seed.
+
+        The built-in :data:`DEFAULT_TAPS` are maximal-length polynomials, for
+        which the period is ``2**width - 1`` regardless of the (non-zero)
+        seed.  For custom taps no such guarantee exists -- the polynomial may
+        be non-primitive and split the state space into several shorter
+        cycles, possibly reached through a pre-periodic tail -- so the
+        eventual period is measured with Brent's cycle detection on a shadow
+        register.  Measurement is capped: custom taps whose cycle is not
+        found within ``2**22`` steps raise
+        :class:`~repro.exceptions.ConfigurationError` instead of silently
+        claiming maximality.
+        """
+        if self.taps == DEFAULT_TAPS.get(self.width):
+            return self.mask
+        if self._period is None:
+            self._period = self._measure_period()
+        return self._period
+
+    def _step_state(self, state):
+        lsb = state & 1
+        state >>= 1
+        if lsb:
+            state ^= self.taps
+        return state
+
+    def _measure_period(self):
+        limit = min(2 * (self.mask + 1), self._PERIOD_MEASUREMENT_LIMIT)
+        power = cycle = 1
+        tortoise = self.seed
+        hare = self._step_state(tortoise)
+        steps = 1
+        while tortoise != hare:
+            if power == cycle:
+                tortoise = hare
+                power *= 2
+                cycle = 0
+            hare = self._step_state(hare)
+            cycle += 1
+            steps += 1
+            if steps > limit:
+                raise ConfigurationError(
+                    "period of custom taps 0x{:X} not found within {} steps "
+                    "(the cycle may be longer, including maximal-length); use "
+                    "the default taps for this width for a guaranteed period "
+                    "of 2**width - 1, or compute the period "
+                    "externally".format(self.taps, limit)
+                )
+        return cycle
 
     def __repr__(self):
         return "Lfsr(width={}, seed=0x{:X}, state=0x{:X})".format(

@@ -73,7 +73,13 @@ def to_petri_net(dfs, name=None):
     The resulting net is 1-safe by construction; its initial marking encodes
     the DFS initial marking (all logic nodes reset).
     """
-    net = PetriNet(name or "{}_pn".format(dfs.name))
+    net = PetriNet(
+        name or "{}_pn".format(dfs.name),
+        # Provenance metadata only: complementary place pairs keep every
+        # place at zero or one token.  The compiled bitmask engine does not
+        # trust this flag -- it still verifies 1-safeness dynamically.
+        annotation={"source": dfs.name, "one_safe": "by-construction"},
+    )
     # Places: a complementary pair per state variable.
     for node_name in sorted(dfs.nodes):
         node = dfs.node(node_name)
@@ -100,6 +106,19 @@ def to_petri_net(dfs, name=None):
             net.add_read_arc(place_name(literal.kind, literal.node, bit), transition.name)
     net.validate()
     return net
+
+
+def to_compiled_net(dfs, name=None):
+    """Translate a DFS straight into a compiled bitmask net.
+
+    Convenience for benchmarks and callers that only need the fast engine of
+    :mod:`repro.petri.compiled`; equivalent to compiling the result of
+    :func:`to_petri_net` (which is 1-safe by construction, so compilation
+    cannot fail).
+    """
+    from repro.petri.compiled import CompiledNet
+
+    return CompiledNet.compile(to_petri_net(dfs, name=name))
 
 
 def marking_to_dfs_state(dfs, marking):

@@ -17,6 +17,26 @@ class VerificationError(ReproError):
     """An error raised by the verification engine."""
 
 
+class CompilationError(ReproError):
+    """A Petri net cannot be compiled to the bitmask reachability engine."""
+
+
+class SafenessOverflowError(CompilationError):
+    """A firing produced a second token into a place of a compiled net.
+
+    The compiled engine represents 1-safe markings only; callers catch this
+    to fall back to the explicit multiset explorer.
+    """
+
+    def __init__(self, transition, place):
+        self.transition = transition
+        self.place = place
+        super().__init__(
+            "firing {!r} produces a second token into place {!r}; "
+            "the net is not 1-safe".format(transition, place)
+        )
+
+
 class TranslationError(ReproError):
     """An error raised while translating between formalisms."""
 

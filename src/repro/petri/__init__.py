@@ -9,7 +9,16 @@ here the state spaces involved are small enough for an explicit traversal.
 
 from repro.petri.marking import Marking
 from repro.petri.net import Arc, ArcKind, PetriNet, Place, Transition
-from repro.petri.reachability import ReachabilityGraph, explore
+from repro.petri.reachability import (
+    ReachabilityGraph,
+    build_reachability_graph,
+    explore,
+)
+from repro.petri.compiled import (
+    CompiledNet,
+    CompiledReachabilityGraph,
+    explore_compiled,
+)
 from repro.petri.simulation import PetriSimulator, random_trace
 from repro.petri.properties import (
     check_boundedness,
@@ -24,6 +33,8 @@ from repro.petri.export import to_dot, to_g_format
 __all__ = [
     "Arc",
     "ArcKind",
+    "CompiledNet",
+    "CompiledReachabilityGraph",
     "Marking",
     "PetriNet",
     "PetriSimulator",
@@ -31,11 +42,13 @@ __all__ = [
     "PropertyReport",
     "ReachabilityGraph",
     "Transition",
+    "build_reachability_graph",
     "check_boundedness",
     "check_deadlock",
     "check_mutual_exclusion",
     "check_persistence",
     "explore",
+    "explore_compiled",
     "incidence_matrix",
     "place_invariants",
     "random_trace",

@@ -76,8 +76,9 @@ class PetriNet:
     which makes enabledness checks and firing O(degree of the transition).
     """
 
-    def __init__(self, name="petri_net"):
+    def __init__(self, name="petri_net", annotation=None):
         self.name = name
+        self.annotation = annotation or {}
         self._names = NameRegistry()
         self._places = {}
         self._transitions = {}

@@ -61,11 +61,9 @@ def _inconclusive(name, graph):
 def check_deadlock(graph, max_witnesses=5, with_traces=True):
     """Check deadlock freedom on a reachability graph."""
     name = "deadlock-freedom"
+    # Frontier states of a truncated graph are excluded by deadlocks(), so
+    # every candidate genuinely has no enabled transition.
     deadlocks = graph.deadlocks()
-    if graph.truncated and deadlocks:
-        # A truncated exploration leaves discovered-but-unexpanded states with
-        # no recorded successors; confirm candidates against the net itself.
-        deadlocks = [m for m in deadlocks if not graph.net.enabled_transitions(m)]
     if not deadlocks:
         if graph.truncated:
             return _inconclusive(name, graph)
@@ -95,32 +93,45 @@ def check_persistence(graph, allow_conflicts=True, max_witnesses=5, with_traces=
     register) rather than a hazard.
     """
     name = "persistence"
-    net = graph.net
-    witnesses = []
-    violations = 0
-    for marking in graph.states:
-        successors = dict(graph.successors(marking))
-        enabled = sorted(successors)
-        for t1 in enabled:
-            after = successors[t1]
-            for t2 in enabled:
-                if t1 == t2:
-                    continue
-                if allow_conflicts:
-                    shared = set(net.consumed_places(t1)) & set(net.consumed_places(t2))
-                    if shared:
+    scan = getattr(graph, "persistence_scan", None)
+    if scan is not None:
+        violations, witnesses = scan(
+            allow_conflicts=allow_conflicts, max_witnesses=max_witnesses
+        )
+        if with_traces:
+            for witness in witnesses:
+                witness["trace"] = graph.trace_to(witness["marking"])
+    else:
+        net = graph.net
+        witnesses = []
+        violations = 0
+        for marking in graph.states:
+            if not graph.is_expanded(marking):
+                # A frontier state's successor dict is incomplete; scanning it
+                # would produce spurious or missing violations.
+                continue
+            successors = dict(graph.successors(marking))
+            enabled = sorted(successors)
+            for t1 in enabled:
+                after = successors[t1]
+                for t2 in enabled:
+                    if t1 == t2:
                         continue
-                if not net.is_enabled(t2, after):
-                    violations += 1
-                    if len(witnesses) < max_witnesses:
-                        witness = {
-                            "marking": marking,
-                            "fired": t1,
-                            "disabled": t2,
-                        }
-                        if with_traces:
-                            witness["trace"] = graph.trace_to(marking)
-                        witnesses.append(witness)
+                    if allow_conflicts:
+                        shared = set(net.consumed_places(t1)) & set(net.consumed_places(t2))
+                        if shared:
+                            continue
+                    if not net.is_enabled(t2, after):
+                        violations += 1
+                        if len(witnesses) < max_witnesses:
+                            witness = {
+                                "marking": marking,
+                                "fired": t1,
+                                "disabled": t2,
+                            }
+                            if with_traces:
+                                witness["trace"] = graph.trace_to(marking)
+                            witnesses.append(witness)
     if violations:
         return PropertyReport(
             name,
@@ -136,6 +147,12 @@ def check_persistence(graph, allow_conflicts=True, max_witnesses=5, with_traces=
 def check_boundedness(graph, bound=1, max_witnesses=5):
     """Check that no reachable marking puts more than *bound* tokens in a place."""
     name = "{}-boundedness".format(bound)
+    if bound >= 1 and getattr(graph, "one_safe", False):
+        # A compiled graph only exists while every marking stayed 1-safe, so
+        # any bound of one or more holds by construction.
+        if graph.truncated:
+            return _inconclusive(name, graph)
+        return PropertyReport(name, True, details="net is {}-bounded".format(bound))
     witnesses = []
     violations = 0
     for marking in graph.states:
@@ -161,14 +178,28 @@ def check_mutual_exclusion(graph, place_a, place_b, max_witnesses=5, with_traces
     name = "mutex({}, {})".format(place_a, place_b)
     witnesses = []
     violations = 0
-    for marking in graph.states:
-        if marking[place_a] > 0 and marking[place_b] > 0:
-            violations += 1
-            if len(witnesses) < max_witnesses:
+    if getattr(graph, "mask_of", None) is not None:
+        both = graph.mask_of(place_a) | graph.mask_of(place_b)
+        # An unknown place has mask 0, which can never satisfy the test --
+        # matching the explicit path, where marking[unknown] is 0.
+        if graph.mask_of(place_a) and graph.mask_of(place_b):
+            violations, markings = graph.count_and_collect(
+                lambda state: (state & both) == both, max_witnesses
+            )
+            for marking in markings:
                 witness = {"marking": marking}
                 if with_traces:
                     witness["trace"] = graph.trace_to(marking)
                 witnesses.append(witness)
+    else:
+        for marking in graph.states:
+            if marking[place_a] > 0 and marking[place_b] > 0:
+                violations += 1
+                if len(witnesses) < max_witnesses:
+                    witness = {"marking": marking}
+                    if with_traces:
+                        witness["trace"] = graph.trace_to(marking)
+                    witnesses.append(witness)
     if violations:
         return PropertyReport(
             name,

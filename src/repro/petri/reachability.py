@@ -26,6 +26,7 @@ class ReachabilityGraph:
         self._states = {}           # marking -> state index
         self._successors = {}       # marking -> list of (transition, marking)
         self._predecessors = {}     # marking -> list of (transition, marking)
+        self._frontier = set()      # markings whose successor lists are incomplete
         self.truncated = False
 
     # -- construction (used by explore) ---------------------------------------
@@ -63,12 +64,39 @@ class ReachabilityGraph:
         return list(self._predecessors[marking])
 
     def enabled(self, marking):
-        """Transitions enabled at *marking* (from the stored edges)."""
+        """Transitions enabled at *marking* (from the stored edges).
+
+        For a frontier state of a truncated graph the stored edges are
+        incomplete; use :meth:`is_expanded` to tell the two cases apart.
+        """
         return sorted({transition for transition, _ in self._successors[marking]})
 
+    @property
+    def frontier(self):
+        """Markings whose successor lists are incomplete (truncation only).
+
+        When exploration hits its state bound, states whose enabled
+        transitions could not all be recorded form the frontier.  Property
+        checks must not draw conclusions from the (partial) edges of these
+        states.  Empty whenever ``truncated`` is false.
+        """
+        return set(self._frontier)
+
+    def is_expanded(self, marking):
+        """``True`` when every enabled transition of *marking* was recorded."""
+        return marking not in self._frontier
+
     def deadlocks(self):
-        """Return the list of reachable deadlocked markings."""
-        return [m for m in self.states if not self._successors[m]]
+        """Return the list of reachable deadlocked markings.
+
+        Frontier states of a truncated graph are excluded: they have
+        unrecorded enabled transitions, so an empty successor list there says
+        nothing about deadlock.
+        """
+        return [
+            m for m in self.states
+            if not self._successors[m] and m not in self._frontier
+        ]
 
     def edge_count(self):
         return sum(len(edges) for edges in self._successors.values())
@@ -140,13 +168,56 @@ def explore(net, marking=None, max_states=200000):
     queue = deque([initial])
     while queue:
         current = queue.popleft()
+        complete = True
         for transition in net.enabled_transitions(current):
             successor = net.fire(transition, current)
             if successor not in graph:
                 if len(graph) >= max_states:
+                    # Cannot store the new state, but keep scanning: edges to
+                    # already-discovered successors must still be recorded so
+                    # the truncated graph is exact on the states it holds.
                     graph.truncated = True
-                    return graph
+                    complete = False
+                    continue
                 graph._add_state(successor)
                 queue.append(successor)
             graph._add_edge(current, transition, successor)
+        if not complete:
+            graph._frontier.add(current)
     return graph
+
+
+def build_reachability_graph(net, marking=None, max_states=200000, engine="auto"):
+    """Build the reachability graph of *net* with the best available engine.
+
+    Parameters
+    ----------
+    net, marking, max_states:
+        As for :func:`explore`.
+    engine:
+        ``"auto"`` (default) compiles 1-safe nets to the bitmask engine of
+        :mod:`repro.petri.compiled` and falls back to the explicit explorer
+        for nets it cannot represent (arc weights above one, multi-token
+        markings, non-safe behaviour discovered mid-exploration).
+        ``"compiled"`` forces the bitmask engine and raises
+        :class:`~repro.exceptions.CompilationError` when the net does not
+        fit it; ``"explicit"`` forces the hash-dict explorer.
+
+    Both engines explore states in the same order and implement the same
+    truncation semantics, so the resulting graphs are interchangeable.
+    """
+    if engine == "explicit":
+        return explore(net, marking, max_states=max_states)
+    if engine not in ("auto", "compiled"):
+        raise ValueError("unknown reachability engine: {!r}".format(engine))
+    # Imported lazily: compiled.py subclasses ReachabilityGraph.
+    from repro.exceptions import CompilationError
+    from repro.petri.compiled import CompiledNet, explore_compiled
+
+    try:
+        compiled = CompiledNet.compile(net)
+        return explore_compiled(compiled, marking, max_states=max_states)
+    except CompilationError:
+        if engine == "compiled":
+            raise
+        return explore(net, marking, max_states=max_states)

@@ -1,6 +1,13 @@
-"""Evaluation of Reach expressions on markings and reachability graphs."""
+"""Evaluation of Reach expressions on markings and reachability graphs.
+
+Graphs produced by the compiled bitmask engine
+(:mod:`repro.petri.compiled`) expose ``mask_of`` / ``scan_masks``; on those,
+expressions are compiled down to predicates over the raw ``int`` states, so
+witness searches never decode non-matching markings.
+"""
 
 from repro.exceptions import ReachEvaluationError
+from repro.reach import ast as _ast
 from repro.reach.ast import ReachExpression
 from repro.reach.parser import parse
 
@@ -25,6 +32,56 @@ def _check_places(expression, net):
         )
 
 
+def compile_mask_predicate(expression, mask_of):
+    """Compile a Reach AST into a predicate over ``int`` bitmask states.
+
+    *mask_of* maps a place name to its single-bit mask (``0`` for unknown
+    places, which then hold zero tokens -- matching marking semantics on
+    1-safe states).  Returns ``None`` when the expression contains a node
+    kind this compiler does not know (e.g. a user-defined AST subclass), in
+    which case callers fall back to marking-level evaluation.
+    """
+    if isinstance(expression, _ast.Constant):
+        value = expression.value
+        return lambda state: value
+    if isinstance(expression, _ast.Marked):
+        bit = mask_of(expression.place)
+        return lambda state: bool(state & bit)
+    if isinstance(expression, _ast.Compare):
+        bit = mask_of(expression.place)
+        operator = _ast.Compare._OPERATORS[expression.operator]
+        value = expression.value
+        return lambda state: operator(1 if state & bit else 0, value)
+    if isinstance(expression, _ast.Not):
+        operand = compile_mask_predicate(expression.operand, mask_of)
+        if operand is None:
+            return None
+        return lambda state: not operand(state)
+    if isinstance(expression, (_ast.And, _ast.Or, _ast.Implies)):
+        left = compile_mask_predicate(expression.left, mask_of)
+        right = compile_mask_predicate(expression.right, mask_of)
+        if left is None or right is None:
+            return None
+        if isinstance(expression, _ast.And):
+            return lambda state: left(state) and right(state)
+        if isinstance(expression, _ast.Or):
+            return lambda state: left(state) or right(state)
+        return lambda state: (not left(state)) or right(state)
+    return None
+
+
+def _compiled_scan(expression, graph):
+    """Return a mask-level scanner for *graph*, or ``None``."""
+    mask_of = getattr(graph, "mask_of", None)
+    scan = getattr(graph, "scan_masks", None)
+    if mask_of is None or scan is None:
+        return None
+    predicate = compile_mask_predicate(expression, mask_of)
+    if predicate is None:
+        return None
+    return lambda limit: scan(predicate, limit=limit)
+
+
 def evaluate(expression, marking, net=None):
     """Evaluate *expression* (AST or text) on a single marking."""
     expression = _as_expression(expression)
@@ -42,15 +99,19 @@ def find_witnesses(expression, graph, max_witnesses=5, with_traces=True):
     """
     expression = _as_expression(expression)
     _check_places(expression, graph.net)
+    scan = _compiled_scan(expression, graph)
+    if scan is not None:
+        markings = scan(max_witnesses)
+    else:
+        markings = (m for m in graph.states if expression.evaluate(m))
     witnesses = []
-    for marking in graph.states:
-        if expression.evaluate(marking):
-            witness = {"marking": marking}
-            if with_traces:
-                witness["trace"] = graph.trace_to(marking)
-            witnesses.append(witness)
-            if len(witnesses) >= max_witnesses:
-                break
+    for marking in markings:
+        witness = {"marking": marking}
+        if with_traces:
+            witness["trace"] = graph.trace_to(marking)
+        witnesses.append(witness)
+        if len(witnesses) >= max_witnesses:
+            break
     return witnesses
 
 
@@ -58,4 +119,7 @@ def holds_somewhere(expression, graph):
     """Return ``True`` when some reachable state satisfies *expression*."""
     expression = _as_expression(expression)
     _check_places(expression, graph.net)
+    scan = _compiled_scan(expression, graph)
+    if scan is not None:
+        return next(iter(scan(1)), None) is not None
     return graph.find(expression.evaluate) is not None

@@ -7,7 +7,7 @@ from repro.petri.properties import (
     check_mutual_exclusion,
     check_persistence,
 )
-from repro.petri.reachability import explore
+from repro.petri.reachability import build_reachability_graph
 from repro.reach.evaluator import find_witnesses
 from repro.verification.properties import control_mismatch_expression
 from repro.verification.results import VerificationResult, VerificationSummary
@@ -18,11 +18,19 @@ class Verifier:
 
     The translation and the reachability graph are built lazily and cached,
     so several properties can be checked against the same state space.
+
+    DFS translations are 1-safe by construction, so by default the state
+    space is built by the compiled bitmask engine of
+    :mod:`repro.petri.compiled` (*engine* ``"auto"``), which transparently
+    falls back to the explicit explorer for nets it cannot represent.  Pass
+    ``engine="explicit"`` to force the hash-dict explorer, or
+    ``engine="compiled"`` to fail loudly instead of falling back.
     """
 
-    def __init__(self, dfs, max_states=200000):
+    def __init__(self, dfs, max_states=200000, engine="auto"):
         self.dfs = dfs
         self.max_states = max_states
+        self.engine = engine
         self._net = None
         self._graph = None
 
@@ -39,7 +47,9 @@ class Verifier:
     def graph(self):
         """The reachability graph of the translation."""
         if self._graph is None:
-            self._graph = explore(self.net, max_states=self.max_states)
+            self._graph = build_reachability_graph(
+                self.net, max_states=self.max_states, engine=self.engine
+            )
         return self._graph
 
     @property
@@ -88,20 +98,17 @@ class Verifier:
     def verify_persistence(self, max_witnesses=5):
         """No event is disabled by another one (hazard-freedom), choices excepted."""
         report = check_persistence(self.graph, max_witnesses=max_witnesses)
-        witnesses = []
-        for witness in report.witnesses:
-            entry = dict(witness)
-            entry["dfs_state"] = marking_to_dfs_state(self.dfs, witness["marking"])
-            witnesses.append(entry)
         return VerificationResult(
-            "persistence", report.holds, witnesses=witnesses, details=report.details,
+            "persistence", report.holds,
+            witnesses=self._decorate(report.witnesses), details=report.details,
         )
 
     def verify_safeness(self, max_witnesses=5):
         """The translated net is 1-safe (a sanity check on the translation)."""
         report = check_boundedness(self.graph, bound=1, max_witnesses=max_witnesses)
         return VerificationResult(
-            "1-safeness", report.holds, witnesses=report.witnesses, details=report.details,
+            "1-safeness", report.holds,
+            witnesses=self._decorate(report.witnesses), details=report.details,
         )
 
     def verify_value_mutual_exclusion(self, max_witnesses=5):

@@ -44,6 +44,48 @@ class TestLfsr:
             assert value not in seen
             seen.add(value)
 
+    def test_period_of_default_taps_is_maximal(self):
+        assert Lfsr(width=16).period == (1 << 16) - 1
+        assert Lfsr(width=8, seed=0x5A).period == (1 << 8) - 1
+
+    def test_period_of_maximal_custom_taps_is_measured(self):
+        # 0x8E is a maximal 8-bit polynomial that is NOT the default (0xB8),
+        # so it cannot hit the default-taps fast path and must be measured.
+        assert 0x8E != Lfsr(width=8, seed=1).taps
+        lfsr = Lfsr(width=8, seed=1, taps=0x8E)
+        assert lfsr.period == (1 << 8) - 1
+
+    def test_period_of_non_maximal_taps_is_not_overstated(self):
+        # x^8 + x^1 (taps 0x80... choose 0xC0: x^8+x^7) is non-primitive for
+        # width 8; the measured period must be the true cycle length, which
+        # the sequence then actually honours.
+        lfsr = Lfsr(width=8, seed=1, taps=0xC0)
+        period = lfsr.period
+        assert 0 < period < (1 << 8) - 1
+        values = lfsr.stream(2 * period)
+        assert values[:period] == values[period:]
+
+    def test_reseeding_invalidates_cached_period(self):
+        # Non-primitive taps split the state space into several cycles; a
+        # new seed may sit on a different-length cycle, so the cached period
+        # must not survive reset(new_seed).
+        lfsr = Lfsr(width=8, seed=1, taps=0xC0)
+        first = lfsr.period
+        lfsr.reset(91)
+        assert lfsr.period != first
+        lfsr.reset()  # same seed: cache may persist, value must match
+        assert lfsr.period == lfsr.period
+
+    def test_measured_period_matches_brute_force(self):
+        for taps in (0xC0, 0xA0, 0x96):
+            lfsr = Lfsr(width=8, seed=1, taps=taps)
+            state = start = 1
+            for steps in range(1, (1 << 9) + 1):
+                state = lfsr._step_state(state)
+                if state == start:
+                    break
+            assert lfsr.period == steps
+
     def test_unsupported_width_needs_taps(self):
         with pytest.raises(ConfigurationError):
             Lfsr(seed=1, width=12)

@@ -1,0 +1,245 @@
+"""Tests for the compiled bitmask reachability engine (repro.petri.compiled).
+
+The differential tests are the contract of the engine: on every model of
+``repro.dfs.examples`` (and a few hand-built nets) the compiled engine must
+produce bit-identical states, edges, deadlocks, frontier and property
+verdicts to the explicit explorer, including under truncation.
+"""
+
+import pytest
+
+from repro.dfs.examples import (
+    conditional_comp_dfs,
+    conditional_comp_sdfs,
+    linear_pipeline,
+    token_ring,
+)
+from repro.dfs.translation import to_compiled_net, to_petri_net
+from repro.exceptions import CompilationError, SafenessOverflowError
+from repro.petri.compiled import (
+    CompiledNet,
+    CompiledReachabilityGraph,
+    explore_compiled,
+)
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.petri.properties import (
+    check_boundedness,
+    check_deadlock,
+    check_mutual_exclusion,
+    check_persistence,
+)
+from repro.petri.reachability import build_reachability_graph, explore
+from repro.reach.evaluator import find_witnesses, holds_somewhere
+
+
+EXAMPLE_MODELS = [
+    pytest.param(lambda: conditional_comp_dfs(comp_stages=1), id="conditional-dfs-1"),
+    pytest.param(lambda: conditional_comp_dfs(comp_stages=2), id="conditional-dfs-2"),
+    pytest.param(lambda: conditional_comp_sdfs(comp_stages=1), id="conditional-sdfs"),
+    pytest.param(lambda: linear_pipeline(stages=3), id="linear-pipeline"),
+    pytest.param(lambda: token_ring(registers=4, tokens=1), id="token-ring-4-1"),
+    pytest.param(lambda: token_ring(registers=5, tokens=2), id="token-ring-5-2"),
+]
+
+
+def both_graphs(net, max_states=200000):
+    explicit = explore(net, max_states=max_states)
+    compiled = build_reachability_graph(net, max_states=max_states, engine="compiled")
+    assert isinstance(compiled, CompiledReachabilityGraph)
+    return explicit, compiled
+
+
+def hazard_net():
+    net = PetriNet("hazard")
+    net.add_place("g", tokens=1)
+    net.add_place("g_done")
+    net.add_place("p", tokens=1)
+    net.add_place("q")
+    net.add_transition("kill")
+    net.add_transition("observe")
+    net.add_arc("g", "kill")
+    net.add_arc("kill", "g_done")
+    net.add_arc("p", "observe")
+    net.add_arc("observe", "q")
+    net.add_read_arc("g", "observe")
+    return net
+
+
+class TestDifferentialExamples:
+    @pytest.mark.parametrize("model", EXAMPLE_MODELS)
+    def test_states_and_edges_identical(self, model):
+        net = to_petri_net(model())
+        explicit, compiled = both_graphs(net)
+        assert explicit.states == compiled.states
+        assert explicit.edge_count() == compiled.edge_count()
+        assert not compiled.truncated
+        for marking in explicit.states:
+            assert explicit.enabled(marking) == compiled.enabled(marking)
+            assert explicit.successors(marking) == compiled.successors(marking)
+            assert sorted(explicit.predecessors(marking), key=repr) == sorted(
+                compiled.predecessors(marking), key=repr
+            )
+
+    @pytest.mark.parametrize("model", EXAMPLE_MODELS)
+    def test_deadlocks_and_property_verdicts_identical(self, model):
+        net = to_petri_net(model())
+        explicit, compiled = both_graphs(net)
+        assert explicit.deadlocks() == compiled.deadlocks()
+        assert check_deadlock(explicit).holds == check_deadlock(compiled).holds
+        assert check_boundedness(explicit, bound=1).holds == \
+            check_boundedness(compiled, bound=1).holds
+        explicit_persistence = check_persistence(explicit)
+        compiled_persistence = check_persistence(compiled)
+        assert explicit_persistence.holds == compiled_persistence.holds
+        strip = lambda ws: [
+            {k: w[k] for k in ("marking", "fired", "disabled") if k in w} for w in ws
+        ]
+        assert strip(explicit_persistence.witnesses) == strip(compiled_persistence.witnesses)
+
+    @pytest.mark.parametrize("model", EXAMPLE_MODELS)
+    def test_trace_lengths_identical(self, model):
+        net = to_petri_net(model())
+        explicit, compiled = both_graphs(net)
+        for marking in explicit.states:
+            assert len(explicit.trace_to(marking)) == len(compiled.trace_to(marking))
+
+    def test_mutual_exclusion_verdicts_identical(self):
+        net = to_petri_net(conditional_comp_dfs(comp_stages=1))
+        explicit, compiled = both_graphs(net)
+        for pair in [("Mt_ctrl_1", "Mf_ctrl_1"), ("M_in_1", "M_out_1"),
+                     ("M_in_1", "M_in_0")]:
+            a = check_mutual_exclusion(explicit, *pair)
+            b = check_mutual_exclusion(compiled, *pair)
+            assert a.holds == b.holds
+            assert [w["marking"] for w in a.witnesses] == \
+                [w["marking"] for w in b.witnesses]
+
+    def test_reach_witnesses_identical(self):
+        net = to_petri_net(conditional_comp_dfs(comp_stages=1))
+        explicit, compiled = both_graphs(net)
+        for expression in ['$"M_in_1"', '$"M_r1_1" & $"Mf_ctrl_1"',
+                           'tokens(M_ctrl_1) >= 1 -> !$"C_cond_1"']:
+            a = find_witnesses(expression, explicit)
+            b = find_witnesses(expression, compiled)
+            assert [w["marking"] for w in a] == [w["marking"] for w in b]
+            assert [len(w["trace"]) for w in a] == [len(w["trace"]) for w in b]
+            assert holds_somewhere(expression, explicit) == \
+                holds_somewhere(expression, compiled)
+
+    def test_persistence_hazard_witnesses_identical(self):
+        explicit, compiled = both_graphs(hazard_net())
+        a = check_persistence(explicit)
+        b = check_persistence(compiled)
+        assert a.holds is False and b.holds is False
+        assert a.witnesses[0]["fired"] == b.witnesses[0]["fired"] == "kill"
+        assert a.witnesses[0]["disabled"] == b.witnesses[0]["disabled"] == "observe"
+
+
+class TestTruncationParity:
+    @pytest.mark.parametrize("max_states", [1, 2, 5, 17])
+    def test_truncated_graphs_identical(self, max_states):
+        net = to_petri_net(conditional_comp_dfs(comp_stages=1))
+        explicit, compiled = both_graphs(net, max_states=max_states)
+        assert explicit.truncated and compiled.truncated
+        assert explicit.states == compiled.states
+        assert explicit.frontier == compiled.frontier
+        assert explicit.deadlocks() == compiled.deadlocks()
+        assert explicit.edge_count() == compiled.edge_count()
+        for marking in explicit.states:
+            assert explicit.enabled(marking) == compiled.enabled(marking)
+
+
+class TestCompiledNet:
+    def test_encode_decode_roundtrip(self):
+        compiled = to_compiled_net(token_ring(registers=4, tokens=1))
+        initial = compiled.net.initial_marking()
+        assert compiled.decode(compiled.encode(initial)) == initial
+
+    def test_encode_rejects_multi_token_markings(self):
+        compiled = to_compiled_net(linear_pipeline(stages=1))
+        with pytest.raises(CompilationError):
+            compiled.encode(Marking({"M_r0_1": 2}))
+
+    def test_encode_rejects_unknown_places(self):
+        compiled = to_compiled_net(linear_pipeline(stages=1))
+        with pytest.raises(CompilationError):
+            compiled.encode(Marking({"nonexistent": 1}))
+
+    def test_weighted_arcs_are_not_compilable(self):
+        net = PetriNet("weighted")
+        net.add_place("p", tokens=1)
+        net.add_place("q")
+        net.add_transition("t")
+        net.add_arc("p", "t", weight=2)
+        net.add_arc("t", "q")
+        assert CompiledNet.try_compile(net) is None
+        with pytest.raises(CompilationError):
+            CompiledNet.compile(net)
+
+    def test_enabledness_matches_net(self):
+        net = hazard_net()
+        compiled = CompiledNet.compile(net)
+        marking = net.initial_marking()
+        state = compiled.encode(marking)
+        for index, name in enumerate(compiled.transition_names):
+            assert compiled.is_enabled(index, state) == net.is_enabled(name, marking)
+
+    def test_overflow_is_detected(self):
+        net = PetriNet("overflow")
+        net.add_place("p", tokens=1)
+        net.add_place("q", tokens=1)
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "q")  # q already marked: firing makes 2 tokens
+        compiled = CompiledNet.compile(net)
+        with pytest.raises(SafenessOverflowError):
+            explore_compiled(compiled)
+
+    def test_one_safe_net_annotation_from_translation(self):
+        net = to_petri_net(linear_pipeline(stages=1))
+        assert net.annotation["one_safe"] == "by-construction"
+
+
+class TestEngineFallback:
+    def test_auto_falls_back_on_multi_token_marking(self):
+        net = PetriNet("unsafe")
+        net.add_place("src", tokens=2)
+        net.add_place("sink")
+        net.add_transition("move")
+        net.add_arc("src", "move")
+        net.add_arc("move", "sink")
+        graph = build_reachability_graph(net)
+        assert not isinstance(graph, CompiledReachabilityGraph)
+        assert len(graph) == 3  # 2/0, 1/1, 0/2
+
+    def test_auto_falls_back_on_runtime_overflow(self):
+        net = PetriNet("overflow")
+        net.add_place("p", tokens=1)
+        net.add_place("q", tokens=1)
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "q")
+        graph = build_reachability_graph(net)
+        assert not isinstance(graph, CompiledReachabilityGraph)
+        assert len(graph) == 2
+
+    def test_forced_compiled_engine_raises(self):
+        net = PetriNet("unsafe")
+        net.add_place("src", tokens=2)
+        net.add_place("sink")
+        net.add_transition("move")
+        net.add_arc("src", "move")
+        net.add_arc("move", "sink")
+        with pytest.raises(CompilationError):
+            build_reachability_graph(net, engine="compiled")
+
+    def test_forced_explicit_engine(self):
+        net = to_petri_net(linear_pipeline(stages=1))
+        graph = build_reachability_graph(net, engine="explicit")
+        assert not isinstance(graph, CompiledReachabilityGraph)
+
+    def test_unknown_engine_rejected(self):
+        net = to_petri_net(linear_pipeline(stages=1))
+        with pytest.raises(ValueError):
+            build_reachability_graph(net, engine="quantum")

@@ -53,6 +53,46 @@ def unbounded_like_net():
     return net
 
 
+def ring_net(places=6, tokens=1):
+    net = PetriNet("ring")
+    for index in range(places):
+        net.add_place("p{}".format(index), tokens=1 if index < tokens else 0)
+        net.add_transition("t{}".format(index))
+    for index in range(places):
+        net.add_arc("p{}".format(index), "t{}".format(index))
+        net.add_arc("t{}".format(index), "p{}".format((index + 1) % places))
+    return net
+
+
+class TestTruncatedGraphChecks:
+    """Truncated graphs must never blame a frontier state."""
+
+    def test_no_phantom_deadlock_on_truncated_ring(self):
+        report = check_deadlock(explore(ring_net(), max_states=2))
+        assert report.holds is None  # inconclusive, never "violated"
+
+    def test_real_deadlock_survives_truncation(self):
+        # One branch of the choice fits under the bound and ends in a true
+        # deadlock; the other is cut off.  The found deadlock is definitive.
+        graph = explore(choice_net(), max_states=2)
+        assert graph.truncated
+        report = check_deadlock(graph)
+        assert report.holds is False
+
+    def test_persistence_skips_frontier_states(self):
+        # The interleaved two-token ring is persistent; a truncated scan
+        # that inspected the partial successors of frontier states would
+        # report spurious disablings.
+        graph = explore(ring_net(places=4, tokens=2), max_states=3)
+        assert graph.truncated and graph.frontier
+        report = check_persistence(graph)
+        assert report.holds is None
+
+    def test_boundedness_inconclusive_when_truncated(self):
+        report = check_boundedness(explore(ring_net(), max_states=2), bound=1)
+        assert report.holds is None
+
+
 class TestDeadlock:
     def test_choice_net_deadlocks(self):
         report = check_deadlock(explore(choice_net()))

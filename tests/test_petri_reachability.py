@@ -83,6 +83,56 @@ class TestExplore:
         assert len(graph.filter(lambda m: True)) == len(graph)
 
 
+class TestTruncationSemantics:
+    """Regression tests: truncation must not fabricate graph structure.
+
+    Before the fix, hitting ``max_states`` returned mid-expansion: the
+    remaining enabled transitions of the current state were dropped (even
+    edges to already-known states), and every never-expanded state sat in
+    the graph with an empty successor list -- i.e. as a phantom deadlock.
+    """
+
+    def test_truncated_graph_has_no_phantom_deadlocks(self):
+        # A deadlock-free ring truncated at any bound must report none.
+        for max_states in (1, 2, 3, 4, 5):
+            graph = explore(ring_net(places=6), max_states=max_states)
+            assert graph.truncated
+            assert graph.deadlocks() == []
+
+    def test_frontier_states_are_flagged(self):
+        graph = explore(ring_net(places=6), max_states=2)
+        assert graph.frontier
+        for marking in graph.frontier:
+            assert not graph.is_expanded(marking)
+            assert marking in graph
+
+    def test_non_truncated_graph_has_empty_frontier(self):
+        graph = explore(ring_net())
+        assert graph.frontier == set()
+        assert all(graph.is_expanded(m) for m in graph.states)
+
+    def test_edges_between_known_states_are_recorded(self):
+        # Two tokens in a 3-ring: states interleave, so a state hit after
+        # truncation still has edges back into the discovered set.  Every
+        # recorded state must carry every edge to another recorded state.
+        net = ring_net(places=3, tokens=2)
+        full = explore(net)
+        truncated = explore(net, max_states=2)
+        known = set(truncated.states)
+        for marking in truncated.states:
+            expected = [
+                (t, m) for t, m in full.successors(marking) if m in known
+            ]
+            assert truncated.successors(marking) == expected
+
+    def test_truncated_expanded_states_have_complete_edges(self):
+        net = ring_net(places=6)
+        graph = explore(net, max_states=3)
+        for marking in graph.states:
+            if graph.is_expanded(marking):
+                assert graph.enabled(marking) == net.enabled_transitions(marking)
+
+
 class TestSimulator:
     def test_fire_and_undo(self):
         simulator = PetriSimulator(dead_end_net())

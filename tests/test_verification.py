@@ -134,3 +134,30 @@ class TestSummary:
         verifier = Verifier(token_ring(registers=6, tokens=2), max_states=5)
         result = verifier.verify_deadlock_freedom()
         assert result.holds is None
+
+
+class TestWitnessShape:
+    def test_safeness_witnesses_are_decorated(self, conditional_dfs):
+        """All five checks attach dfs_state; safeness must not be the odd one.
+
+        Translations are 1-safe by construction, so a violation is forced by
+        doubling a token of the translated net behind the verifier's back.
+        """
+        verifier = Verifier(conditional_dfs)
+        net = verifier.net
+        for place in net.places.values():
+            place.capacity = None
+        net.place("M_in_1").tokens = 2
+        result = verifier.verify_safeness()
+        assert result.holds is False
+        assert result.witnesses
+        assert "dfs_state" in result.witnesses[0]
+        assert "places" in result.witnesses[0]
+
+    def test_engines_agree_on_summary(self, conditional_dfs):
+        compiled = Verifier(conditional_dfs, engine="compiled").verify_all()
+        explicit = Verifier(conditional_dfs, engine="explicit").verify_all()
+        assert compiled.state_count == explicit.state_count
+        for a, b in zip(compiled.results, explicit.results):
+            assert a.property_name == b.property_name
+            assert a.holds == b.holds
