@@ -8,8 +8,6 @@ the cycle time of both models with the timed token simulator for several
 True-token fractions and checks the paper's qualitative claim.
 """
 
-import pytest
-
 from repro.dfs.examples import conditional_comp_dfs, conditional_comp_sdfs
 from repro.performance.timed import TimedDfsSimulator
 

@@ -4,13 +4,15 @@ Regenerates the statistics of the translation (places, transitions, read
 arcs) and explores its full state space, checking the structural facts the
 paper's figure shows: the control register is refined into mutually exclusive
 ``Mt``/``Mf`` transitions, the non-deterministic ``cond`` choice exists, and
-the whole net is 1-safe and deadlock-free.
+the whole net is 1-safe and deadlock-free.  The property checks run through
+a campaign :class:`~repro.campaign.jobs.VerificationJob` -- the same
+picklable unit of work the parallel campaign engine schedules.
 """
 
+from repro.campaign import VerificationJob
 from repro.dfs.examples import conditional_comp_dfs
 from repro.dfs.translation import to_petri_net
 from repro.petri.net import ArcKind
-from repro.petri.properties import check_boundedness, check_deadlock
 from repro.petri.reachability import build_reachability_graph
 
 from .conftest import print_table
@@ -23,6 +25,14 @@ def _build_and_explore():
     # engine; the checks below hold identically on either backend.
     graph = build_reachability_graph(net)
     return dfs, net, graph
+
+
+def _verify_job():
+    """The Fig. 1b model verified as a (cache-keyed, picklable) campaign job."""
+    job = VerificationJob(
+        "fig4-conditional", "conditional", kwargs={"comp_stages": 1},
+        properties=("safeness", "deadlock"))
+    return job.run()
 
 
 def test_fig4_petri_net_semantics(benchmark):
@@ -45,8 +55,17 @@ def test_fig4_petri_net_semantics(benchmark):
     both_enabled = graph.find(
         lambda m: net.is_enabled("Mt_ctrl+", m) and net.is_enabled("Mf_ctrl+", m))
     assert both_enabled is not None
-    # Standard properties of the translation.
-    assert check_deadlock(graph).holds is True
-    assert check_boundedness(graph, bound=1).holds is True
+
+    # Standard properties of the translation, checked through the campaign
+    # job layer (identical verdicts to calling the Verifier directly).
+    payload = _verify_job()
+    verdict = payload["verdict"]
+    assert verdict["passed"] is True
+    assert verdict["state_count"] == len(graph)
+    assert verdict["truncated"] is False
+    assert all(record["holds"] is True for record in verdict["properties"])
+    print_table("campaign-job verdict of the Fig. 1b DFS", [
+        {"property": record["property"], "holds": record["holds"],
+         "details": record["details"]} for record in verdict["properties"]])
 
     benchmark(_build_and_explore)

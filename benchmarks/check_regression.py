@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Bench-regression gate: compare fresh ``BENCH_*.json`` against baselines.
+
+CI runs the benchmarks with ``BENCH_JSON=<dir>`` (see
+``benchmarks/conftest.py``), then calls this script to compare the fresh
+results against the committed baselines in ``benchmarks/baselines/``.
+
+The gated metric is the **compiled-engine verify path**.  Absolute seconds
+are meaningless across runner generations, so the gate normalises the
+compiled ``verify_all`` timing by the explicit-engine timing measured in the
+same process on the same machine::
+
+    relative = compiled_seconds / explicit_seconds
+
+and fails when the fresh relative cost exceeds the baseline's by more than
+``--tolerance`` (default 0.30, i.e. a >30% slowdown of the compiled engine
+relative to the explicit explorer).
+
+Exit codes: 0 = within tolerance, 1 = regression detected, 2 = missing or
+malformed data.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+ENGINE_TABLE = "reachability engine comparison"
+
+
+def load_bench(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def engine_seconds(bench, path):
+    """Extract ``(explicit, compiled)`` seconds from a bench payload."""
+    for table in bench.get("tables", []):
+        if ENGINE_TABLE not in table.get("title", ""):
+            continue
+        seconds = {}
+        for row in table.get("rows", []):
+            engine = str(row.get("engine", ""))
+            if engine.startswith("explicit"):
+                seconds["explicit"] = float(row["seconds"])
+            elif engine.startswith("compiled"):
+                seconds["compiled"] = float(row["seconds"])
+        if "explicit" in seconds and "compiled" in seconds:
+            return seconds["explicit"], seconds["compiled"]
+    message = "error: no '{}' table with explicit/compiled rows in {}"
+    raise SystemExit(message.format(ENGINE_TABLE, path))
+
+
+def compare(fresh_path, baseline_path, tolerance):
+    """Compare one bench file; return report lines and a regression flag."""
+    fresh_explicit, fresh_compiled = engine_seconds(load_bench(fresh_path), fresh_path)
+    base_explicit, base_compiled = engine_seconds(load_bench(baseline_path), baseline_path)
+    fresh_relative = fresh_compiled / fresh_explicit
+    base_relative = base_compiled / base_explicit
+    slowdown = fresh_relative / base_relative - 1.0
+    regressed = slowdown > tolerance
+    status = "REGRESSION" if regressed else "ok"
+    baseline_line = "  baseline: compiled/explicit = {:.4f} ({:.4g}s / {:.4g}s)"
+    fresh_line = "  fresh:    compiled/explicit = {:.4f} ({:.4g}s / {:.4g}s)"
+    verdict_line = "  compiled verify path slowdown: {:+.1%} (tolerance {:+.0%}) -> {}"
+    lines = [
+        "{}:".format(os.path.basename(fresh_path)),
+        baseline_line.format(base_relative, base_compiled, base_explicit),
+        fresh_line.format(fresh_relative, fresh_compiled, fresh_explicit),
+        verdict_line.format(slowdown, tolerance, status),
+    ]
+    return lines, regressed
+
+
+def main(argv=None):
+    default_baselines = os.path.join(os.path.dirname(__file__), "baselines")
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh",
+        required=True,
+        metavar="DIR",
+        help="directory of freshly produced BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--baselines",
+        default=default_baselines,
+        metavar="DIR",
+        help="directory of committed baselines",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed relative slowdown (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    if not os.path.isdir(args.fresh):
+        print("error: fresh directory {!r} does not exist".format(args.fresh))
+        return 2
+    names = sorted(os.listdir(args.baselines)) if os.path.isdir(args.baselines) else []
+    baselines = [n for n in names if n.startswith("BENCH_") and n.endswith(".json")]
+    if not baselines:
+        print("error: no BENCH_*.json baselines in {!r}".format(args.baselines))
+        return 2
+
+    regressed = False
+    compared = 0
+    for name in baselines:
+        fresh_path = os.path.join(args.fresh, name)
+        if not os.path.exists(fresh_path):
+            print("warning: no fresh result for baseline {} -- skipped".format(name))
+            continue
+        try:
+            lines, bad = compare(fresh_path, os.path.join(args.baselines, name), args.tolerance)
+        except SystemExit as error:
+            print(error)
+            return 2
+        print("\n".join(lines))
+        compared += 1
+        regressed = regressed or bad
+    if compared == 0:
+        print("error: no baseline had a matching fresh result")
+        return 2
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

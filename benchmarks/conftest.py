@@ -4,11 +4,43 @@ Every benchmark regenerates one table or figure of the paper's evaluation and
 prints its rows (run pytest with ``-s`` to see them); the assertions encode
 the *shape* of the paper's results (who wins, by roughly what factor, where
 the crossovers are), not the absolute silicon numbers.
+
+Machine-readable results
+------------------------
+
+Passing ``--json DIR`` (or setting the ``BENCH_JSON`` environment variable)
+makes the session write one ``BENCH_<name>.json`` per benchmark module into
+*DIR*, containing every table the module printed (timings, state counts,
+speedups -- whatever the rows held) plus per-test call durations.  CI
+uploads these files as artifacts and feeds them to
+``benchmarks/check_regression.py``.
 """
+
+import json
+import os
+import sys
+
+#: module name -> list of {"title": ..., "rows": [...]} in print order.
+_TABLES = {}
+#: module name -> {test name: call duration in seconds}.
+_DURATIONS = {}
+
+
+def _caller_module(depth=2):
+    """Best-effort name of the benchmark module calling :func:`print_table`."""
+    frame = sys._getframe(depth)
+    name = frame.f_globals.get("__name__", "unknown")
+    return name.rpartition(".")[2]
 
 
 def print_table(title, rows, columns=None):
-    """Print a list of row dictionaries as an aligned text table."""
+    """Print a list of row dictionaries as an aligned text table.
+
+    The table is also recorded for the ``--json`` / ``BENCH_JSON`` report of
+    the calling benchmark module.
+    """
+    _TABLES.setdefault(_caller_module(), []).append(
+        {"title": title, "rows": [dict(row) for row in rows]})
     print("\n== {} ==".format(title))
     if not rows:
         print("(no rows)")
@@ -28,3 +60,47 @@ def _format(value):
     if isinstance(value, float):
         return "{:.4g}".format(value)
     return str(value)
+
+
+# -- machine-readable session report ----------------------------------------
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("bench")
+    group.addoption(
+        "--json", dest="bench_json", default=os.environ.get("BENCH_JSON"),
+        metavar="DIR",
+        help="write BENCH_<name>.json files (tables + durations) into DIR "
+             "(also honoured from the BENCH_JSON environment variable)")
+
+
+def _module_of(nodeid):
+    path = nodeid.split("::", 1)[0]
+    return os.path.splitext(os.path.basename(path))[0]
+
+
+def pytest_runtest_logreport(report):
+    if report.when != "call":
+        return
+    module = _module_of(report.nodeid)
+    if not module.startswith("bench"):
+        return
+    test = report.nodeid.rpartition("::")[2]
+    _DURATIONS.setdefault(module, {})[test] = report.duration
+
+
+def pytest_sessionfinish(session):
+    directory = session.config.getoption("bench_json", default=None)
+    if not directory:
+        return
+    os.makedirs(directory, exist_ok=True)
+    for module in sorted(set(_TABLES) | set(_DURATIONS)):
+        payload = {
+            "bench": module,
+            "tables": _TABLES.get(module, []),
+            "durations": _DURATIONS.get(module, {}),
+        }
+        path = os.path.join(directory, "BENCH_{}.json".format(module))
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")

@@ -1,0 +1,251 @@
+"""Picklable verification jobs: the unit of work of a campaign.
+
+A :class:`VerificationJob` does **not** hold a live model.  It holds a
+*factory reference* (a name in :data:`FACTORIES` or a ``"module:function"``
+dotted path) plus plain-data keyword arguments, so the job can be pickled to
+a worker process, hashed into a cache key, and replayed deterministically.
+The worker resolves the factory, builds the DFS model, translates it once,
+and drives :meth:`repro.verification.verifier.Verifier.verify_properties`
+over the requested property set.
+
+The verdict returned by :meth:`VerificationJob.run` is a plain JSON-able
+dict (markings and traces flattened to lists/strings), which is what allows
+the disk cache to hand back bit-identical results on warm runs.
+"""
+
+import importlib
+import json
+import time
+
+from repro.campaign.cache import ResultCache, net_fingerprint, options_digest
+from repro.chip.lfsr import Lfsr
+from repro.dfs.examples import conditional_comp_dfs, linear_pipeline, token_ring
+from repro.dfs.simulation import DfsSimulator
+from repro.dfs.translation import to_petri_net
+from repro.exceptions import ConfigurationError
+from repro.pipelines.control import set_loop_value
+from repro.pipelines.generic import build_generic_pipeline
+from repro.silicon.voltage import VoltageModel
+from repro.verification.verifier import Verifier
+
+#: The default property battery of a campaign job.  Persistence is the
+#: slowest check and is opt-in, mirroring ``verify_all(include_persistence=False)``.
+DEFAULT_PROPERTIES = ("safeness", "deadlock", "mismatch", "exclusion")
+
+
+def build_pipeline_model(stages, static_prefix=1, holes=(), f_delay=1.0, g_delay=1.0,
+                         name=None):
+    """Build a generic OPE pipeline DFS, mis-initialising the *holes* stages.
+
+    *holes* is an iterable of 1-based stage indices whose control loops are
+    re-initialised with False tokens while later stages stay included -- the
+    non-contiguous configurations whose deadlocks the paper reports catching
+    by verification (Section III-A).
+    """
+    if name is None:
+        name = "ope{}s_p{}{}".format(
+            stages, static_prefix,
+            "_hole" + "-".join(str(index) for index in holes) if holes else "")
+    pipeline = build_generic_pipeline(
+        stages, static_prefix_stages=static_prefix, name=name,
+        f_delay=f_delay, g_delay=g_delay)
+    for index in holes:
+        stage = pipeline.stage(index)
+        if not stage.reconfigurable:
+            raise ConfigurationError(
+                "cannot punch a hole at static stage {} of {!r}".format(index, name))
+        for loop in stage.control_loops:
+            set_loop_value(pipeline.dfs, loop, False)
+    return pipeline.dfs
+
+
+#: Registry of model factories addressable from a (picklable) job.
+FACTORIES = {
+    "pipeline": build_pipeline_model,
+    "conditional": conditional_comp_dfs,
+    "linear": linear_pipeline,
+    "ring": token_ring,
+}
+
+
+def register_factory(name, factory):
+    """Register a model *factory* under *name* (returns the factory)."""
+    FACTORIES[name] = factory
+    return factory
+
+
+def resolve_factory(reference):
+    """Resolve a factory reference: a registry name or ``"module:function"``."""
+    if reference in FACTORIES:
+        return FACTORIES[reference]
+    if ":" in reference:
+        module_name, _, attribute = reference.partition(":")
+        module = importlib.import_module(module_name)
+        try:
+            return getattr(module, attribute)
+        except AttributeError:
+            raise ConfigurationError(
+                "module {!r} has no factory {!r}".format(module_name, attribute))
+    raise ConfigurationError(
+        "unknown model factory {!r} (registered: {})".format(
+            reference, ", ".join(sorted(FACTORIES))))
+
+
+class VerificationJob:
+    """A self-contained, picklable description of one verification run.
+
+    Attributes are plain data only (strings, numbers, tuples, dicts), so a
+    job can cross a process boundary, be replayed later, and contribute to a
+    deterministic cache key.
+    """
+
+    def __init__(self, job_id, factory, kwargs=None, properties=DEFAULT_PROPERTIES,
+                 engine="auto", max_states=200000, max_witnesses=2,
+                 lfsr_seed=None, simulate_steps=0, voltage=None,
+                 expect="pass", metadata=None):
+        self.job_id = str(job_id)
+        self.factory = str(factory)
+        self.kwargs = dict(kwargs or {})
+        self.properties = tuple(properties)
+        self.engine = engine
+        self.max_states = int(max_states)
+        self.max_witnesses = int(max_witnesses)
+        self.lfsr_seed = lfsr_seed
+        self.simulate_steps = int(simulate_steps)
+        self.voltage = voltage
+        self.expect = expect
+        self.metadata = dict(metadata or {})
+
+    # -- identity ------------------------------------------------------------
+
+    def options(self):
+        """The verdict-relevant options, as a JSON-able mapping."""
+        return {
+            "properties": list(self.properties),
+            "engine": self.engine,
+            "max_states": self.max_states,
+            "max_witnesses": self.max_witnesses,
+            "lfsr_seed": self.lfsr_seed,
+            "simulate_steps": self.simulate_steps,
+            "voltage": self.voltage,
+        }
+
+    def to_dict(self):
+        """Describe the job itself (not its outcome) as a JSON-able dict."""
+        description = {"job_id": self.job_id, "factory": self.factory,
+                       "kwargs": dict(self.kwargs), "expect": self.expect}
+        description.update(self.options())
+        if self.metadata:
+            description["metadata"] = dict(self.metadata)
+        return description
+
+    # -- execution -----------------------------------------------------------
+
+    def build_model(self):
+        """Resolve the factory and build the DFS model."""
+        return resolve_factory(self.factory)(**self.kwargs)
+
+    def run(self, cache=None):
+        """Build, verify (or answer from *cache*) and return a result dict.
+
+        The returned dict has a deterministic ``"verdict"`` (the part the
+        cache stores) plus per-run bookkeeping (``"cache"`` status and
+        ``"elapsed"`` seconds).  *cache* is a
+        :class:`~repro.campaign.cache.ResultCache`, a cache directory path,
+        or ``None`` to disable caching.
+        """
+        started = time.perf_counter()
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        dfs = self.build_model()
+        net = to_petri_net(dfs)
+        fingerprint = net_fingerprint(net)
+        cache_status, key = "off", None
+        verdict = None
+        if cache is not None:
+            key = cache.key(fingerprint, options_digest(self.options()))
+            verdict = cache.get(key)
+            cache_status = "hit" if verdict is not None else "miss"
+        if verdict is None:
+            verdict = self._compute_verdict(dfs, net)
+            # A round-trip through JSON makes the cold verdict bit-identical
+            # to what a warm run will read back from disk.
+            verdict = json.loads(json.dumps(verdict, sort_keys=True))
+            if cache is not None:
+                cache.put(key, verdict)
+        return {
+            "job_id": self.job_id,
+            "model": dfs.name,
+            "factory": self.factory,
+            "fingerprint": fingerprint,
+            "expect": self.expect,
+            "cache": cache_status,
+            "elapsed": time.perf_counter() - started,
+            "verdict": verdict,
+        }
+
+    def _compute_verdict(self, dfs, net):
+        verifier = Verifier(dfs, max_states=self.max_states, engine=self.engine,
+                            net=net)
+        summary = verifier.verify_properties(
+            self.properties, max_witnesses=self.max_witnesses)
+        verdict = {
+            "state_count": summary.state_count,
+            "truncated": summary.truncated,
+            "passed": summary.passed,
+            "properties": [self._property_record(key, result) for key, result
+                           in zip(self.properties, summary.results)],
+        }
+        simulation = self._simulate(dfs)
+        if simulation is not None:
+            verdict["simulation"] = simulation
+        if self.voltage is not None:
+            verdict["voltage"] = self._voltage_record()
+        return verdict
+
+    @staticmethod
+    def _property_record(key, result):
+        record = {
+            "property": key,
+            "name": result.property_name,
+            "holds": result.holds,
+            "details": result.details,
+            "witnesses": len(result.witnesses),
+        }
+        trace = result.first_trace()
+        if trace is not None:
+            record["trace"] = list(trace)
+        for witness in result.witnesses[:1]:
+            dfs_state = witness.get("dfs_state")
+            if dfs_state is not None:
+                record["dfs_state"] = dfs_state
+        return record
+
+    def _simulate(self, dfs):
+        """Run the LFSR-seeded random token-game smoke, if requested."""
+        if self.simulate_steps <= 0:
+            return None
+        seed = self.lfsr_seed if self.lfsr_seed is not None else 0xACE1
+        stimulus = Lfsr(seed=seed).next()
+        simulator = DfsSimulator(dfs)
+        fired = simulator.run_random(self.simulate_steps, seed=stimulus)
+        return {
+            "lfsr_seed": seed,
+            "stimulus": stimulus,
+            "steps": self.simulate_steps,
+            "fired": len(fired),
+            "deadlocked": simulator.is_deadlocked(),
+        }
+
+    def _voltage_record(self):
+        """Annotate the scenario with the supply-voltage operating point."""
+        model = VoltageModel()
+        operational = model.is_operational(self.voltage)
+        record = {"voltage": self.voltage, "operational": operational}
+        if operational:
+            record["delay_scale"] = model.delay_scale(self.voltage)
+        return record
+
+    def __repr__(self):
+        return "VerificationJob({!r}, factory={!r}, expect={!r})".format(
+            self.job_id, self.factory, self.expect)

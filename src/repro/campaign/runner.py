@@ -1,0 +1,269 @@
+"""Parallel campaign execution: a supervised process pool with timeouts.
+
+Each :class:`~repro.campaign.jobs.VerificationJob` runs in its **own**
+worker process (bounded to *parallelism* concurrent workers) rather than a
+shared ``multiprocessing.Pool``: a job that hangs is terminated at its
+deadline and a job whose worker dies (a crash, an ``os._exit``, an OOM
+kill) is detected by the supervisor -- in both cases the campaign records a
+failed :class:`CampaignResult` and keeps going instead of hanging the pool.
+Workers stream results back through a queue as they finish, so a warm-cache
+job does not wait for a slow cold one.
+
+``parallelism=0`` runs the jobs inline in the calling process (no timeout
+enforcement), which is handy for debugging and deterministic tests.
+"""
+
+import multiprocessing
+import queue as queue_module
+import time
+import traceback
+from collections import deque
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.report import CampaignReport
+from repro.exceptions import ConfigurationError
+
+#: Seconds the supervisor waits for a dead worker's queued result to drain
+#: before declaring the worker crashed.
+_CRASH_GRACE = 0.5
+
+
+def _context():
+    """Prefer ``fork`` (inherits registered factories); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def start_method():
+    """The multiprocessing start method campaigns will use on this platform."""
+    return _context().get_start_method()
+
+
+class CampaignResult:
+    """Outcome of one campaign job: a payload, or how the worker failed.
+
+    *status* is ``"ok"`` (the job ran and produced a payload), ``"error"``
+    (the job raised; *error* holds the traceback), ``"timeout"`` (the worker
+    exceeded its deadline and was terminated) or ``"crashed"`` (the worker
+    process died without reporting).
+    """
+
+    def __init__(self, job, status, payload=None, error=None, elapsed=0.0):
+        self.job = job
+        self.status = status
+        self.payload = payload
+        self.error = error
+        self.elapsed = elapsed
+
+    @property
+    def verdict(self):
+        return (self.payload or {}).get("verdict")
+
+    @property
+    def outcome(self):
+        """``pass`` / ``fail`` / ``inconclusive``, or the failure status."""
+        if self.status != "ok":
+            return self.status
+        return classify_verdict(self.verdict)
+
+    @property
+    def cache_status(self):
+        return (self.payload or {}).get("cache", "off")
+
+    @property
+    def matched(self):
+        """Did the job behave as its ``expect`` field predicted?
+
+        ``True`` / ``False`` for a definite answer; ``None`` when the
+        verdict is inconclusive (truncated state space), which only the
+        campaign's strict mode treats as a failure.
+        """
+        if self.status != "ok":
+            return False
+        expect = self.job.expect
+        outcome = self.outcome
+        if outcome == "inconclusive":
+            return None
+        if expect is None:
+            return True  # no prediction: any conclusive verdict is fine
+        if expect == "pass":
+            return outcome == "pass"
+        if outcome != "fail":
+            return False
+        if expect == "deadlock":
+            return any(
+                record["property"] == "deadlock" and record["holds"] is False
+                for record in self.verdict.get("properties", ()))
+        return True  # expect == "fail": any violated property matches
+
+    def to_dict(self):
+        record = {
+            "job": self.job.to_dict(),
+            "status": self.status,
+            "outcome": self.outcome,
+            "matched": self.matched,
+            "elapsed": self.elapsed,
+        }
+        if self.payload is not None:
+            record.update({key: value for key, value in self.payload.items()
+                           if key != "job_id"})
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+    def __repr__(self):
+        return "CampaignResult({!r}, {}, outcome={})".format(
+            self.job.job_id, self.status, self.outcome)
+
+
+def classify_verdict(verdict):
+    """Classify a job verdict: ``pass``, ``fail`` or ``inconclusive``."""
+    if not verdict:
+        return "inconclusive"
+    holds = [record.get("holds") for record in verdict.get("properties", ())]
+    if any(value is False for value in holds):
+        return "fail"
+    if any(value is None for value in holds):
+        return "inconclusive"
+    return "pass"
+
+
+def _worker_main(job, cache_directory, results_queue):
+    """Worker entry point: run one job and stream the outcome back."""
+    started = time.perf_counter()
+    try:
+        payload = job.run(cache=cache_directory)
+        results_queue.put((job.job_id, "ok", payload, None,
+                           time.perf_counter() - started))
+    except Exception:
+        results_queue.put((job.job_id, "error", None, traceback.format_exc(),
+                           time.perf_counter() - started))
+
+
+def _run_inline(jobs, cache_directory):
+    results = []
+    for job in jobs:
+        started = time.perf_counter()
+        try:
+            payload = job.run(cache=cache_directory)
+            results.append(CampaignResult(job, "ok", payload=payload,
+                                          elapsed=time.perf_counter() - started))
+        except Exception:
+            results.append(CampaignResult(job, "error", error=traceback.format_exc(),
+                                          elapsed=time.perf_counter() - started))
+    return results
+
+
+def _drain(results_queue, records, block_seconds=0.0):
+    """Move every available queue item into *records*."""
+    while True:
+        try:
+            job_id, status, payload, error, elapsed = results_queue.get(
+                timeout=block_seconds) if block_seconds else results_queue.get_nowait()
+        except queue_module.Empty:
+            return
+        records[job_id] = (status, payload, error, elapsed)
+        block_seconds = 0.0
+
+
+def _run_pool(jobs, parallelism, timeout, cache_directory):
+    context = _context()
+    results_queue = context.Queue()
+    pending = deque(jobs)
+    active = {}   # job_id -> (process, job, started, deadline)
+    records = {}  # job_id -> (status, payload, error, elapsed)
+    failures = {}
+
+    while pending or active:
+        while pending and len(active) < parallelism:
+            job = pending.popleft()
+            process = context.Process(
+                target=_worker_main, args=(job, cache_directory, results_queue),
+                daemon=True)
+            process.start()
+            started = time.monotonic()
+            deadline = started + timeout if timeout is not None else None
+            active[job.job_id] = (process, job, started, deadline)
+        _drain(results_queue, records, block_seconds=0.05)
+
+        now = time.monotonic()
+        for job_id in list(active):
+            process, job, started, deadline = active[job_id]
+            if job_id in records:
+                process.join()
+                del active[job_id]
+            elif deadline is not None and now > deadline:
+                process.terminate()
+                process.join(1.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(1.0)
+                failures[job_id] = CampaignResult(
+                    job, "timeout", elapsed=now - started,
+                    error="job exceeded its {:.3g}s deadline and was "
+                          "terminated".format(timeout))
+                del active[job_id]
+            elif not process.is_alive():
+                # The worker died; give its (possibly buffered) result one
+                # last chance to drain before declaring a crash.
+                _drain(results_queue, records, block_seconds=_CRASH_GRACE)
+                if job_id not in records:
+                    failures[job_id] = CampaignResult(
+                        job, "crashed", elapsed=time.monotonic() - started,
+                        error="worker process died with exit code {} before "
+                              "reporting a result".format(process.exitcode))
+                    del active[job_id]
+                process.join()
+
+    results_queue.close()
+    results = []
+    for job in jobs:
+        if job.job_id in records:
+            status, payload, error, elapsed = records[job.job_id]
+            results.append(CampaignResult(job, status, payload=payload,
+                                          error=error, elapsed=elapsed))
+        else:
+            results.append(failures[job.job_id])
+    return results
+
+
+def run_campaign(jobs, parallelism=1, timeout=None, cache_dir=None, spec=None,
+                 skipped=None):
+    """Run *jobs* and aggregate the outcomes into a :class:`CampaignReport`.
+
+    Parameters
+    ----------
+    jobs:
+        The :class:`~repro.campaign.jobs.VerificationJob` list to run (for
+        instance from :func:`~repro.campaign.scenario.generate_scenarios`).
+    parallelism:
+        Number of concurrent worker processes; ``0`` runs inline.
+    timeout:
+        Optional per-job deadline in seconds (worker mode only).
+    cache_dir:
+        Optional verdict-cache directory shared by all workers.
+    spec, skipped:
+        Optional :class:`~repro.campaign.scenario.ScenarioSpec` and skipped
+        grid points, recorded in the report for provenance.
+    """
+    jobs = list(jobs)
+    seen_ids = set()
+    for job in jobs:
+        if job.job_id in seen_ids:
+            raise ConfigurationError(
+                "duplicate job id {!r}: the runner keys its bookkeeping by "
+                "job id, so every job needs a unique one".format(job.job_id))
+        seen_ids.add(job.job_id)
+    if cache_dir is not None:
+        ResultCache(cache_dir)  # create the directory once, up front
+    started = time.perf_counter()
+    if not jobs:
+        results = []
+    elif parallelism <= 0:
+        results = _run_inline(jobs, cache_dir)
+    else:
+        results = _run_pool(jobs, parallelism, timeout, cache_dir)
+    return CampaignReport(
+        results, spec=spec, skipped=skipped, parallelism=parallelism,
+        timeout=timeout, cache_dir=cache_dir,
+        elapsed=time.perf_counter() - started)

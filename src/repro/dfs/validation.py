@@ -8,7 +8,6 @@ control sets that would disable a node from the very start.
 
 from enum import Enum
 
-from repro.dfs.nodes import NodeType
 from repro.utils.graphs import enumerate_simple_cycles
 
 

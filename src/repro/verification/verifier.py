@@ -1,6 +1,7 @@
 """The high-level verification driver for DFS models."""
 
 from repro.dfs.translation import marking_to_dfs_state, to_petri_net
+from repro.exceptions import VerificationError
 from repro.petri.properties import (
     check_boundedness,
     check_deadlock,
@@ -25,13 +26,27 @@ class Verifier:
     falls back to the explicit explorer for nets it cannot represent.  Pass
     ``engine="explicit"`` to force the hash-dict explorer, or
     ``engine="compiled"`` to fail loudly instead of falling back.
+
+    The standard checks are registered by name in :data:`PROPERTY_CHECKS`;
+    :meth:`verify_properties` runs any named subset, which is how campaign
+    jobs (:mod:`repro.campaign`) drive a verifier from a declarative,
+    picklable description instead of a live object.
     """
 
-    def __init__(self, dfs, max_states=200000, engine="auto"):
+    #: Ordered registry of the standard checks: name -> bound-method name.
+    PROPERTY_CHECKS = {
+        "safeness": "verify_safeness",
+        "deadlock": "verify_deadlock_freedom",
+        "mismatch": "verify_control_mismatch",
+        "exclusion": "verify_value_mutual_exclusion",
+        "persistence": "verify_persistence",
+    }
+
+    def __init__(self, dfs, max_states=200000, engine="auto", net=None):
         self.dfs = dfs
         self.max_states = max_states
         self.engine = engine
-        self._net = None
+        self._net = net
         self._graph = None
 
     # -- lazy construction ------------------------------------------------------
@@ -152,15 +167,29 @@ class Verifier:
 
     # -- batched verification ---------------------------------------------------------
 
-    def verify_all(self, include_persistence=True):
-        """Run the standard battery of checks and return a summary."""
+    def verify_properties(self, properties, max_witnesses=5):
+        """Run the named standard checks and return a summary.
+
+        *properties* is an iterable of :data:`PROPERTY_CHECKS` keys; the
+        checks run in the given order against the same (cached) state space.
+        """
+        checks = []
+        for name in properties:
+            try:
+                checks.append(getattr(self, self.PROPERTY_CHECKS[name]))
+            except KeyError:
+                raise VerificationError(
+                    "unknown property {!r} (known: {})".format(
+                        name, ", ".join(sorted(self.PROPERTY_CHECKS))))
         summary = VerificationSummary(
             self.dfs.name, state_count=self.state_count, truncated=self.graph.truncated,
         )
-        summary.add(self.verify_safeness())
-        summary.add(self.verify_deadlock_freedom())
-        summary.add(self.verify_control_mismatch())
-        summary.add(self.verify_value_mutual_exclusion())
-        if include_persistence:
-            summary.add(self.verify_persistence())
+        for check in checks:
+            summary.add(check(max_witnesses=max_witnesses))
         return summary
+
+    def verify_all(self, include_persistence=True):
+        """Run the standard battery of checks and return a summary."""
+        properties = [name for name in self.PROPERTY_CHECKS
+                      if include_persistence or name != "persistence"]
+        return self.verify_properties(properties)

@@ -10,12 +10,20 @@ built-in model):
 * ``simulate``  -- a random token-game run;
 * ``analyse``   -- cycle-throughput performance analysis;
 * ``export``    -- export to dot / json / pn-dot / g / verilog.
+
+``campaign`` takes no model file: it expands a scenario grid
+(``--grid depth=2..5 prefix=1``, ``--holes 0,1``, ...) into verification
+jobs, fans them out over worker processes, and writes JSON/markdown reports
+(see :mod:`repro.campaign`).
 """
 
 import argparse
+import os
 import sys
 
 from repro._version import __version__
+from repro.campaign import ScenarioSpec, generate_scenarios, run_campaign
+from repro.campaign.jobs import DEFAULT_PROPERTIES, FACTORIES
 from repro.dfs.examples import conditional_comp_dfs, token_ring
 from repro.dfs.serialization import dfs_from_json
 from repro.dfs.simulation import DfsSimulator
@@ -23,6 +31,9 @@ from repro.dfs.validation import has_errors, validate_structure
 from repro.performance.analyzer import PerformanceAnalyzer
 from repro.verification.verifier import Verifier
 from repro.workcraft.export import available_formats, export_model
+
+#: Default on-disk verdict cache of ``repro-dfs campaign``.
+DEFAULT_CAMPAIGN_CACHE = ".repro-campaign-cache"
 
 _EXAMPLES = {
     "conditional": lambda: conditional_comp_dfs(),
@@ -106,6 +117,102 @@ def _command_export(args):
     return 0
 
 
+def _parse_axis_values(text, convert=int):
+    """Parse an axis value list: ``"2..5"`` ranges and/or comma lists."""
+    values = []
+    for chunk in str(text).split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            if ".." in chunk:
+                if convert is not int:
+                    raise SystemExit(
+                        "ranges like {!r} are only supported for integer axes".format(
+                            chunk))
+                low, _, high = chunk.partition("..")
+                start, stop = int(low, 0), int(high, 0)
+                if stop < start:
+                    raise SystemExit("empty axis range: {!r}".format(chunk))
+                values.extend(range(start, stop + 1))
+            elif convert is int:
+                values.append(int(chunk, 0))
+            else:
+                values.append(convert(chunk))
+        except ValueError:
+            raise SystemExit("invalid axis value {!r} in {!r}".format(chunk, text))
+    if not values:
+        raise SystemExit("empty axis value list: {!r}".format(text))
+    return values
+
+
+def _parse_grid(entries):
+    """Parse repeated ``--grid key=values`` entries into axis lists."""
+    axes = {}
+    known = {"depth": "depths", "prefix": "static_prefixes"}
+    for entry in entries or []:
+        key, separator, value = entry.partition("=")
+        key = key.strip()
+        if not separator or key not in known:
+            raise SystemExit(
+                "invalid --grid entry {!r} (expected depth=... or prefix=...)".format(
+                    entry))
+        axes[known[key]] = _parse_axis_values(value)
+    return axes
+
+
+def _command_campaign(args):
+    axes = _parse_grid(args.grid)
+    properties = [name.strip() for name in args.properties.split(",") if name.strip()]
+    unknown = [name for name in properties if name not in Verifier.PROPERTY_CHECKS]
+    if unknown or not properties:
+        raise SystemExit(
+            "unknown --properties value(s): {} (known: {})".format(
+                ", ".join(unknown) or "(none given)",
+                ", ".join(Verifier.PROPERTY_CHECKS)))
+    spec = ScenarioSpec(
+        depths=axes.get("depths", (2, 3)),
+        static_prefixes=axes.get("static_prefixes", (1,)),
+        holes=_parse_axis_values(args.holes),
+        lfsr_seeds=_parse_axis_values(args.seeds) if args.seeds else (None,),
+        voltages=_parse_axis_values(args.voltages, float) if args.voltages else (None,),
+        family=args.family,
+        properties=properties,
+        engine=args.engine,
+        max_states=args.max_states,
+        simulate_steps=args.simulate_steps,
+    )
+    jobs, skipped = generate_scenarios(spec)
+    # Fail on unwritable report locations *before* spending the campaign.
+    for path in (args.json, args.markdown):
+        if path:
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+    if args.timeout is not None and args.jobs <= 0 and not args.quiet:
+        print("note: --timeout only applies to worker processes; "
+              "--jobs 0 runs inline without deadlines")
+    cache_dir = None if args.no_cache else args.cache_dir
+    report = run_campaign(
+        jobs, parallelism=args.jobs, timeout=args.timeout,
+        cache_dir=cache_dir, spec=spec, skipped=skipped)
+    if not args.quiet:
+        print(report.render_text())
+    if args.json:
+        report.write_json(args.json)
+        if not args.quiet:
+            print("json report written to {}".format(args.json))
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(report.to_markdown())
+        if not args.quiet:
+            print("markdown report written to {}".format(args.markdown))
+    if not report.ok:
+        return 1
+    if args.strict and report.inconclusive:
+        return 1
+    return 0
+
+
 def build_parser():
     """Build the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -141,6 +248,44 @@ def build_parser():
     _add_model_arguments(analyse)
     analyse.add_argument("--slowest", type=int, default=5)
     analyse.set_defaults(handler=_command_analyse)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="verify a scenario grid in parallel (with a verdict cache)")
+    campaign.add_argument("--grid", action="append", metavar="KEY=VALUES",
+                          help="axis values, e.g. depth=2..5 or prefix=1,2 "
+                               "(repeatable; defaults: depth=2..3 prefix=1)")
+    campaign.add_argument("--holes", default="0",
+                          help="comma list of injected-hole counts (default 0)")
+    campaign.add_argument("--seeds", default=None,
+                          help="comma list of LFSR stimulus seeds (e.g. 0xACE1)")
+    campaign.add_argument("--voltages", default=None,
+                          help="comma list of supply voltages (e.g. 1.2,0.5)")
+    campaign.add_argument("--family", choices=sorted(FACTORIES), default="pipeline",
+                          help="model family to sweep (default pipeline)")
+    campaign.add_argument("--properties", default=",".join(DEFAULT_PROPERTIES),
+                          help="comma list of checks (default {})".format(
+                              ",".join(DEFAULT_PROPERTIES)))
+    campaign.add_argument("--engine", choices=("auto", "compiled", "explicit"),
+                          default="auto")
+    campaign.add_argument("--max-states", type=int, default=200000)
+    campaign.add_argument("--simulate-steps", type=int, default=0,
+                          help="run an LFSR-seeded token-game smoke of N steps per job")
+    campaign.add_argument("--jobs", "-j", type=int, default=1,
+                          help="worker processes (0 runs inline, without "
+                               "timeout enforcement; default 1)")
+    campaign.add_argument("--timeout", type=float, default=None,
+                          help="per-job deadline in seconds (worker mode only)")
+    campaign.add_argument("--cache-dir", default=DEFAULT_CAMPAIGN_CACHE,
+                          help="verdict cache directory (default {})".format(
+                              DEFAULT_CAMPAIGN_CACHE))
+    campaign.add_argument("--no-cache", action="store_true",
+                          help="disable the verdict cache")
+    campaign.add_argument("--json", metavar="PATH", help="write a JSON report")
+    campaign.add_argument("--markdown", metavar="PATH", help="write a markdown report")
+    campaign.add_argument("--strict", action="store_true",
+                          help="fail on inconclusive (truncated) verdicts too")
+    campaign.add_argument("--quiet", action="store_true")
+    campaign.set_defaults(handler=_command_campaign)
 
     export = subparsers.add_parser("export", help="export the model")
     _add_model_arguments(export)

@@ -8,7 +8,7 @@ from repro.circuits.library import default_library
 from repro.circuits.mapping import MappingOptions, SyncStyle, map_dfs_to_netlist, mapping_summary, sanitize
 from repro.circuits.netlist import Module, Netlist, PortDirection
 from repro.circuits.verilog import to_verilog
-from repro.dfs.examples import conditional_comp_dfs, linear_pipeline
+from repro.dfs.examples import linear_pipeline
 
 
 class TestLibrary:

@@ -1,6 +1,5 @@
 """Tests for the DFS -> Petri net translation (Fig. 3 / Fig. 4)."""
 
-from repro.dfs.examples import conditional_comp_dfs
 from repro.dfs.model import DataflowStructure
 from repro.dfs.translation import marking_to_dfs_state, place_name, to_petri_net
 from repro.petri.analysis import invariant_value, place_invariants

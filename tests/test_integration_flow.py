@@ -5,8 +5,6 @@ technology mapping -> Verilog export -> silicon measurements, exercised on
 the motivating example and on a small reconfigurable OPE pipeline.
 """
 
-import pytest
-
 from repro.chip.top import ChipConfig, OpeChip
 from repro.circuits.mapping import SyncStyle
 from repro.circuits.verilog import to_verilog

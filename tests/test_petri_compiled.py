@@ -92,9 +92,9 @@ class TestDifferentialExamples:
         explicit_persistence = check_persistence(explicit)
         compiled_persistence = check_persistence(compiled)
         assert explicit_persistence.holds == compiled_persistence.holds
-        strip = lambda ws: [
-            {k: w[k] for k in ("marking", "fired", "disabled") if k in w} for w in ws
-        ]
+        def strip(ws):
+            return [{k: w[k] for k in ("marking", "fired", "disabled") if k in w}
+                    for w in ws]
         assert strip(explicit_persistence.witnesses) == strip(compiled_persistence.witnesses)
 
     @pytest.mark.parametrize("model", EXAMPLE_MODELS)

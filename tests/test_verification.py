@@ -1,7 +1,5 @@
 """Tests for the verification engine (deadlock, mismatch, persistence...)."""
 
-import pytest
-
 from repro.dfs.examples import conditional_comp_dfs, token_ring
 from repro.dfs.model import DataflowStructure
 from repro.verification.properties import (
