@@ -5,16 +5,23 @@ CI runs the benchmarks with ``BENCH_JSON=<dir>`` (see
 ``benchmarks/conftest.py``), then calls this script to compare the fresh
 results against the committed baselines in ``benchmarks/baselines/``.
 
-The gated metric is the **compiled-engine verify path**.  Absolute seconds
-are meaningless across runner generations, so the gate normalises the
-compiled ``verify_all`` timing by the explicit-engine timing measured in the
-same process on the same machine::
+Two metrics are gated, one per bench file.  Absolute seconds are
+meaningless across runner generations, so each gate normalises a timing by
+a second timing measured in the same process on the same machine:
 
-    relative = compiled_seconds / explicit_seconds
+* the **compiled-engine verify path** (``bench_verification``)::
 
-and fails when the fresh relative cost exceeds the baseline's by more than
-``--tolerance`` (default 0.30, i.e. a >30% slowdown of the compiled engine
-relative to the explicit explorer).
+      relative = compiled_seconds / explicit_seconds
+
+* the **portfolio verify path** (``bench_checkers``)::
+
+      relative = portfolio_seconds / exhaustive_seconds
+
+A gate fails when the fresh relative cost exceeds the baseline's by more
+than its tolerance: ``--tolerance`` (default 0.30, i.e. a >30% slowdown of
+the gated path relative to its in-process reference) unless the gate
+declares its own in :data:`GATES` -- the portfolio ratio divides two small
+timings and carries a wider 0.60 band.
 
 Exit codes: 0 = within tolerance, 1 = regression detected, 2 = missing or
 malformed data.
@@ -25,7 +32,28 @@ import json
 import os
 import sys
 
-ENGINE_TABLE = "reachability engine comparison"
+#: The gated metrics: a bench file matches a gate when it contains the
+#: gate's table with both the reference and the gated row.  A gate's
+#: optional "tolerance" overrides the CLI default: the portfolio ratio
+#: divides two aggregated-but-small timings, so it carries a wider band
+#: than the compiled-engine ratio.
+GATES = [
+    {
+        "table": "reachability engine comparison",
+        "key": "engine",
+        "reference": "explicit",
+        "gated": "compiled",
+        "label": "compiled verify path",
+    },
+    {
+        "table": "checker portfolio comparison",
+        "key": "checker",
+        "reference": "exhaustive",
+        "gated": "portfolio",
+        "label": "portfolio verify path",
+        "tolerance": 0.60,
+    },
+]
 
 
 def load_bench(path):
@@ -33,42 +61,60 @@ def load_bench(path):
         return json.load(handle)
 
 
-def engine_seconds(bench, path):
-    """Extract ``(explicit, compiled)`` seconds from a bench payload."""
+def gate_seconds(bench, gate):
+    """Extract ``(reference, gated)`` seconds for *gate*, or ``None``."""
     for table in bench.get("tables", []):
-        if ENGINE_TABLE not in table.get("title", ""):
+        if gate["table"] not in table.get("title", ""):
             continue
         seconds = {}
         for row in table.get("rows", []):
-            engine = str(row.get("engine", ""))
-            if engine.startswith("explicit"):
-                seconds["explicit"] = float(row["seconds"])
-            elif engine.startswith("compiled"):
-                seconds["compiled"] = float(row["seconds"])
-        if "explicit" in seconds and "compiled" in seconds:
-            return seconds["explicit"], seconds["compiled"]
-    message = "error: no '{}' table with explicit/compiled rows in {}"
-    raise SystemExit(message.format(ENGINE_TABLE, path))
+            name = str(row.get(gate["key"], ""))
+            if name.startswith(gate["reference"]):
+                seconds["reference"] = float(row["seconds"])
+            elif name.startswith(gate["gated"]):
+                seconds["gated"] = float(row["seconds"])
+        if "reference" in seconds and "gated" in seconds:
+            return seconds["reference"], seconds["gated"]
+    return None
 
 
 def compare(fresh_path, baseline_path, tolerance):
     """Compare one bench file; return report lines and a regression flag."""
-    fresh_explicit, fresh_compiled = engine_seconds(load_bench(fresh_path), fresh_path)
-    base_explicit, base_compiled = engine_seconds(load_bench(baseline_path), baseline_path)
-    fresh_relative = fresh_compiled / fresh_explicit
-    base_relative = base_compiled / base_explicit
-    slowdown = fresh_relative / base_relative - 1.0
-    regressed = slowdown > tolerance
-    status = "REGRESSION" if regressed else "ok"
-    baseline_line = "  baseline: compiled/explicit = {:.4f} ({:.4g}s / {:.4g}s)"
-    fresh_line = "  fresh:    compiled/explicit = {:.4f} ({:.4g}s / {:.4g}s)"
-    verdict_line = "  compiled verify path slowdown: {:+.1%} (tolerance {:+.0%}) -> {}"
-    lines = [
-        "{}:".format(os.path.basename(fresh_path)),
-        baseline_line.format(base_relative, base_compiled, base_explicit),
-        fresh_line.format(fresh_relative, fresh_compiled, fresh_explicit),
-        verdict_line.format(slowdown, tolerance, status),
-    ]
+    fresh_bench = load_bench(fresh_path)
+    baseline_bench = load_bench(baseline_path)
+    lines = ["{}:".format(os.path.basename(fresh_path))]
+    regressed = False
+    gates_applied = 0
+    ratio_line = "  {:<9} {} = {:.4f} ({:.4g}s / {:.4g}s)"
+    verdict_line = "  {} slowdown: {:+.1%} (tolerance {:+.0%}) -> {}"
+    missing = "error: baseline {} has a '{}' table but the fresh result {} does not"
+    for gate in GATES:
+        baseline = gate_seconds(baseline_bench, gate)
+        if baseline is None:
+            continue
+        fresh = gate_seconds(fresh_bench, gate)
+        if fresh is None:
+            raise SystemExit(missing.format(baseline_path, gate["table"], fresh_path))
+        gates_applied += 1
+        gate_tolerance = gate.get("tolerance", tolerance)
+        base_ref, base_gated = baseline
+        fresh_ref, fresh_gated = fresh
+        base_relative = base_gated / base_ref
+        fresh_relative = fresh_gated / fresh_ref
+        slowdown = fresh_relative / base_relative - 1.0
+        bad = slowdown > gate_tolerance
+        regressed = regressed or bad
+        status = "REGRESSION" if bad else "ok"
+        name = "{}/{}".format(gate["gated"], gate["reference"])
+        row = ratio_line.format("baseline:", name, base_relative, base_gated, base_ref)
+        lines.append(row)
+        row = ratio_line.format("fresh:", name, fresh_relative, fresh_gated, fresh_ref)
+        lines.append(row)
+        verdict = verdict_line.format(gate["label"], slowdown, gate_tolerance, status)
+        lines.append(verdict)
+    if gates_applied == 0:
+        tables = " / ".join("'{}'".format(gate["table"]) for gate in GATES)
+        raise SystemExit("error: no gated table ({}) in {}".format(tables, baseline_path))
     return lines, regressed
 
 

@@ -19,7 +19,8 @@ The package is organised around the paper's tool-chain:
     The Static Dataflow Structures baseline (logic and plain registers only).
 
 ``repro.verification``
-    High-level verification of DFS models through their Petri-net semantics.
+    High-level verification of DFS models through their Petri-net semantics,
+    with pluggable checkers (exhaustive, inductive, random-walk, portfolio).
 
 ``repro.performance``
     Cycle-based performance analysis and bottleneck identification.

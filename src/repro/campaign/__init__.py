@@ -16,8 +16,9 @@ registers, driven by on-chip LFSR stimulus and operated across a supply
   (Section IV) for a token-game smoke run, and **voltages** annotate the
   operating points of the E5 voltage sweep (Fig. 9).
 * :mod:`~repro.campaign.jobs` -- the picklable :class:`VerificationJob`
-  unit of work: a model-factory reference plus plain-data options, never a
-  live model, so jobs cross process boundaries and hash into cache keys.
+  unit of work: a model-factory reference plus plain-data options (including
+  the checker choice and any named custom Reach properties), never a live
+  model, so jobs cross process boundaries and hash into cache keys.
 * :mod:`~repro.campaign.runner` -- :func:`run_campaign` fans jobs out over
   supervised worker processes with per-job timeouts and crash containment.
 * :mod:`~repro.campaign.cache` -- the on-disk verdict cache keyed by a

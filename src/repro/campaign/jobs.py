@@ -26,7 +26,7 @@ from repro.exceptions import ConfigurationError
 from repro.pipelines.control import set_loop_value
 from repro.pipelines.generic import build_generic_pipeline
 from repro.silicon.voltage import VoltageModel
-from repro.verification.verifier import Verifier
+from repro.verification.verifier import CUSTOM_PROPERTIES, Verifier
 
 #: The default property battery of a campaign job.  Persistence is the
 #: slowest check and is opt-in, mirroring ``verify_all(include_persistence=False)``.
@@ -101,8 +101,9 @@ class VerificationJob:
 
     def __init__(self, job_id, factory, kwargs=None, properties=DEFAULT_PROPERTIES,
                  engine="auto", max_states=200000, max_witnesses=2,
-                 lfsr_seed=None, simulate_steps=0, voltage=None,
-                 expect="pass", metadata=None):
+                 checker="exhaustive", checker_options=None,
+                 custom_properties=None, lfsr_seed=None, simulate_steps=0,
+                 voltage=None, expect="pass", metadata=None):
         self.job_id = str(job_id)
         self.factory = str(factory)
         self.kwargs = dict(kwargs or {})
@@ -110,6 +111,22 @@ class VerificationJob:
         self.engine = engine
         self.max_states = int(max_states)
         self.max_witnesses = int(max_witnesses)
+        self.checker = str(checker)
+        self.checker_options = dict(checker_options or {})
+        self.custom_properties = {
+            name: str(expression)
+            for name, expression in (custom_properties or {}).items()
+        }
+        # Snapshot registry-backed custom properties eagerly: a job must be
+        # self-contained across process boundaries (the spawn start method
+        # re-imports modules with an empty registry), and the cache digest
+        # must cover the expression actually checked, not just its name.
+        for name in self.properties:
+            if name in self.custom_properties or name in Verifier.PROPERTY_CHECKS:
+                continue
+            entry = CUSTOM_PROPERTIES.get(name)
+            if entry is not None:
+                self.custom_properties[name] = str(entry[0])
         self.lfsr_seed = lfsr_seed
         self.simulate_steps = int(simulate_steps)
         self.voltage = voltage
@@ -119,12 +136,25 @@ class VerificationJob:
     # -- identity ------------------------------------------------------------
 
     def options(self):
-        """The verdict-relevant options, as a JSON-able mapping."""
+        """The verdict-relevant options, as a JSON-able mapping.
+
+        The checker choice (and its tuning options) is part of the mapping:
+        verdicts produced by different checkers hash to different cache
+        keys, so a cached inconclusive exhaustive verdict can never shadow a
+        conclusive inductive one, and vice versa.  Custom properties are
+        digested as their resolved expressions (snapshotted at construction
+        time), not just their names, so re-registering a name with a
+        different expression can never be answered from a stale cached
+        verdict.
+        """
         return {
             "properties": list(self.properties),
             "engine": self.engine,
             "max_states": self.max_states,
             "max_witnesses": self.max_witnesses,
+            "checker": self.checker,
+            "checker_options": self.checker_options,
+            "custom_properties": self.custom_properties,
             "lfsr_seed": self.lfsr_seed,
             "simulate_steps": self.simulate_steps,
             "voltage": self.voltage,
@@ -184,15 +214,33 @@ class VerificationJob:
             "verdict": verdict,
         }
 
+    def effective_checker_options(self):
+        """Checker options with the scenario's LFSR seed threaded in.
+
+        The ``lfsr_seeds`` campaign axis sweeps stimulus: it seeds the
+        token-game smoke *and* the random-walk checker (the Verifier routes
+        top-level ``"walk"`` options to the walk checker whether it runs
+        standalone or as a portfolio member), so each seed genuinely
+        explores different paths.  Explicitly configured seeds win over the
+        axis value.
+        """
+        options = {name: dict(value) for name, value in self.checker_options.items()}
+        if self.lfsr_seed is not None and self.checker in ("walk", "portfolio"):
+            options.setdefault("walk", {}).setdefault("seed", self.lfsr_seed)
+        return options
+
     def _compute_verdict(self, dfs, net):
         verifier = Verifier(dfs, max_states=self.max_states, engine=self.engine,
-                            net=net)
+                            net=net, checker=self.checker,
+                            checker_options=self.effective_checker_options())
         summary = verifier.verify_properties(
-            self.properties, max_witnesses=self.max_witnesses)
+            self.properties, max_witnesses=self.max_witnesses,
+            custom=self.custom_properties or None)
         verdict = {
             "state_count": summary.state_count,
             "truncated": summary.truncated,
             "passed": summary.passed,
+            "checker": self.checker,
             "properties": [self._property_record(key, result) for key, result
                            in zip(self.properties, summary.results)],
         }
@@ -210,6 +258,7 @@ class VerificationJob:
             "name": result.property_name,
             "holds": result.holds,
             "details": result.details,
+            "method": result.method,
             "witnesses": len(result.witnesses),
         }
         trace = result.first_trace()

@@ -83,6 +83,7 @@ class CampaignReport:
                 "expect": result.job.expect,
                 "outcome": result.outcome,
                 "matched": result.matched,
+                "checker": getattr(result.job, "checker", "exhaustive"),
                 "states": verdict.get("state_count", "-"),
                 "cache": result.cache_status,
                 "seconds": result.elapsed,
@@ -131,14 +132,14 @@ class CampaignReport:
             "- wall clock: {:.3g}s at parallelism {}".format(
                 summary["elapsed"], summary["parallelism"]),
             "",
-            "| scenario | expect | outcome | matched | states | cache | seconds |",
-            "| --- | --- | --- | --- | --- | --- | --- |",
+            "| scenario | expect | outcome | matched | checker | states | cache | seconds |",
+            "| --- | --- | --- | --- | --- | --- | --- | --- |",
         ]
         for row in self.rows():
-            lines.append("| {} | {} | {} | {} | {} | {} | {:.3g} |".format(
+            lines.append("| {} | {} | {} | {} | {} | {} | {} | {:.3g} |".format(
                 row["scenario"], row["expect"], row["outcome"],
                 {True: "yes", False: "NO", None: "?"}[row["matched"]],
-                row["states"], row["cache"],
+                row["checker"], row["states"], row["cache"],
                 row["seconds"]))
         if self.skipped:
             lines.append("")
@@ -156,11 +157,11 @@ class CampaignReport:
                      summary["cache_hits"], summary["elapsed"])]
         for row in self.rows():
             lines.append("  [{}] {:<24} expect={:<8} outcome={:<12} "
-                         "states={:<8} cache={}".format(
+                         "checker={:<10} states={:<8} cache={}".format(
                              {True: "ok", False: "!!", None: "??"}[row["matched"]],
                              row["scenario"],
                              str(row["expect"]), str(row["outcome"]),
-                             str(row["states"]), row["cache"]))
+                             row["checker"], str(row["states"]), row["cache"]))
         for entry in self.skipped:
             lines.append("  [--] skipped {}: {}".format(
                 entry["axes"], entry["reason"]))

@@ -18,7 +18,9 @@ class ScenarioSpec:
     def __init__(self, depths=(2, 3), static_prefixes=(1,), holes=(0,),
                  lfsr_seeds=(None,), voltages=(None,), family="pipeline",
                  properties=DEFAULT_PROPERTIES, engine="auto", max_states=200000,
-                 max_witnesses=2, simulate_steps=0, f_delay=1.0, g_delay=1.0):
+                 max_witnesses=2, checker="exhaustive", checker_options=None,
+                 custom_properties=None, simulate_steps=0, f_delay=1.0,
+                 g_delay=1.0):
         self.depths = tuple(sorted(set(int(depth) for depth in depths)))
         self.static_prefixes = tuple(sorted(set(int(p) for p in static_prefixes)))
         self.holes = tuple(sorted(set(int(count) for count in holes)))
@@ -29,6 +31,9 @@ class ScenarioSpec:
         self.engine = engine
         self.max_states = int(max_states)
         self.max_witnesses = int(max_witnesses)
+        self.checker = str(checker)
+        self.checker_options = dict(checker_options or {})
+        self.custom_properties = dict(custom_properties or {})
         self.simulate_steps = int(simulate_steps)
         self.f_delay = float(f_delay)
         self.g_delay = float(g_delay)
@@ -42,6 +47,7 @@ class ScenarioSpec:
             "holes": list(self.holes),
             "lfsr_seeds": list(self.lfsr_seeds),
             "voltages": list(self.voltages),
+            "checker": self.checker,
         }
 
     def grid_size(self):
@@ -169,6 +175,9 @@ def generate_scenarios(spec):
             engine=spec.engine,
             max_states=spec.max_states,
             max_witnesses=spec.max_witnesses,
+            checker=spec.checker,
+            checker_options=spec.checker_options,
+            custom_properties=spec.custom_properties,
             lfsr_seed=axes["lfsr_seed"],
             simulate_steps=spec.simulate_steps,
             voltage=axes["voltage"],

@@ -36,6 +36,7 @@ Interpretation choices documented here (the paper leaves them implicit):
 from enum import Enum
 
 from repro.dfs.nodes import NodeType
+from repro.exceptions import TranslationError
 
 
 class Literal:
@@ -134,6 +135,39 @@ def event_name(node, action):
     if action in (EventAction.MARK_TRUE, EventAction.UNMARK_TRUE):
         return "Mt_{}{}".format(node, suffix)
     return "Mf_{}{}".format(node, suffix)
+
+
+def marking_event_names(node):
+    """All event names that mark register *node*, plain or by token value.
+
+    The single source of truth for "a token arrived at this register":
+    simulators and analyzers that count token arrivals match fired event
+    names against this set instead of re-deriving the naming scheme.
+
+    >>> sorted(marking_event_names("out"))
+    ['M_out+', 'Mf_out+', 'Mt_out+']
+    """
+    return frozenset(event_name(node, action) for action in MARKING_ACTIONS)
+
+
+def place_name(kind, node, bit):
+    """Name of the translation place encoding ``kind(node) == bit``.
+
+    Every Boolean state variable of the Petri-net translation becomes a
+    complementary place pair named by this function; verification code that
+    needs to address e.g. "register ``x`` holds a True token" must build the
+    name here (``place_name("Mt", x, 1)``) rather than formatting it inline.
+
+    >>> place_name("M", "ctrl", 1)
+    'M_ctrl_1'
+    """
+    if bit not in (0, 1):
+        raise TranslationError("place bit must be 0 or 1, got {!r}".format(bit))
+    if kind not in Literal.KINDS:
+        raise TranslationError(
+            "unknown state-variable kind {!r} (known: {})".format(
+                kind, ", ".join(Literal.KINDS)))
+    return "{}_{}_{}".format(kind, node, bit)
 
 
 def _sorted(literals):

@@ -11,7 +11,7 @@ the ``cond`` predicate of the motivating example).
 import random
 
 from repro.exceptions import SimulationError
-from repro.dfs.semantics import EventAction, model_events
+from repro.dfs.semantics import EventAction, marking_event_names, model_events
 from repro.dfs.state import DfsState
 
 
@@ -133,7 +133,5 @@ class DfsSimulator:
         Counted as the number of marking events of the register in the trace
         (both True and False marking for dynamic registers).
         """
-        prefixes = ("M_{}+".format(register_name),
-                    "Mt_{}+".format(register_name),
-                    "Mf_{}+".format(register_name))
-        return sum(1 for name in self.trace if name in prefixes)
+        marking_events = marking_event_names(register_name)
+        return sum(1 for name in self.trace if name in marking_events)

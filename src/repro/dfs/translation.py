@@ -8,21 +8,17 @@ carry the paper-style names (``Mt_ctrl+``, ``C_f-`` ...), the transition
 names of the generated net match the paper's Fig. 4.
 """
 
-from repro.exceptions import TranslationError
 from repro.dfs.nodes import NodeType
-from repro.dfs.semantics import EventAction, model_events
+from repro.dfs.semantics import EventAction, model_events, place_name
 from repro.petri.net import PetriNet
 
-
-def place_name(kind, node, bit):
-    """Name of the place encoding ``kind(node) == bit``.
-
-    >>> place_name("M", "ctrl", 1)
-    'M_ctrl_1'
-    """
-    if bit not in (0, 1):
-        raise TranslationError("place bit must be 0 or 1, got {!r}".format(bit))
-    return "{}_{}_{}".format(kind, node, bit)
+__all__ = [
+    "marking_to_dfs_state",
+    "place_name",  # canonical definition lives in repro.dfs.semantics
+    "to_compiled_net",
+    "to_petri_net",
+    "transition_name",
+]
 
 
 def transition_name(event):

@@ -19,7 +19,7 @@ import itertools
 import random
 
 from repro.exceptions import SimulationError
-from repro.dfs.semantics import EventAction, model_events
+from repro.dfs.semantics import EventAction, marking_event_names, model_events
 from repro.dfs.state import DfsState
 
 
@@ -151,11 +151,7 @@ class TimedDfsSimulator:
         """
         if observed not in self.dfs.register_nodes:
             raise SimulationError("unknown observation register: {!r}".format(observed))
-        marking_events = {
-            "M_{}+".format(observed),
-            "Mt_{}+".format(observed),
-            "Mf_{}+".format(observed),
-        }
+        marking_events = marking_event_names(observed)
         tokens = 0
         for _ in range(max_events):
             outcome = self.step()

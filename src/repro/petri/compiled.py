@@ -42,7 +42,7 @@ from repro.petri.marking import Marking
 from repro.petri.reachability import ReachabilityGraph
 
 
-def _iter_bits(mask):
+def iter_bits(mask):
     """Yield the indices of the set bits of *mask*, lowest first."""
     while mask:
         low = mask & -mask
@@ -100,13 +100,13 @@ class CompiledNet:
         # Watch lists: place index -> mask of transitions needing that place.
         watch = {}
         for index, need in enumerate(self.need):
-            for place in _iter_bits(need):
+            for place in iter_bits(need):
                 watch[place] = watch.get(place, 0) | (1 << index)
         self.affected = []
         for index in range(len(self.transition_names)):
             touched = self.consume[index] | self.produce[index]
             mask = 0
-            for place in _iter_bits(touched):
+            for place in iter_bits(touched):
                 mask |= watch.get(place, 0)
             self.affected.append(mask)
 
@@ -148,7 +148,7 @@ class CompiledNet:
 
     def decode(self, state):
         """Unpack an ``int`` state back into a :class:`Marking`."""
-        return Marking({self.place_names[i]: 1 for i in _iter_bits(state)})
+        return Marking({self.place_names[i]: 1 for i in iter_bits(state)})
 
     def mask_of(self, place):
         """Single-bit mask of *place* (``0`` for unknown places)."""
@@ -173,7 +173,7 @@ class CompiledNet:
         remainder = state & ~self.consume[transition_index]
         overflow = remainder & self.produce[transition_index]
         if overflow:
-            place = self.place_names[next(_iter_bits(overflow))]
+            place = self.place_names[next(iter_bits(overflow))]
             raise SafenessOverflowError(self.transition_names[transition_index], place)
         return remainder | self.produce[transition_index]
 

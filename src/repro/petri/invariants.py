@@ -1,0 +1,166 @@
+"""Place invariants (semiflows) of Petri nets.
+
+A **semiflow** is a non-negative integer weighting ``y`` of the places such
+that every transition firing leaves the weighted token sum unchanged:
+``y . M = y . M0`` for every reachable marking ``M``.  Semiflows are the
+classic structural source of *inductive* facts about a net -- they hold in
+every reachable marking without exploring any of them -- and they are what
+lets :class:`repro.verification.checkers.InductiveChecker` prove safety
+properties on state spaces far beyond any exploration bound.
+
+The DFS translations of :mod:`repro.dfs.translation` are rich in small
+semiflows: every complementary place pair ``x_0 + x_1 = 1`` is one, and each
+dynamic register additionally satisfies ``Mt_1 + Mf_1 + M_0 = 1``, which is
+exactly the fact needed to prove token-value mutual exclusion inductively.
+
+The generator is the Farkas-style elimination algorithm: start from the
+identity weightings and eliminate transitions one by one, combining rows
+with opposite effects.  Minimal-support pruning keeps the basis small; the
+worst case is still exponential, so the computation carries a row budget and
+raises :class:`InvariantBudgetExceeded` instead of hanging on adversarial
+nets (callers then fall back to weaker reasoning or report inconclusive).
+"""
+
+from math import gcd
+
+from repro.exceptions import VerificationError
+
+
+class InvariantBudgetExceeded(VerificationError):
+    """Raised when the semiflow computation exceeds its row budget."""
+
+
+class Semiflow:
+    """One non-negative place invariant: ``sum(weights[p] * M[p]) == value``.
+
+    ``weights`` maps place names to positive integers (places outside the
+    mapping have weight zero); ``value`` is the weighted sum at the initial
+    marking, which every reachable marking must reproduce.
+    """
+
+    __slots__ = ("weights", "value")
+
+    def __init__(self, weights, value):
+        self.weights = dict(weights)
+        self.value = int(value)
+
+    @property
+    def support(self):
+        return frozenset(self.weights)
+
+    def upper_bound(self, place):
+        """Structural bound on the tokens *place* can hold, or ``None``."""
+        weight = self.weights.get(place)
+        if not weight:
+            return None
+        return self.value // weight
+
+    def holds_at(self, marking):
+        """Evaluate the invariant on a marking (sanity checks and tests)."""
+        return sum(w * marking[p] for p, w in self.weights.items()) == self.value
+
+    def __repr__(self):
+        terms = " + ".join(
+            "{}{}".format("" if w == 1 else "{}*".format(w), p)
+            for p, w in sorted(self.weights.items()))
+        return "Semiflow({} == {})".format(terms, self.value)
+
+
+def _normalise(vector):
+    divisor = 0
+    for value in vector:
+        divisor = gcd(divisor, value)
+    if divisor > 1:
+        return [value // divisor for value in vector]
+    return vector
+
+
+def compute_semiflows(net, max_rows=20000):
+    """Return a minimal-support generating set of semiflows of *net*.
+
+    Farkas elimination over the incidence matrix: rows start as the identity
+    weightings (one per place) and every transition column is eliminated by
+    combining rows of opposite effect, so all surviving rows are
+    non-negative by construction.  Rows whose support strictly contains
+    another row's support are pruned each round, which keeps the basis at
+    the minimal semiflows.
+
+    Raises :class:`InvariantBudgetExceeded` when an elimination round would
+    hold more than *max_rows* rows.
+    """
+    places = sorted(net.places)
+    index = {place: i for i, place in enumerate(places)}
+    rows = []
+    for i in range(len(places)):
+        row = [0] * len(places)
+        row[i] = 1
+        rows.append(row)
+
+    def transition_effect(row, transition):
+        effect = 0
+        for place, weight in net.produced_places(transition).items():
+            effect += row[index[place]] * weight
+        for place, weight in net.consumed_places(transition).items():
+            effect -= row[index[place]] * weight
+        return effect
+
+    for transition in sorted(net.transitions):
+        positive, negative, kept = [], [], []
+        for row in rows:
+            effect = transition_effect(row, transition)
+            if effect > 0:
+                positive.append((row, effect))
+            elif effect < 0:
+                negative.append((row, -effect))
+            else:
+                kept.append(row)
+        if len(kept) + len(positive) * len(negative) > max_rows:
+            raise InvariantBudgetExceeded(
+                "semiflow computation of {!r} exceeds the {}-row budget at "
+                "transition {!r}".format(net.name, max_rows, transition))
+        for row_a, effect_a in positive:
+            for row_b, effect_b in negative:
+                combined = _normalise([
+                    effect_b * a + effect_a * b for a, b in zip(row_a, row_b)
+                ])
+                kept.append(combined)
+        supports = [frozenset(i for i, v in enumerate(row) if v) for row in kept]
+        pruned, seen = [], set()
+        for i, row in enumerate(kept):
+            if any(j != i and supports[j] < supports[i]
+                   for j in range(len(kept))):
+                continue
+            key = tuple(row)
+            if key in seen:
+                continue
+            seen.add(key)
+            pruned.append(row)
+        rows = pruned
+
+    initial = net.initial_marking()
+    semiflows = []
+    for row in rows:
+        weights = {places[i]: value for i, value in enumerate(row) if value}
+        if not weights:
+            continue
+        value = sum(weight * initial[place] for place, weight in weights.items())
+        semiflows.append(Semiflow(weights, value))
+    return semiflows
+
+
+def place_bounds(semiflows):
+    """Map every covered place to its tightest structural token bound."""
+    bounds = {}
+    for semiflow in semiflows:
+        for place in semiflow.weights:
+            bound = semiflow.upper_bound(place)
+            current = bounds.get(place)
+            if current is None or bound < current:
+                bounds[place] = bound
+    return bounds
+
+
+def proves_bound(semiflows, places, bound=1):
+    """``True`` when the semiflows bound every listed place by *bound*."""
+    bounds = place_bounds(semiflows)
+    return all(bounds.get(place, bound + 1) <= bound for place in places)

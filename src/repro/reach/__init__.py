@@ -37,13 +37,20 @@ from repro.reach.ast import (
     Or,
     ReachExpression,
 )
+from repro.reach.cubes import Cube, to_cubes
 from repro.reach.parser import parse
-from repro.reach.evaluator import evaluate, find_witnesses, holds_somewhere
+from repro.reach.evaluator import (
+    evaluate,
+    find_witnesses,
+    holds_somewhere,
+    marking_predicate,
+)
 
 __all__ = [
     "And",
     "Compare",
     "Constant",
+    "Cube",
     "Implies",
     "Marked",
     "Not",
@@ -52,5 +59,7 @@ __all__ = [
     "evaluate",
     "find_witnesses",
     "holds_somewhere",
+    "marking_predicate",
     "parse",
+    "to_cubes",
 ]

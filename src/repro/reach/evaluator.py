@@ -22,7 +22,8 @@ def _as_expression(expression):
     )
 
 
-def _check_places(expression, net):
+def check_places(expression, net):
+    """Raise :class:`ReachEvaluationError` for places absent from *net*."""
     unknown = {place for place in expression.places() if not net.has_place(place)}
     if unknown:
         raise ReachEvaluationError(
@@ -86,8 +87,25 @@ def evaluate(expression, marking, net=None):
     """Evaluate *expression* (AST or text) on a single marking."""
     expression = _as_expression(expression)
     if net is not None:
-        _check_places(expression, net)
+        check_places(expression, net)
     return expression.evaluate(marking)
+
+
+def marking_predicate(expression, net=None):
+    """Compile *expression* (AST or text) into a ``marking -> bool`` callable.
+
+    This is the single-marking counterpart of :func:`find_witnesses`: it
+    needs no materialised reachability graph, so callers that visit markings
+    on the fly (simulation hooks, external explorers) can test each state as
+    they reach it.  (The random-walk checker works on raw ``int`` states and
+    uses :func:`compile_mask_predicate` instead.)  When *net* is given,
+    place names are validated once at compile time instead of on every
+    call.
+    """
+    expression = _as_expression(expression)
+    if net is not None:
+        check_places(expression, net)
+    return expression.evaluate
 
 
 def find_witnesses(expression, graph, max_witnesses=5, with_traces=True):
@@ -98,7 +116,7 @@ def find_witnesses(expression, graph, max_witnesses=5, with_traces=True):
     leading to the witness.
     """
     expression = _as_expression(expression)
-    _check_places(expression, graph.net)
+    check_places(expression, graph.net)
     scan = _compiled_scan(expression, graph)
     if scan is not None:
         markings = scan(max_witnesses)
@@ -118,7 +136,7 @@ def find_witnesses(expression, graph, max_witnesses=5, with_traces=True):
 def holds_somewhere(expression, graph):
     """Return ``True`` when some reachable state satisfies *expression*."""
     expression = _as_expression(expression)
-    _check_places(expression, graph.net)
+    check_places(expression, graph.net)
     scan = _compiled_scan(expression, graph)
     if scan is not None:
         return next(iter(scan(1)), None) is not None

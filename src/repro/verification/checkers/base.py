@@ -1,0 +1,242 @@
+"""The pluggable checker abstraction of the verification stack.
+
+A **checker** is a strategy for answering property *queries* about the
+Petri-net translation of a DFS model.  Queries describe what to decide
+(``reach``: is some bad state reachable?  ``deadlock``: is some reachable
+state stuck?  ``safeness``: does any place overflow a bound?
+``persistence``: can one event disable another?); checkers decide them with
+different trade-offs:
+
+* :class:`~repro.verification.checkers.exhaustive.ExhaustiveChecker` --
+  explicit/bitmask state-space exploration; conclusive both ways up to
+  ``max_states``, inconclusive beyond it;
+* :class:`~repro.verification.checkers.inductive.InductiveChecker` --
+  place-invariant and backward-induction reasoning over the compiled
+  transition relation; proves "holds" (and finds some violations) with no
+  state bound at all;
+* :class:`~repro.verification.checkers.walk.RandomWalkChecker` --
+  LFSR-seeded guided walks; a fast falsifier far beyond any truncation
+  horizon, never concludes "holds";
+* :class:`~repro.verification.checkers.portfolio.PortfolioChecker` -- races
+  the above and returns the first conclusive verdict.
+
+All checkers attached to one :class:`CheckerContext` share the translation,
+its compiled bitmask form, the (lazily built) reachability graph and the
+computed place invariants, so a portfolio pays for each artefact at most
+once.
+
+Every answer is a :class:`CheckerOutcome` whose ``holds`` follows the
+three-valued convention used across the repo: ``True`` (property holds),
+``False`` (violated, with witnesses), ``None`` (this checker cannot
+decide).  A conclusive outcome from *any* checker is a definitive verdict;
+checkers must never return a conclusive answer they cannot justify.
+"""
+
+from repro.exceptions import ReachEvaluationError, VerificationError
+from repro.petri.compiled import CompiledNet
+from repro.petri.invariants import InvariantBudgetExceeded, compute_semiflows
+from repro.petri.reachability import build_reachability_graph
+from repro.reach.ast import ReachExpression
+from repro.reach.evaluator import check_places as evaluator_check_places
+from repro.reach.parser import parse
+
+_UNSET = object()
+
+#: Registry of checker implementations: name -> class.
+CHECKERS = {}
+
+
+def register_checker(cls):
+    """Class decorator: register a :class:`Checker` subclass by its name."""
+    CHECKERS[cls.name] = cls
+    return cls
+
+
+def create_checker(name, context, options=None):
+    """Instantiate the checker registered under *name* on *context*."""
+    try:
+        cls = CHECKERS[name]
+    except KeyError:
+        raise VerificationError(
+            "unknown checker {!r} (known: {})".format(
+                name, ", ".join(sorted(CHECKERS))))
+    return cls(context, **(options or {}))
+
+
+# -- queries -----------------------------------------------------------------
+
+
+class Query:
+    """Base class of property queries; ``kind`` selects the handler."""
+
+    kind = "abstract"
+
+
+class ReachQuery(Query):
+    """Is some reachable marking a *bad* state of the Reach expression?"""
+
+    kind = "reach"
+
+    def __init__(self, expression, description="reach property"):
+        if isinstance(expression, str):
+            expression = parse(expression)
+        if not isinstance(expression, ReachExpression):
+            raise ReachEvaluationError(
+                "expected a Reach expression or string, found {!r}".format(
+                    type(expression)))
+        self.expression = expression
+        self.description = description
+
+
+class DeadlockQuery(Query):
+    """Is some reachable marking completely stuck?"""
+
+    kind = "deadlock"
+
+
+class SafenessQuery(Query):
+    """Does some reachable marking exceed *bound* tokens in a place?"""
+
+    kind = "safeness"
+
+    def __init__(self, bound=1):
+        self.bound = int(bound)
+
+
+class PersistenceQuery(Query):
+    """Can firing one transition disable another (a hazard)?"""
+
+    kind = "persistence"
+
+    def __init__(self, allow_conflicts=True):
+        self.allow_conflicts = allow_conflicts
+
+
+# -- outcomes ----------------------------------------------------------------
+
+
+class CheckerOutcome:
+    """The answer of one checker to one query.
+
+    ``holds`` is three-valued (``True`` / ``False`` / ``None``); witnesses
+    follow the repo-wide shape (dicts with ``marking`` and usually
+    ``trace``); ``method`` names the checker that produced the verdict,
+    which flows into results, campaign records and reports.
+    """
+
+    def __init__(self, holds, witnesses=None, details="", method=None):
+        self.holds = holds
+        self.witnesses = witnesses or []
+        self.details = details
+        self.method = method
+
+    @property
+    def conclusive(self):
+        return self.holds is not None
+
+    def __repr__(self):
+        status = {True: "holds", False: "violated", None: "inconclusive"}[self.holds]
+        return "CheckerOutcome({}, method={!r}, witnesses={})".format(
+            status, self.method, len(self.witnesses))
+
+
+# -- shared context ----------------------------------------------------------
+
+
+class CheckerContext:
+    """Artefacts shared by every checker working on one net.
+
+    The reachability graph, the compiled bitmask net and the place
+    invariants are each built on first use and cached, so e.g. a portfolio
+    run never explores the state space twice, and a purely inductive run
+    never explores it at all.
+    """
+
+    def __init__(self, net, max_states=200000, engine="auto"):
+        self.net = net
+        self.max_states = max_states
+        self.engine = engine
+        self._graph = None
+        self._compiled = _UNSET
+        self._semiflows = _UNSET
+
+    @property
+    def graph(self):
+        """The reachability graph (built on first access)."""
+        if self._graph is None:
+            self._graph = build_reachability_graph(
+                self.net, max_states=self.max_states, engine=self.engine)
+        return self._graph
+
+    @property
+    def graph_built(self):
+        return self._graph is not None
+
+    @property
+    def compiled(self):
+        """The compiled bitmask net, or ``None`` when it cannot be compiled."""
+        if self._compiled is _UNSET:
+            self._compiled = CompiledNet.try_compile(self.net)
+        return self._compiled
+
+    @property
+    def semiflows(self):
+        """Place invariants of the net (empty when the budget was exceeded)."""
+        if self._semiflows is _UNSET:
+            try:
+                self._semiflows = compute_semiflows(self.net)
+            except InvariantBudgetExceeded:
+                self._semiflows = []
+        return self._semiflows
+
+    def check_places(self, expression):
+        """Validate that every place of *expression* exists in the net."""
+        evaluator_check_places(expression, self.net)
+
+    @property
+    def state_count(self):
+        """States explored so far (``0`` when no graph was built)."""
+        return len(self._graph) if self._graph is not None else 0
+
+    @property
+    def truncated(self):
+        return bool(self._graph is not None and self._graph.truncated)
+
+
+# -- checker base ------------------------------------------------------------
+
+
+class Checker:
+    """Base class of all verification checkers.
+
+    Subclasses set :attr:`name`, accept their tuning knobs as keyword
+    arguments, and implement ``check_<kind>(query, max_witnesses)`` handlers
+    for the query kinds they support; unknown kinds fall back to an
+    inconclusive "unsupported" outcome, which is what lets a portfolio mix
+    specialists without special cases.
+    """
+
+    name = "abstract"
+
+    def __init__(self, context):
+        self.context = context
+
+    def check(self, query, max_witnesses=5):
+        """Answer *query*; unsupported kinds are inconclusive, not errors."""
+        handler = getattr(self, "check_" + query.kind, None)
+        if handler is None:
+            return self.unsupported(query)
+        return handler(query, max_witnesses=max_witnesses)
+
+    def unsupported(self, query):
+        return CheckerOutcome(
+            None, method=self.name,
+            details="the {} checker does not support {} queries".format(
+                self.name, query.kind))
+
+    def outcome(self, holds, witnesses=None, details=""):
+        return CheckerOutcome(holds, witnesses=witnesses, details=details,
+                              method=self.name)
+
+    def __repr__(self):
+        return "{}()".format(type(self).__name__)

@@ -1,0 +1,59 @@
+"""The exhaustive checker: explicit state-space exploration.
+
+This is the pre-refactor verification path extracted behind the
+:class:`~repro.verification.checkers.base.Checker` interface: build the
+reachability graph (compiled bitmask engine with explicit fallback, per the
+context's ``engine`` setting) and decide every query by scanning it.  Within
+``max_states`` it is conclusive in both directions and supports every query
+kind -- it is the only checker that can decide persistence, which needs the
+successor structure, not just individual markings.  Beyond the bound it
+degrades to ``None`` (inconclusive), which is exactly the gap the inductive
+and random-walk checkers exist to fill.
+"""
+
+from repro.petri.properties import (
+    check_boundedness,
+    check_deadlock,
+    check_persistence,
+)
+from repro.reach.evaluator import find_witnesses
+from repro.verification.checkers.base import Checker, register_checker
+
+
+@register_checker
+class ExhaustiveChecker(Checker):
+    """Decide queries by exhaustive exploration of the state space."""
+
+    name = "exhaustive"
+
+    def _from_report(self, report):
+        return self.outcome(report.holds, witnesses=report.witnesses,
+                            details=report.details)
+
+    def check_reach(self, query, max_witnesses=5):
+        self.context.check_places(query.expression)
+        graph = self.context.graph
+        witnesses = find_witnesses(query.expression, graph,
+                                   max_witnesses=max_witnesses)
+        holds = not witnesses
+        if holds and graph.truncated:
+            holds = None
+        details = ("no reachable bad state" if holds
+                   else "{} reachable bad state(s)".format(len(witnesses))
+                   if holds is False else "inconclusive (truncated state space)")
+        return self.outcome(holds, witnesses=witnesses, details=details)
+
+    def check_deadlock(self, query, max_witnesses=5):
+        report = check_deadlock(self.context.graph, max_witnesses=max_witnesses)
+        return self._from_report(report)
+
+    def check_safeness(self, query, max_witnesses=5):
+        report = check_boundedness(self.context.graph, bound=query.bound,
+                                   max_witnesses=max_witnesses)
+        return self._from_report(report)
+
+    def check_persistence(self, query, max_witnesses=5):
+        report = check_persistence(self.context.graph,
+                                   allow_conflicts=query.allow_conflicts,
+                                   max_witnesses=max_witnesses)
+        return self._from_report(report)

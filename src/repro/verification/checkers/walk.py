@@ -1,0 +1,227 @@
+"""The random-walk checker: an LFSR-seeded falsifier.
+
+Exhaustive exploration visits states breadth-first, so a bug 30 firings deep
+may sit far beyond a feasible ``max_states`` bound.  A random walk goes
+*deep* instead of *wide*: it fires one enabled transition at a time on the
+compiled bitmask net, testing the bad-state predicate at every visited
+marking, and restarts when it runs out of steps.  The walker can only ever
+answer ``False`` (with the fired sequence as a ready-made counterexample
+trace) or ``None`` -- absence of a bug on a few thousand random paths proves
+nothing -- which is exactly the right shape for the falsification half of a
+portfolio.
+
+Randomness comes from the same Galois LFSR that drives the evaluation
+chip's stimulus generator (:mod:`repro.chip.lfsr`), so walks are
+deterministic per seed and campaign scenarios can sweep seeds the way the
+paper's E5 experiment sweeps stimulus.  Walks are *guided*: a configurable
+fraction of the steps picks the successor that minimises the number of
+enabled transitions (when hunting deadlocks -- corners of the state space)
+or maximises satisfied bad-cube literals (when hunting Reach violations),
+which in practice finds injected-hole deadlocks orders of magnitude faster
+than uniform wandering.
+"""
+
+from repro.chip.lfsr import Lfsr
+from repro.exceptions import CompilationError, SafenessOverflowError
+from repro.petri.compiled import iter_bits
+from repro.reach.cubes import to_cubes
+from repro.reach.evaluator import compile_mask_predicate
+from repro.verification.checkers.base import Checker, register_checker
+
+
+@register_checker
+class RandomWalkChecker(Checker):
+    """Falsify queries with guided random walks on the compiled net."""
+
+    name = "walk"
+
+    def __init__(self, context, walks=8, steps=256, seed=0xACE1,
+                 guidance=0.5, dnf_limit=64):
+        super().__init__(context)
+        self.walks = int(walks)
+        self.steps = int(steps)
+        self.seed = int(seed)
+        self.guidance = float(guidance)
+        self.dnf_limit = int(dnf_limit)
+
+    # -- queries -------------------------------------------------------------
+
+    def check_deadlock(self, query, max_witnesses=5):
+        found = self._hunt(predicate=None, score=self._fewest_enabled,
+                           stop_in_deadlock=True,
+                           max_witnesses=max_witnesses)
+        if found is None:
+            return self._budget_outcome("deadlock")
+        if isinstance(found, CheckerOutcomeProxy):
+            return found.outcome
+        return self.outcome(
+            False, witnesses=found,
+            details="random walk reached {} deadlocked state(s)".format(
+                len(found)))
+
+    def check_safeness(self, query, max_witnesses=5):
+        """Walks detect a 1-safeness loss as a token-overflow firing."""
+        if query.bound != 1:
+            return self.outcome(
+                None, details="random walks only detect 1-safeness "
+                "violations (token overflow)")
+        found = self._hunt(predicate=None, score=None, stop_in_deadlock=False,
+                           max_witnesses=max_witnesses,
+                           overflow_conclusive=True)
+        if isinstance(found, CheckerOutcomeProxy):
+            return found.outcome
+        return self._budget_outcome("token overflow")
+
+    def check_reach(self, query, max_witnesses=5):
+        self.context.check_places(query.expression)
+        compiled = self.context.compiled
+        if compiled is None:
+            return self._no_compiled_outcome()
+        predicate = compile_mask_predicate(query.expression, compiled.mask_of)
+        if predicate is None:
+            return self.outcome(
+                None, details="expression does not compile to a bitmask "
+                "predicate; random-walk falsification unavailable")
+        cubes = to_cubes(query.expression, max_cubes=self.dnf_limit)
+        score = self._cube_score(compiled, cubes) if cubes else None
+        found = self._hunt(predicate=predicate, score=score,
+                           stop_in_deadlock=False, max_witnesses=max_witnesses)
+        if found is None:
+            return self._budget_outcome("bad state")
+        if isinstance(found, CheckerOutcomeProxy):
+            return found.outcome
+        return self.outcome(
+            False, witnesses=found,
+            details="random walk reached {} bad state(s)".format(len(found)))
+
+    # -- outcomes ------------------------------------------------------------
+
+    def _budget_outcome(self, target):
+        return self.outcome(
+            None, details="no {} found within {} walk(s) of {} step(s); "
+            "random walks cannot prove absence".format(
+                target, self.walks, self.steps))
+
+    def _no_compiled_outcome(self):
+        return self.outcome(
+            None, details="net has no bitmask representation; random-walk "
+            "falsification unavailable")
+
+    # -- the walk engine -----------------------------------------------------
+
+    def _hunt(self, predicate, score, stop_in_deadlock, max_witnesses,
+              overflow_conclusive=False):
+        """Run the walk budget; return witnesses, a proxy, or ``None``.
+
+        *predicate* is the bad-state test over raw ``int`` states (``None``
+        hunts deadlocks or overflows only); *score* ranks candidate
+        successor states (lower is better) for the guided steps.  A
+        :class:`SafenessOverflowError` during firing is a conclusive
+        counterexample only for the safeness query itself
+        (*overflow_conclusive*); for any other query it merely ends the
+        current walk -- the overflow state witnesses a different property
+        than the one being asked about.
+        """
+        compiled = self.context.compiled
+        if compiled is None:
+            return CheckerOutcomeProxy(self._no_compiled_outcome())
+        try:
+            initial = compiled.encode(self.context.net.initial_marking())
+        except CompilationError:
+            return CheckerOutcomeProxy(self.outcome(
+                None, details="initial marking has no bitmask "
+                "representation; random walks unavailable"))
+        lfsr = Lfsr(seed=self.seed or 0xACE1, width=32)
+        guided_threshold = int(self.guidance * 256)
+        names = compiled.transition_names
+        witnesses = []
+        # Restarted walks often re-find the same bad state; witnesses (and
+        # the reported count) cover *distinct* states only.
+        witnessed_states = set()
+
+        def witness(state, trace):
+            if state not in witnessed_states:
+                witnessed_states.add(state)
+                witnesses.append({"marking": compiled.decode(state),
+                                  "trace": list(trace)})
+
+        for _ in range(self.walks):
+            state = initial
+            trace = []
+            for _ in range(self.steps):
+                if predicate is not None and predicate(state):
+                    witness(state, trace)
+                    break
+                enabled = compiled.enabled_mask(state)
+                if not enabled:
+                    if stop_in_deadlock:
+                        witness(state, trace)
+                    break
+                draw = lfsr.next()
+                try:
+                    transition, state = self._step(
+                        compiled, state, enabled, draw, score,
+                        guided=(draw >> 8) & 0xFF < guided_threshold)
+                except SafenessOverflowError as overflow:
+                    if not overflow_conclusive:
+                        break  # wrong property: end this walk, try another
+                    overflow_witness = {"marking": compiled.decode(state),
+                                        "trace": list(trace),
+                                        "transition": overflow.transition,
+                                        "place": overflow.place}
+                    return CheckerOutcomeProxy(self.outcome(
+                        False, witnesses=[overflow_witness],
+                        details="random walk found a 1-safeness violation: "
+                        "firing {!r} overflows place {!r}".format(
+                            overflow.transition, overflow.place)))
+                trace.append(names[transition])
+            if len(witnesses) >= max_witnesses:
+                break
+        return witnesses or None
+
+    def _step(self, compiled, state, enabled, draw, score, guided):
+        indices = list(iter_bits(enabled))
+        if guided and score is not None and len(indices) > 1:
+            best = None
+            for index in indices:
+                successor = compiled.fire(index, state)
+                rank = score(compiled, successor)
+                if best is None or rank < best[0]:
+                    best = (rank, index, successor)
+            return best[1], best[2]
+        index = indices[draw % len(indices)]
+        return index, compiled.fire(index, state)
+
+    # -- guidance heuristics -------------------------------------------------
+
+    @staticmethod
+    def _fewest_enabled(compiled, state):
+        """Prefer successors with fewer options: walk into corners."""
+        return compiled.enabled_mask(state).bit_count()
+
+    @staticmethod
+    def _cube_score(compiled, cubes):
+        """Prefer successors matching more literals of some bad cube."""
+        masks = []
+        for cube in cubes:
+            ones = sum(compiled.place_bit.get(p, 0) for p in cube.true_places)
+            zeros = sum(compiled.place_bit.get(p, 0) for p in cube.false_places)
+            masks.append((ones, zeros, len(cube.places())))
+
+        def score(compiled_net, state):
+            best = 0
+            for ones, zeros, size in masks:
+                matched = (state & ones).bit_count() + (~state & zeros).bit_count()
+                best = max(best, size and matched / size)
+            return -best
+
+        return score
+
+
+class CheckerOutcomeProxy:
+    """Wrapper distinguishing a ready outcome from a witness list."""
+
+    __slots__ = ("outcome",)
+
+    def __init__(self, outcome):
+        self.outcome = outcome

@@ -11,7 +11,7 @@ for the properties the paper highlights:
   translation itself).
 """
 
-from repro.dfs.translation import place_name
+from repro.dfs.semantics import place_name
 from repro.reach.ast import And, Marked, conjunction, disjunction
 
 
@@ -37,6 +37,29 @@ def control_mismatch_expression(dfs, node_name=None):
         true_seen = disjunction([Marked(place_name("Mt", c, 1)) for c in controls])
         false_seen = disjunction([Marked(place_name("Mf", c, 1)) for c in controls])
         terms.append(And(true_seen, false_seen))
+    if not terms:
+        return None
+    return disjunction(terms)
+
+
+def value_exclusion_expression(dfs, node_name=None):
+    """Reach expression for a token-value exclusion violation.
+
+    A dynamic register must never hold a True and a False token at once;
+    the bad states are those where both ``Mt`` and ``Mf`` of some dynamic
+    register are marked.  When *node_name* is given the expression covers
+    that register only; otherwise it is the disjunction over every dynamic
+    register.  Returns ``None`` when the model has no dynamic register.
+    """
+    if node_name is not None:
+        candidates = [node_name]
+    else:
+        candidates = [name for name in sorted(dfs.nodes)
+                      if dfs.node(name).is_register and dfs.node(name).is_dynamic]
+    terms = [
+        And(Marked(place_name("Mt", name, 1)), Marked(place_name("Mf", name, 1)))
+        for name in candidates
+    ]
     if not terms:
         return None
     return disjunction(terms)

@@ -18,13 +18,20 @@ class VerificationResult:
         terms: which registers are marked and with what token values).
     details:
         Free-form explanation.
+    method:
+        Name of the checker that produced the verdict (``"exhaustive"``,
+        ``"inductive"``, ``"walk"``, ``"portfolio"``), or ``None`` for
+        results that never went through a checker (e.g. trivially-true
+        properties).
     """
 
-    def __init__(self, property_name, holds, witnesses=None, details=""):
+    def __init__(self, property_name, holds, witnesses=None, details="",
+                 method=None):
         self.property_name = property_name
         self.holds = holds
         self.witnesses = witnesses or []
         self.details = details
+        self.method = method
 
     def __bool__(self):
         return bool(self.holds)
@@ -91,7 +98,9 @@ class VerificationSummary:
             ", truncated" if self.truncated else "")]
         for result in self.results:
             status = {True: "OK  ", False: "FAIL", None: "?   "}[result.holds]
-            lines.append("  [{}] {} -- {}".format(status, result.property_name, result.details))
+            method = " [{}]".format(result.method) if result.method else ""
+            lines.append("  [{}] {}{} -- {}".format(
+                status, result.property_name, method, result.details))
             for witness in result.witnesses[:2]:
                 dfs_state = witness.get("dfs_state")
                 if dfs_state is not None:

@@ -2,35 +2,85 @@
 
 from repro.dfs.translation import marking_to_dfs_state, to_petri_net
 from repro.exceptions import VerificationError
-from repro.petri.properties import (
-    check_boundedness,
-    check_deadlock,
-    check_mutual_exclusion,
-    check_persistence,
+from repro.verification.checkers import (
+    CHECKERS,
+    CheckerContext,
+    DeadlockQuery,
+    PersistenceQuery,
+    ReachQuery,
+    SafenessQuery,
+    create_checker,
 )
-from repro.petri.reachability import build_reachability_graph
-from repro.reach.evaluator import find_witnesses
-from repro.verification.properties import control_mismatch_expression
+from repro.verification.checkers import DEFAULT_ORDER as DEFAULT_PORTFOLIO_ORDER
+from repro.verification.properties import (
+    control_mismatch_expression,
+    value_exclusion_expression,
+)
 from repro.verification.results import VerificationResult, VerificationSummary
+
+#: Registry of named custom Reach properties (see
+#: :func:`register_custom_property`).  Name -> ``(expression, description)``.
+CUSTOM_PROPERTIES = {}
+
+
+def register_custom_property(name, expression, description=None):
+    """Register a custom Reach *expression* (text or AST) under *name*.
+
+    Registered names become first-class property keys: campaign jobs, the
+    CLI ``--properties`` list and :meth:`Verifier.verify_properties` accept
+    them alongside the built-in checks, dispatching to
+    :meth:`Verifier.verify_custom`.  The expression describes the *bad*
+    states, as everywhere in the Reach language.  Returns *name* so the call
+    can be used as an expression.
+    """
+    if name in Verifier.PROPERTY_CHECKS:
+        raise VerificationError(
+            "cannot register custom property {!r}: the name is taken by a "
+            "built-in check".format(name))
+    CUSTOM_PROPERTIES[name] = (expression, description or name)
+    return name
+
+
+def unregister_custom_property(name):
+    """Remove a registered custom property (missing names are ignored)."""
+    CUSTOM_PROPERTIES.pop(name, None)
 
 
 class Verifier:
     """Verifies a DFS model through its Petri-net translation.
 
-    The translation and the reachability graph are built lazily and cached,
-    so several properties can be checked against the same state space.
+    The translation and the verification artefacts (reachability graph,
+    compiled bitmask net, place invariants) are built lazily and shared, so
+    several properties can be checked against the same state space.
 
-    DFS translations are 1-safe by construction, so by default the state
-    space is built by the compiled bitmask engine of
-    :mod:`repro.petri.compiled` (*engine* ``"auto"``), which transparently
-    falls back to the explicit explorer for nets it cannot represent.  Pass
-    ``engine="explicit"`` to force the hash-dict explorer, or
-    ``engine="compiled"`` to fail loudly instead of falling back.
+    Verdicts are produced by a pluggable **checker**
+    (:mod:`repro.verification.checkers`):
+
+    * ``"exhaustive"`` (default) -- explore the state space up to
+      ``max_states`` and scan it; conclusive both ways within the bound.
+    * ``"inductive"`` -- place-invariant and backward-induction proofs over
+      the compiled transition relation; concludes "holds" (and finds some
+      violations) with no state bound at all.
+    * ``"walk"`` -- LFSR-seeded guided random walks; a pure falsifier.
+    * ``"portfolio"`` -- races the above, first conclusive verdict wins.
+
+    *engine* selects the state-space engine used by the exhaustive path:
+    ``"auto"`` compiles 1-safe nets to the bitmask engine of
+    :mod:`repro.petri.compiled` and falls back to the explicit explorer,
+    ``"compiled"`` fails loudly instead of falling back, ``"explicit"``
+    forces the hash-dict explorer.
+
+    *checker_options* maps checker names to keyword options for their
+    construction (e.g. ``{"walk": {"walks": 32, "steps": 1024}}``);
+    *checker_overrides* maps property keys to checker names, overriding the
+    default checker per property.  Every ``verify_*`` method also accepts an
+    explicit ``checker=`` argument, which wins over both.
 
     The standard checks are registered by name in :data:`PROPERTY_CHECKS`;
-    :meth:`verify_properties` runs any named subset, which is how campaign
-    jobs (:mod:`repro.campaign`) drive a verifier from a declarative,
-    picklable description instead of a live object.
+    :meth:`verify_properties` runs any named subset -- including custom
+    Reach properties registered with :func:`register_custom_property` --
+    which is how campaign jobs (:mod:`repro.campaign`) drive a verifier
+    from a declarative, picklable description instead of a live object.
     """
 
     #: Ordered registry of the standard checks: name -> bound-method name.
@@ -42,12 +92,36 @@ class Verifier:
         "persistence": "verify_persistence",
     }
 
-    def __init__(self, dfs, max_states=200000, engine="auto", net=None):
+    def __init__(self, dfs, max_states=200000, engine="auto", net=None,
+                 checker="exhaustive", checker_options=None,
+                 checker_overrides=None):
         self.dfs = dfs
         self.max_states = max_states
         self.engine = engine
+        if checker not in CHECKERS:
+            raise VerificationError(
+                "unknown checker {!r} (known: {})".format(
+                    checker, ", ".join(sorted(CHECKERS))))
+        self.checker = checker
+        self.checker_options = dict(checker_options or {})
+        unknown_options = [name for name in self.checker_options
+                           if name not in CHECKERS]
+        if unknown_options:
+            raise VerificationError(
+                "checker_options given for unknown checker(s): {} "
+                "(known: {})".format(", ".join(sorted(unknown_options)),
+                                     ", ".join(sorted(CHECKERS))))
+        self.checker_overrides = dict(checker_overrides or {})
+        unknown_overrides = [name for name in self.checker_overrides.values()
+                             if name not in CHECKERS]
+        if unknown_overrides:
+            raise VerificationError(
+                "checker_overrides name unknown checker(s): {} "
+                "(known: {})".format(", ".join(sorted(unknown_overrides)),
+                                     ", ".join(sorted(CHECKERS))))
         self._net = net
-        self._graph = None
+        self._context = None
+        self._checkers = {}
 
     # -- lazy construction ------------------------------------------------------
 
@@ -59,17 +133,49 @@ class Verifier:
         return self._net
 
     @property
+    def context(self):
+        """The shared checker context (graph, compiled net, invariants)."""
+        if self._context is None:
+            self._context = CheckerContext(
+                self.net, max_states=self.max_states, engine=self.engine)
+        return self._context
+
+    @property
     def graph(self):
-        """The reachability graph of the translation."""
-        if self._graph is None:
-            self._graph = build_reachability_graph(
-                self.net, max_states=self.max_states, engine=self.engine
-            )
-        return self._graph
+        """The reachability graph of the translation (built on demand)."""
+        return self.context.graph
 
     @property
     def state_count(self):
         return len(self.graph)
+
+    def _options_for(self, name):
+        """Construction options for checker *name*.
+
+        Options keyed by a member checker's name also reach that member
+        inside a portfolio, so ``checker_options={"walk": {...}}`` tunes the
+        walks whether the walk checker runs standalone or as a portfolio
+        member; explicit nested portfolio options
+        (``{"portfolio": {"walk": {...}}}``) win on conflicts.
+        """
+        options = dict(self.checker_options.get(name) or {})
+        if name == "portfolio":
+            for member in options.get("order", DEFAULT_PORTFOLIO_ORDER):
+                top_level = self.checker_options.get(member)
+                if not top_level:
+                    continue
+                merged = dict(top_level)
+                merged.update(options.get(member) or {})
+                options[member] = merged
+        return options
+
+    def _checker_for(self, property_key, checker=None):
+        name = checker or self.checker_overrides.get(property_key) or self.checker
+        instance = self._checkers.get(name)
+        if instance is None:
+            instance = create_checker(name, self.context, self._options_for(name))
+            self._checkers[name] = instance
+        return instance
 
     def _decorate(self, witnesses):
         """Attach a DFS-level state summary to Petri-net witnesses."""
@@ -80,17 +186,23 @@ class Verifier:
             decorated.append(entry)
         return decorated
 
-    # -- individual properties ----------------------------------------------------
-
-    def verify_deadlock_freedom(self, max_witnesses=5):
-        """No reachable state of the model is completely stuck."""
-        report = check_deadlock(self.graph, max_witnesses=max_witnesses)
+    def _run(self, property_key, property_name, query, checker, max_witnesses):
+        outcome = self._checker_for(property_key, checker).check(
+            query, max_witnesses=max_witnesses)
         return VerificationResult(
-            "deadlock freedom", report.holds,
-            witnesses=self._decorate(report.witnesses), details=report.details,
+            property_name, outcome.holds,
+            witnesses=self._decorate(outcome.witnesses),
+            details=outcome.details, method=outcome.method,
         )
 
-    def verify_control_mismatch(self, max_witnesses=5):
+    # -- individual properties ----------------------------------------------------
+
+    def verify_deadlock_freedom(self, max_witnesses=5, checker=None):
+        """No reachable state of the model is completely stuck."""
+        return self._run("deadlock", "deadlock freedom", DeadlockQuery(),
+                         checker, max_witnesses)
+
+    def verify_control_mismatch(self, max_witnesses=5, checker=None):
         """No node ever observes both True and False control tokens."""
         expression = control_mismatch_expression(self.dfs)
         if expression is None:
@@ -98,94 +210,82 @@ class Verifier:
                 "control-token mismatch", True,
                 details="no node is guarded by two or more control registers",
             )
-        witnesses = find_witnesses(expression, self.graph, max_witnesses=max_witnesses)
-        holds = not witnesses
-        if holds and self.graph.truncated:
-            holds = None
-        details = ("no reachable mismatch" if holds
-                   else "{} reachable mismatch state(s)".format(len(witnesses))
-                   if holds is False else "inconclusive (truncated state space)")
-        return VerificationResult(
-            "control-token mismatch", holds,
-            witnesses=self._decorate(witnesses), details=details,
-        )
+        query = ReachQuery(expression, description="control-token mismatch")
+        return self._run("mismatch", "control-token mismatch", query,
+                         checker, max_witnesses)
 
-    def verify_persistence(self, max_witnesses=5):
+    def verify_persistence(self, max_witnesses=5, checker=None):
         """No event is disabled by another one (hazard-freedom), choices excepted."""
-        report = check_persistence(self.graph, max_witnesses=max_witnesses)
-        return VerificationResult(
-            "persistence", report.holds,
-            witnesses=self._decorate(report.witnesses), details=report.details,
-        )
+        return self._run("persistence", "persistence", PersistenceQuery(),
+                         checker, max_witnesses)
 
-    def verify_safeness(self, max_witnesses=5):
+    def verify_safeness(self, max_witnesses=5, checker=None):
         """The translated net is 1-safe (a sanity check on the translation)."""
-        report = check_boundedness(self.graph, bound=1, max_witnesses=max_witnesses)
-        return VerificationResult(
-            "1-safeness", report.holds,
-            witnesses=self._decorate(report.witnesses), details=report.details,
-        )
+        return self._run("safeness", "1-safeness", SafenessQuery(bound=1),
+                         checker, max_witnesses)
 
-    def verify_value_mutual_exclusion(self, max_witnesses=5):
+    def verify_value_mutual_exclusion(self, max_witnesses=5, checker=None):
         """A dynamic register never holds a True and a False token at once."""
-        violations = []
-        for name in sorted(self.dfs.nodes):
-            node = self.dfs.node(name)
-            if not node.is_dynamic:
-                continue
-            report = check_mutual_exclusion(
-                self.graph,
-                "Mt_{}_1".format(name),
-                "Mf_{}_1".format(name),
-                max_witnesses=max_witnesses,
+        expression = value_exclusion_expression(self.dfs)
+        if expression is None:
+            return VerificationResult(
+                "token-value exclusion", True,
+                details="the model has no dynamic registers",
             )
-            if report.holds is False:
-                violations.extend(report.witnesses)
-        holds = not violations
-        if holds and self.graph.truncated:
-            holds = None
-        details = ("token values are mutually exclusive" if holds
-                   else "{} violation(s)".format(len(violations)) if holds is False
-                   else "inconclusive (truncated state space)")
-        return VerificationResult(
-            "token-value exclusion", holds,
-            witnesses=self._decorate(violations), details=details,
-        )
+        query = ReachQuery(expression, description="token-value exclusion")
+        return self._run("exclusion", "token-value exclusion", query,
+                         checker, max_witnesses)
 
-    def verify_custom(self, expression, property_name="custom property", max_witnesses=5):
+    def verify_custom(self, expression, property_name="custom property",
+                      max_witnesses=5, checker=None):
         """Check a custom Reach expression describing *bad* states."""
-        witnesses = find_witnesses(expression, self.graph, max_witnesses=max_witnesses)
-        holds = not witnesses
-        if holds and self.graph.truncated:
-            holds = None
-        details = ("no reachable bad state" if holds
-                   else "{} reachable bad state(s)".format(len(witnesses))
-                   if holds is False else "inconclusive (truncated state space)")
-        return VerificationResult(
-            property_name, holds, witnesses=self._decorate(witnesses), details=details,
-        )
+        query = ReachQuery(expression, description=property_name)
+        return self._run(property_name, property_name, query, checker,
+                         max_witnesses)
 
     # -- batched verification ---------------------------------------------------------
 
-    def verify_properties(self, properties, max_witnesses=5):
-        """Run the named standard checks and return a summary.
+    def _resolve_property(self, name, custom):
+        """Return a runner closure for a property *name*, or raise."""
+        method_name = self.PROPERTY_CHECKS.get(name)
+        if method_name is not None:
+            return getattr(self, method_name)
+        expression = None
+        if custom and name in custom:
+            expression = custom[name]
+        elif name in CUSTOM_PROPERTIES:
+            expression = CUSTOM_PROPERTIES[name][0]
+        if expression is not None:
+            def run(max_witnesses=5, checker=None, _expr=expression, _name=name):
+                return self.verify_custom(_expr, property_name=_name,
+                                          max_witnesses=max_witnesses,
+                                          checker=checker)
+            return run
+        known = sorted(self.PROPERTY_CHECKS) + sorted(CUSTOM_PROPERTIES)
+        raise VerificationError(
+            "unknown property {!r} (known: {})".format(name, ", ".join(known)))
 
-        *properties* is an iterable of :data:`PROPERTY_CHECKS` keys; the
-        checks run in the given order against the same (cached) state space.
+    def verify_properties(self, properties, max_witnesses=5, checker=None,
+                          custom=None):
+        """Run the named checks and return a summary.
+
+        *properties* is an iterable of :data:`PROPERTY_CHECKS` keys and/or
+        custom-property names -- from the *custom* mapping (name to Reach
+        expression) or the :data:`CUSTOM_PROPERTIES` registry; the checks
+        run in the given order against the same shared artefacts.  *checker*
+        forces one checker for every property of this batch (otherwise the
+        per-property overrides and the verifier default apply).
         """
-        checks = []
-        for name in properties:
-            try:
-                checks.append(getattr(self, self.PROPERTY_CHECKS[name]))
-            except KeyError:
-                raise VerificationError(
-                    "unknown property {!r} (known: {})".format(
-                        name, ", ".join(sorted(self.PROPERTY_CHECKS))))
+        runners = [self._resolve_property(name, custom) for name in properties]
+        results = [runner(max_witnesses=max_witnesses, checker=checker)
+                   for runner in runners]
         summary = VerificationSummary(
-            self.dfs.name, state_count=self.state_count, truncated=self.graph.truncated,
+            self.dfs.name,
+            state_count=self.context.state_count,
+            truncated=self.context.truncated,
         )
-        for check in checks:
-            summary.add(check(max_witnesses=max_witnesses))
+        for result in results:
+            summary.add(result)
         return summary
 
     def verify_all(self, include_persistence=True):

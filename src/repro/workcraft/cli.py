@@ -29,7 +29,8 @@ from repro.dfs.serialization import dfs_from_json
 from repro.dfs.simulation import DfsSimulator
 from repro.dfs.validation import has_errors, validate_structure
 from repro.performance.analyzer import PerformanceAnalyzer
-from repro.verification.verifier import Verifier
+from repro.verification.checkers import CHECKERS
+from repro.verification.verifier import CUSTOM_PROPERTIES, Verifier
 from repro.workcraft.export import available_formats, export_model
 
 #: Default on-disk verdict cache of ``repro-dfs campaign``.
@@ -79,7 +80,8 @@ def _command_validate(args):
 
 def _command_verify(args):
     dfs = _load_model(args)
-    verifier = Verifier(dfs, max_states=args.max_states)
+    verifier = Verifier(dfs, max_states=args.max_states, engine=args.engine,
+                        checker=args.checker)
     summary = verifier.verify_all(include_persistence=not args.no_persistence)
     print(summary.report())
     return 0 if summary.passed else 1
@@ -161,15 +163,33 @@ def _parse_grid(entries):
     return axes
 
 
+def _parse_custom_properties(entries):
+    """Parse repeated ``--custom name=expression`` entries."""
+    custom = {}
+    for entry in entries or []:
+        name, separator, expression = entry.partition("=")
+        name, expression = name.strip(), expression.strip()
+        if not separator or not name or not expression:
+            raise SystemExit(
+                "invalid --custom entry {!r} (expected name=reach-expression)"
+                .format(entry))
+        if name in Verifier.PROPERTY_CHECKS:
+            raise SystemExit(
+                "--custom name {!r} collides with a built-in property".format(name))
+        custom[name] = expression
+    return custom
+
+
 def _command_campaign(args):
     axes = _parse_grid(args.grid)
+    custom = _parse_custom_properties(args.custom)
     properties = [name.strip() for name in args.properties.split(",") if name.strip()]
-    unknown = [name for name in properties if name not in Verifier.PROPERTY_CHECKS]
+    known = set(Verifier.PROPERTY_CHECKS) | set(custom) | set(CUSTOM_PROPERTIES)
+    unknown = [name for name in properties if name not in known]
     if unknown or not properties:
         raise SystemExit(
             "unknown --properties value(s): {} (known: {})".format(
-                ", ".join(unknown) or "(none given)",
-                ", ".join(Verifier.PROPERTY_CHECKS)))
+                ", ".join(unknown) or "(none given)", ", ".join(sorted(known))))
     spec = ScenarioSpec(
         depths=axes.get("depths", (2, 3)),
         static_prefixes=axes.get("static_prefixes", (1,)),
@@ -180,6 +200,8 @@ def _command_campaign(args):
         properties=properties,
         engine=args.engine,
         max_states=args.max_states,
+        checker=args.checker,
+        custom_properties=custom,
         simulate_steps=args.simulate_steps,
     )
     jobs, skipped = generate_scenarios(spec)
@@ -233,6 +255,13 @@ def build_parser():
     verify = subparsers.add_parser("verify", help="run formal verification")
     _add_model_arguments(verify)
     verify.add_argument("--max-states", type=int, default=200000)
+    verify.add_argument("--checker", choices=sorted(CHECKERS), default="exhaustive",
+                        help="verification engine: exhaustive exploration, "
+                             "inductive proving, random-walk falsification, "
+                             "or a portfolio race (default exhaustive)")
+    verify.add_argument("--engine", choices=("auto", "compiled", "explicit"),
+                        default="auto",
+                        help="state-space engine of the exhaustive path")
     verify.add_argument("--no-persistence", action="store_true",
                         help="skip the (slower) persistence check")
     verify.set_defaults(handler=_command_verify)
@@ -267,6 +296,12 @@ def build_parser():
                               ",".join(DEFAULT_PROPERTIES)))
     campaign.add_argument("--engine", choices=("auto", "compiled", "explicit"),
                           default="auto")
+    campaign.add_argument("--checker", choices=sorted(CHECKERS),
+                          default="exhaustive",
+                          help="verification engine per job (default exhaustive)")
+    campaign.add_argument("--custom", action="append", metavar="NAME=EXPR",
+                          help="define a named custom Reach property "
+                               "(repeatable); reference it in --properties")
     campaign.add_argument("--max-states", type=int, default=200000)
     campaign.add_argument("--simulate-steps", type=int, default=0,
                           help="run an LFSR-seeded token-game smoke of N steps per job")
