@@ -34,9 +34,11 @@ import sys
 
 #: The gated metrics: a bench file matches a gate when it contains the
 #: gate's table with both the reference and the gated row.  A gate's
-#: optional "tolerance" overrides the CLI default: the portfolio ratio
-#: divides two aggregated-but-small timings, so it carries a wider band
-#: than the compiled-engine ratio.
+#: optional "tolerance" overrides the CLI default (the portfolio and
+#: semiflow ratios divide small timings, so they carry wider bands; the
+#: depth-scaling slopes are a deterministic model output, so theirs is
+#: tight), its optional "value" names the gated column (default "seconds"),
+#: and "two_sided" also fails on drift *below* the baseline band.
 GATES = [
     {
         "table": "reachability engine comparison",
@@ -53,6 +55,34 @@ GATES = [
         "label": "portfolio verify path",
         "tolerance": 0.60,
     },
+    {
+        "table": "sharded exploration comparison",
+        "key": "mode",
+        "reference": "sequential",
+        "gated": "sharded-4",
+        "label": "sharded exploration path",
+        "tolerance": 0.60,
+    },
+    {
+        "table": "semiflow cache",
+        "key": "mode",
+        "reference": "cold",
+        "gated": "warm",
+        "label": "semiflow cache warm hit",
+        "tolerance": 3.00,
+    },
+    {
+        "table": "time slope vs voltage",
+        "key": "voltage_V",
+        "reference": "1.6",
+        "gated": "0.5",
+        "label": "depth-scaling voltage slopes",
+        "value": "slope_s_per_stage",
+        "tolerance": 0.05,
+        # A deterministic model output must not drift in either direction:
+        # a collapsed 0.5 V slope is as much a regression as an inflated one.
+        "two_sided": True,
+    },
 ]
 
 
@@ -62,7 +92,8 @@ def load_bench(path):
 
 
 def gate_seconds(bench, gate):
-    """Extract ``(reference, gated)`` seconds for *gate*, or ``None``."""
+    """Extract ``(reference, gated)`` metric values for *gate*, or ``None``."""
+    value_key = gate.get("value", "seconds")
     for table in bench.get("tables", []):
         if gate["table"] not in table.get("title", ""):
             continue
@@ -70,9 +101,9 @@ def gate_seconds(bench, gate):
         for row in table.get("rows", []):
             name = str(row.get(gate["key"], ""))
             if name.startswith(gate["reference"]):
-                seconds["reference"] = float(row["seconds"])
+                seconds["reference"] = float(row[value_key])
             elif name.startswith(gate["gated"]):
-                seconds["gated"] = float(row["seconds"])
+                seconds["gated"] = float(row[value_key])
         if "reference" in seconds and "gated" in seconds:
             return seconds["reference"], seconds["gated"]
     return None
@@ -103,6 +134,8 @@ def compare(fresh_path, baseline_path, tolerance):
         fresh_relative = fresh_gated / fresh_ref
         slowdown = fresh_relative / base_relative - 1.0
         bad = slowdown > gate_tolerance
+        if gate.get("two_sided") and -slowdown > gate_tolerance:
+            bad = True
         regressed = regressed or bad
         status = "REGRESSION" if bad else "ok"
         name = "{}/{}".format(gate["gated"], gate["reference"])

@@ -1,114 +1,25 @@
 """Disk cache of verification verdicts keyed by canonical net fingerprints.
 
 Verifying a model is expensive; deciding whether a model *changed* is cheap.
-The cache therefore keys every verdict by a **net fingerprint** -- a stable
-hash of the places (with initial tokens and capacities), transitions and
-arcs of the Petri-net translation -- combined with a digest of the job
+The cache therefore keys every verdict by a **net fingerprint** (see
+:mod:`repro.petri.fingerprint`) -- a stable hash of the places, transitions
+and arcs of the Petri-net translation -- combined with a digest of the job
 options that can influence the verdict (property set, engine, state bound,
-simulation stimulus).  Re-running a campaign only verifies models whose
-translation or options actually changed; everything else is answered from
-disk, bit-identically to the cold run.
+checker choice, simulation stimulus).  Re-running a campaign only verifies
+models whose translation or options actually changed; everything else is
+answered from disk, bit-identically to the cold run.
 
-Entries are plain JSON files named after their key, written atomically
-(temp file + ``os.replace``) so that parallel campaign workers can share one
-cache directory without locking.
+The storage layer (atomic JSON files, corrupt entries count as misses) is
+:class:`repro.utils.diskcache.JsonDiskCache`, shared with the semiflow cache
+of :mod:`repro.petri.invariants`; ``net_fingerprint`` and ``options_digest``
+are re-exported here for compatibility.
 """
 
-import hashlib
-import json
-import os
-import tempfile
+from repro.petri.fingerprint import net_fingerprint, options_digest
+from repro.utils.diskcache import JsonDiskCache
+
+__all__ = ["ResultCache", "net_fingerprint", "options_digest"]
 
 
-def _canonical(payload):
-    """Serialise *payload* deterministically (sorted keys, no whitespace)."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
-
-
-def net_fingerprint(net):
-    """Return a stable hex fingerprint of a :class:`~repro.petri.net.PetriNet`.
-
-    The fingerprint covers structure and initial marking -- places (name,
-    initial tokens, capacity), transition names, and arcs (place, transition,
-    kind, weight) -- but not the net's display name or annotations, so two
-    structurally identical translations share cached verdicts.
-    """
-    places = sorted(
-        (name, place.tokens, place.capacity) for name, place in net.places.items()
-    )
-    arcs = sorted(
-        (arc.place, arc.transition, arc.kind.value, arc.weight) for arc in net.arcs
-    )
-    payload = {
-        "places": [list(entry) for entry in places],
-        "transitions": sorted(net.transitions),
-        "arcs": [list(entry) for entry in arcs],
-    }
-    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
-
-
-def options_digest(options):
-    """Digest a JSON-able mapping of verdict-relevant job options."""
-    return hashlib.sha256(_canonical(options).encode("utf-8")).hexdigest()
-
-
-class ResultCache:
+class ResultCache(JsonDiskCache):
     """A directory of cached verdicts, one JSON file per cache key."""
-
-    def __init__(self, directory):
-        self.directory = str(directory)
-        os.makedirs(self.directory, exist_ok=True)
-
-    @staticmethod
-    def key(fingerprint, digest):
-        """Combine a net fingerprint and an options digest into a cache key."""
-        return hashlib.sha256(
-            "{}:{}".format(fingerprint, digest).encode("utf-8")
-        ).hexdigest()
-
-    def path(self, key):
-        return os.path.join(self.directory, key + ".json")
-
-    def get(self, key):
-        """Return the cached verdict for *key*, or ``None`` on a miss.
-
-        Unreadable or corrupt entries count as misses: the campaign then
-        recomputes and overwrites them.
-        """
-        try:
-            with open(self.path(key), "r", encoding="utf-8") as handle:
-                return json.load(handle)
-        except (OSError, ValueError):
-            return None
-
-    def put(self, key, verdict):
-        """Store *verdict* (a JSON-able dict) under *key* atomically."""
-        descriptor, temp_path = tempfile.mkstemp(
-            prefix=".cache-", suffix=".tmp", dir=self.directory
-        )
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(verdict, handle, sort_keys=True)
-            os.replace(temp_path, self.path(key))
-        except BaseException:
-            try:
-                os.unlink(temp_path)
-            except OSError:
-                pass
-            raise
-        return key
-
-    def __len__(self):
-        return sum(1 for name in os.listdir(self.directory) if name.endswith(".json"))
-
-    def clear(self):
-        """Delete every cached entry."""
-        for name in os.listdir(self.directory):
-            if name.endswith(".json"):
-                try:
-                    os.unlink(os.path.join(self.directory, name))
-                except OSError:
-                    pass
-
-    def __repr__(self):
-        return "ResultCache({!r}, entries={})".format(self.directory, len(self))

@@ -15,6 +15,7 @@ the disk cache to hand back bit-identical results on warm runs.
 
 import importlib
 import json
+import os
 import time
 
 from repro.campaign.cache import ResultCache, net_fingerprint, options_digest
@@ -103,7 +104,7 @@ class VerificationJob:
                  engine="auto", max_states=200000, max_witnesses=2,
                  checker="exhaustive", checker_options=None,
                  custom_properties=None, lfsr_seed=None, simulate_steps=0,
-                 voltage=None, expect="pass", metadata=None):
+                 voltage=None, expect="pass", metadata=None, workers=0):
         self.job_id = str(job_id)
         self.factory = str(factory)
         self.kwargs = dict(kwargs or {})
@@ -111,6 +112,15 @@ class VerificationJob:
         self.engine = engine
         self.max_states = int(max_states)
         self.max_witnesses = int(max_witnesses)
+        #: Exploration worker processes per job (0/1 = sequential).  Jobs
+        #: running inside campaign pool workers fall back to sequential
+        #: exploration automatically (daemonic processes cannot spawn
+        #: children); with ``parallelism=0`` campaigns the sharded engine
+        #: kicks in.  Deliberately *not* part of :meth:`options`: the
+        #: sharded graph is bit-identical to the sequential one, so the
+        #: verdict -- and therefore the cache identity -- cannot depend on
+        #: it.
+        self.workers = int(workers or 0)
         self.checker = str(checker)
         self.checker_options = dict(checker_options or {})
         self.custom_properties = {
@@ -165,6 +175,8 @@ class VerificationJob:
         description = {"job_id": self.job_id, "factory": self.factory,
                        "kwargs": dict(self.kwargs), "expect": self.expect}
         description.update(self.options())
+        if self.workers:
+            description["workers"] = self.workers  # descriptive, not digested
         if self.metadata:
             description["metadata"] = dict(self.metadata)
         return description
@@ -192,12 +204,17 @@ class VerificationJob:
         fingerprint = net_fingerprint(net)
         cache_status, key = "off", None
         verdict = None
+        semiflow_cache = None
         if cache is not None:
             key = cache.key(fingerprint, options_digest(self.options()))
             verdict = cache.get(key)
             cache_status = "hit" if verdict is not None else "miss"
+            # Invariant derivations ride in a sibling namespace of the same
+            # cache directory: structural facts are shared by every job (and
+            # every checker) that verifies the same translation.
+            semiflow_cache = os.path.join(cache.directory, "semiflows")
         if verdict is None:
-            verdict = self._compute_verdict(dfs, net)
+            verdict = self._compute_verdict(dfs, net, semiflow_cache)
             # A round-trip through JSON makes the cold verdict bit-identical
             # to what a warm run will read back from disk.
             verdict = json.loads(json.dumps(verdict, sort_keys=True))
@@ -229,10 +246,12 @@ class VerificationJob:
             options.setdefault("walk", {}).setdefault("seed", self.lfsr_seed)
         return options
 
-    def _compute_verdict(self, dfs, net):
+    def _compute_verdict(self, dfs, net, semiflow_cache=None):
         verifier = Verifier(dfs, max_states=self.max_states, engine=self.engine,
                             net=net, checker=self.checker,
-                            checker_options=self.effective_checker_options())
+                            checker_options=self.effective_checker_options(),
+                            workers=self.workers,
+                            semiflow_cache=semiflow_cache)
         summary = verifier.verify_properties(
             self.properties, max_witnesses=self.max_witnesses,
             custom=self.custom_properties or None)

@@ -1,42 +1,26 @@
-"""Parallel campaign execution: a supervised process pool with timeouts.
+"""Parallel campaign execution on the supervised process pool.
 
 Each :class:`~repro.campaign.jobs.VerificationJob` runs in its **own**
-worker process (bounded to *parallelism* concurrent workers) rather than a
-shared ``multiprocessing.Pool``: a job that hangs is terminated at its
-deadline and a job whose worker dies (a crash, an ``os._exit``, an OOM
-kill) is detected by the supervisor -- in both cases the campaign records a
-failed :class:`CampaignResult` and keeps going instead of hanging the pool.
-Workers stream results back through a queue as they finish, so a warm-cache
-job does not wait for a slow cold one.
+worker process (bounded to *parallelism* concurrent workers) through
+:func:`repro.parallel.supervisor.run_supervised` -- the supervision
+machinery (per-job timeouts, crash containment, streamed results) that
+originated here and now also powers the racing portfolio checker.  A job
+that hangs is terminated at its deadline and a job whose worker dies (a
+crash, an ``os._exit``, an OOM kill) is detected by the supervisor -- in
+both cases the campaign records a failed :class:`CampaignResult` and keeps
+going instead of hanging the pool.
 
 ``parallelism=0`` runs the jobs inline in the calling process (no timeout
 enforcement), which is handy for debugging and deterministic tests.
 """
 
-import multiprocessing
-import queue as queue_module
 import time
-import traceback
-from collections import deque
 
 from repro.campaign.cache import ResultCache
 from repro.campaign.report import CampaignReport
 from repro.exceptions import ConfigurationError
-
-#: Seconds the supervisor waits for a dead worker's queued result to drain
-#: before declaring the worker crashed.
-_CRASH_GRACE = 0.5
-
-
-def _context():
-    """Prefer ``fork`` (inherits registered factories); fall back to spawn."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-
-
-def start_method():
-    """The multiprocessing start method campaigns will use on this platform."""
-    return _context().get_start_method()
+from repro.parallel.context import start_method  # noqa: F401  (re-export)
+from repro.parallel.supervisor import run_supervised
 
 
 class CampaignResult:
@@ -128,103 +112,9 @@ def classify_verdict(verdict):
     return "pass"
 
 
-def _worker_main(job, cache_directory, results_queue):
-    """Worker entry point: run one job and stream the outcome back."""
-    started = time.perf_counter()
-    try:
-        payload = job.run(cache=cache_directory)
-        results_queue.put((job.job_id, "ok", payload, None,
-                           time.perf_counter() - started))
-    except Exception:
-        results_queue.put((job.job_id, "error", None, traceback.format_exc(),
-                           time.perf_counter() - started))
-
-
-def _run_inline(jobs, cache_directory):
-    results = []
-    for job in jobs:
-        started = time.perf_counter()
-        try:
-            payload = job.run(cache=cache_directory)
-            results.append(CampaignResult(job, "ok", payload=payload,
-                                          elapsed=time.perf_counter() - started))
-        except Exception:
-            results.append(CampaignResult(job, "error", error=traceback.format_exc(),
-                                          elapsed=time.perf_counter() - started))
-    return results
-
-
-def _drain(results_queue, records, block_seconds=0.0):
-    """Move every available queue item into *records*."""
-    while True:
-        try:
-            job_id, status, payload, error, elapsed = results_queue.get(
-                timeout=block_seconds) if block_seconds else results_queue.get_nowait()
-        except queue_module.Empty:
-            return
-        records[job_id] = (status, payload, error, elapsed)
-        block_seconds = 0.0
-
-
-def _run_pool(jobs, parallelism, timeout, cache_directory):
-    context = _context()
-    results_queue = context.Queue()
-    pending = deque(jobs)
-    active = {}   # job_id -> (process, job, started, deadline)
-    records = {}  # job_id -> (status, payload, error, elapsed)
-    failures = {}
-
-    while pending or active:
-        while pending and len(active) < parallelism:
-            job = pending.popleft()
-            process = context.Process(
-                target=_worker_main, args=(job, cache_directory, results_queue),
-                daemon=True)
-            process.start()
-            started = time.monotonic()
-            deadline = started + timeout if timeout is not None else None
-            active[job.job_id] = (process, job, started, deadline)
-        _drain(results_queue, records, block_seconds=0.05)
-
-        now = time.monotonic()
-        for job_id in list(active):
-            process, job, started, deadline = active[job_id]
-            if job_id in records:
-                process.join()
-                del active[job_id]
-            elif deadline is not None and now > deadline:
-                process.terminate()
-                process.join(1.0)
-                if process.is_alive():
-                    process.kill()
-                    process.join(1.0)
-                failures[job_id] = CampaignResult(
-                    job, "timeout", elapsed=now - started,
-                    error="job exceeded its {:.3g}s deadline and was "
-                          "terminated".format(timeout))
-                del active[job_id]
-            elif not process.is_alive():
-                # The worker died; give its (possibly buffered) result one
-                # last chance to drain before declaring a crash.
-                _drain(results_queue, records, block_seconds=_CRASH_GRACE)
-                if job_id not in records:
-                    failures[job_id] = CampaignResult(
-                        job, "crashed", elapsed=time.monotonic() - started,
-                        error="worker process died with exit code {} before "
-                              "reporting a result".format(process.exitcode))
-                    del active[job_id]
-                process.join()
-
-    results_queue.close()
-    results = []
-    for job in jobs:
-        if job.job_id in records:
-            status, payload, error, elapsed = records[job.job_id]
-            results.append(CampaignResult(job, status, payload=payload,
-                                          error=error, elapsed=elapsed))
-        else:
-            results.append(failures[job.job_id])
-    return results
+def _execute_job(job, cache_directory):
+    """Supervised-task target: run one job against the shared cache."""
+    return job.run(cache=cache_directory)
 
 
 def run_campaign(jobs, parallelism=1, timeout=None, cache_dir=None, spec=None,
@@ -257,12 +147,20 @@ def run_campaign(jobs, parallelism=1, timeout=None, cache_dir=None, spec=None,
     if cache_dir is not None:
         ResultCache(cache_dir)  # create the directory once, up front
     started = time.perf_counter()
-    if not jobs:
-        results = []
-    elif parallelism <= 0:
-        results = _run_inline(jobs, cache_dir)
-    else:
-        results = _run_pool(jobs, parallelism, timeout, cache_dir)
+    outcomes = run_supervised(
+        [(job.job_id, _execute_job, (job, cache_dir)) for job in jobs],
+        parallelism=parallelism, timeout=timeout)
+    by_id = {outcome.task_id: outcome for outcome in outcomes}
+    results = []
+    for job in jobs:
+        outcome = by_id[job.job_id]
+        error = outcome.error
+        if outcome.status == "timeout":
+            error = ("job exceeded its {:.3g}s deadline and was "
+                     "terminated".format(timeout))
+        results.append(CampaignResult(job, outcome.status,
+                                      payload=outcome.payload, error=error,
+                                      elapsed=outcome.elapsed))
     return CampaignReport(
         results, spec=spec, skipped=skipped, parallelism=parallelism,
         timeout=timeout, cache_dir=cache_dir,

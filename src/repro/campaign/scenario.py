@@ -20,7 +20,7 @@ class ScenarioSpec:
                  properties=DEFAULT_PROPERTIES, engine="auto", max_states=200000,
                  max_witnesses=2, checker="exhaustive", checker_options=None,
                  custom_properties=None, simulate_steps=0, f_delay=1.0,
-                 g_delay=1.0):
+                 g_delay=1.0, workers=0):
         self.depths = tuple(sorted(set(int(depth) for depth in depths)))
         self.static_prefixes = tuple(sorted(set(int(p) for p in static_prefixes)))
         self.holes = tuple(sorted(set(int(count) for count in holes)))
@@ -37,6 +37,9 @@ class ScenarioSpec:
         self.simulate_steps = int(simulate_steps)
         self.f_delay = float(f_delay)
         self.g_delay = float(g_delay)
+        #: Exploration workers per job (see ``VerificationJob.workers``);
+        #: affects wall-clock only, never verdicts or cache keys.
+        self.workers = int(workers or 0)
 
     def axes(self):
         """The grid axes as a JSON-able mapping (for reports)."""
@@ -183,6 +186,7 @@ def generate_scenarios(spec):
             voltage=axes["voltage"],
             expect=_expectation(spec, hole_count),
             metadata={"axes": dict(axes)},
+            workers=spec.workers,
         )
         jobs.append(job)
     return jobs, skipped

@@ -1,0 +1,56 @@
+"""Multiprocessing start-method selection, shared by every parallel path.
+
+All process-spawning subsystems (the campaign runner, the sharded explorer,
+the racing portfolio) go through one context so they behave identically on a
+platform: prefer ``fork`` (cheap, inherits registered factories and loaded
+modules) and fall back to ``spawn`` where fork is unavailable.
+
+The ``REPRO_MP_START_METHOD`` environment variable overrides the choice --
+CI uses it to exercise the spawn path on platforms whose default is fork, so
+picklability regressions (jobs, compiled tables, queries crossing process
+boundaries) surface on every run instead of only on spawn-default platforms.
+"""
+
+import multiprocessing
+import os
+
+from repro.exceptions import ConfigurationError
+
+#: Environment variable forcing a specific start method (``fork`` / ``spawn``
+#: / ``forkserver``).
+START_METHOD_ENV = "REPRO_MP_START_METHOD"
+
+
+def mp_context():
+    """The multiprocessing context every parallel subsystem uses.
+
+    Honours :data:`START_METHOD_ENV` when set (raising
+    :class:`~repro.exceptions.ConfigurationError` for unknown or unavailable
+    methods -- a CI matrix must fail loudly, not silently test the wrong
+    path), otherwise prefers ``fork`` and falls back to ``spawn``.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    forced = os.environ.get(START_METHOD_ENV)
+    if forced:
+        if forced not in methods:
+            raise ConfigurationError(
+                "{}={!r} is not an available start method (available: "
+                "{})".format(START_METHOD_ENV, forced, ", ".join(methods)))
+        return multiprocessing.get_context(forced)
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def start_method():
+    """The start method :func:`mp_context` resolves to on this platform."""
+    return mp_context().get_start_method()
+
+
+def in_daemon_worker():
+    """Is this process a daemonic worker (and thus unable to spawn children)?
+
+    Campaign workers are daemonic by design (a dead supervisor must never
+    leave orphans), and daemonic processes cannot have children -- so the
+    sharded explorer and the racing portfolio fall back to their sequential
+    paths inside one, instead of crashing the job.
+    """
+    return multiprocessing.current_process().daemon

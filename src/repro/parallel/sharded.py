@@ -1,0 +1,663 @@
+"""Sharded frontier-partitioned BFS over the compiled bitmask relation.
+
+The sequential explorer (:func:`repro.petri.compiled.explore_compiled`) is
+bounded by one core: every enabled-set update, every firing and -- the real
+limiter at scale -- every dedup probe of the ever-growing state index runs
+in one process.  This module distributes all three across shard workers
+while keeping the resulting graph **bit-identical**: same states in the same
+discovery order, same packed edge lists, same BFS parents (hence traces),
+same frontier and truncation behaviour, so every property verdict computed
+on a sharded graph equals the sequential one exactly.
+
+Architecture
+------------
+
+* **Workers own hash-partitioned shards of the state space.**  A state
+  belongs to the worker ``hash(state) % workers`` (Python's int hash, so the
+  partition is reproducible).  Each worker keeps the index of *its* states
+  only -- dedup, the memory hog of explicit exploration, is thereby both
+  parallelised and partitioned.
+* **Cross-shard successors are exchanged in batches.**  Expanding a level,
+  a worker resolves own-shard successors against its local index and sends
+  every foreign successor to that successor's owner in one batch per level
+  (relayed by the coordinator, which never parses them).  The owner dedups
+  against its shard and answers with a *resolution stream* -- a known global
+  index, or a shard-local id for a newly discovered state.
+* **The coordinator replays only admissions, not edges.**  New states are
+  admitted in the exact order the sequential BFS would discover them: every
+  candidate carries its provenance ``parent_index << 16 | transition``, the
+  minimum over all discoverers, and candidates are admitted in sorted
+  provenance order up to ``max_states`` -- which reproduces sequential
+  discovery order, truncation, frontier and parent pointers bit for bit.
+  Edge lists arrive as packed 64-bit streams (the graph's own edge format)
+  parsed at C speed; the coordinator's per-edge Python work is a single
+  append for resolved edges.
+
+The per-level message round trip is: coordinator sends admission
+assignments, workers expand and exchange successor batches, workers report
+(edge stream, resolution streams, new-state candidates), coordinator admits
+and merges.  A 1-safeness overflow detected by a worker aborts the
+exploration with the same :class:`~repro.exceptions.SafenessOverflowError`
+the sequential engine raises (under ``engine="auto"`` the caller then falls
+back to the explicit explorer, exactly as before).
+"""
+
+import os
+import threading
+from multiprocessing.connection import wait as connection_wait
+
+from repro.exceptions import SafenessOverflowError, VerificationError
+from repro.parallel.context import mp_context
+from repro.petri.compiled import (
+    CompiledNet,
+    CompiledReachabilityGraph,
+    expand_watch_pairs,
+    iter_bits,
+    scan_enabled_mask,
+)
+
+#: Sentinel transition index: "compute the enabled mask with a full scan"
+#: (used for the initial state, which has no parent to update from).
+_FULL_SCAN = 0xFFFF
+
+#: Message type prefixes (coordinator -> worker).
+_MSG_SEED = 0x53        # "S": level-0 seed (initial state)
+_MSG_ASSIGN = 0x41      # "A": admission assignments for the previous level
+_MSG_RELAY = 0x52       # "R": relayed successor batch from another shard
+_MSG_QUIT = 0x51        # "Q": shutdown
+
+#: Worker -> coordinator message prefixes.
+_MSG_OUTBOX = 0x4F      # "O": per-destination successor batches
+_MSG_REPORT = 0x45      # "E": edge stream + resolutions + candidates
+_MSG_OVERFLOW = 0x56    # "V": 1-safeness overflow (transition, place)
+
+
+def _pack_sections(sections):
+    """Concatenate byte *sections* with 4-byte little-endian length headers."""
+    out = bytearray()
+    for section in sections:
+        out += len(section).to_bytes(4, "little")
+        out += section
+    return bytes(out)
+
+
+def _unpack_sections(buf, offset=0):
+    """Inverse of :func:`_pack_sections` (returns a list of memory slices)."""
+    sections = []
+    end = len(buf)
+    while offset < end:
+        length = int.from_bytes(buf[offset:offset + 4], "little")
+        offset += 4
+        sections.append(buf[offset:offset + length])
+        offset += length
+    return sections
+
+
+def shard_of(state, workers):
+    """The shard (worker index) owning an integer state, by hash partition.
+
+    ``hash`` of a Python int is deterministic (no ``PYTHONHASHSEED``
+    dependence), so the partition -- and with it the exact batch layout of
+    the exchange -- is reproducible run to run.
+    """
+    return hash(state) % workers
+
+
+class _ShardTables:
+    """The picklable slice of a :class:`CompiledNet` a shard worker needs."""
+
+    __slots__ = ("consume", "produce", "need", "affected",
+                 "place_count", "transition_count")
+
+    def __init__(self, compiled):
+        self.consume = list(compiled.consume)
+        self.produce = list(compiled.produce)
+        self.need = list(compiled.need)
+        self.affected = list(compiled.affected)
+        self.place_count = len(compiled.place_names)
+        self.transition_count = len(compiled.transition_names)
+
+
+class _ShardWorker:
+    """One shard: local state index, expansion, and successor resolution.
+
+    Per level the worker expands the states admitted to its shard (in global
+    discovery order), emits one packed edge stream, one successor batch per
+    foreign shard, one resolution stream per requesting shard, and the list
+    of its newly discovered (pending) states with min-provenance -- see the
+    module docstring for how the coordinator stitches these together.
+    """
+
+    def __init__(self, connection, tables, worker_id, workers):
+        self.connection = connection
+        self.tables = tables
+        self.worker_id = worker_id
+        self.workers = workers
+        self.state_width = (tables.place_count + 7) // 8
+        self.pairs = expand_watch_pairs(tables.need, tables.affected)
+        self.local_index = {}   # own-shard state -> global index
+        self.pending = {}       # own-shard state -> pending id (this level)
+        self.records = []       # pending id -> (state, parent_mask, transition)
+        self.provenance = []    # pending id -> min provenance
+        self.expansion = []     # (global index, state, parent_mask, transition)
+
+    # -- per-level protocol ---------------------------------------------------
+
+    def run(self):
+        connection = self.connection
+        while True:
+            message = connection.recv_bytes()
+            kind = message[0]
+            if kind == _MSG_QUIT:
+                return
+            if kind == _MSG_SEED:
+                state = int.from_bytes(message[1:], "little")
+                self.local_index[state] = 0
+                self.expansion = [(0, state, 0, _FULL_SCAN)]
+            elif kind == _MSG_ASSIGN:
+                self._apply_assignments(message)
+            else:
+                raise VerificationError(
+                    "shard worker received unexpected message {!r}".format(kind))
+            try:
+                report = self._expand_and_exchange()
+            except SafenessOverflowError as overflow:
+                connection.send_bytes(
+                    bytes([_MSG_OVERFLOW])
+                    + int(overflow.transition).to_bytes(2, "little")
+                    + int(overflow.place).to_bytes(2, "little"))
+                return
+            if report is None:
+                return  # the coordinator shut the exploration down mid-level
+            connection.send_bytes(report)
+
+    def _apply_assignments(self, message):
+        """Admission results for last level's pendings; queue the admitted."""
+        from array import array
+
+        assigned = array("q")
+        assigned.frombytes(memoryview(message)[1:])
+        records = self.records
+        local_index = self.local_index
+        expansion = []
+        expansion_append = expansion.append
+        for pending_id, index in enumerate(assigned):
+            if index < 0:
+                continue  # rejected: the state bound was hit first
+            state, parent_mask, transition = records[pending_id]
+            local_index[state] = index
+            expansion_append((index, state, parent_mask, transition))
+        expansion.sort()  # expand in global discovery order
+        self.expansion = expansion
+        self.pending = {}
+        self.records = []
+        self.provenance = []
+
+    def _expand_and_exchange(self):
+        from array import array
+
+        tables = self.tables
+        consume = tables.consume
+        produce = tables.produce
+        need = tables.need
+        pairs = self.pairs
+        state_width = self.state_width
+        mask_width = (tables.transition_count + 7) // 8
+        worker_id = self.worker_id
+        workers = self.workers
+        connection = self.connection
+        local_index = self.local_index
+        local_index_get = local_index.get
+        pending = self.pending
+        pending_get = pending.get
+        records = self.records
+        records_append = records.append
+        provenance_list = self.provenance
+        provenance_append = provenance_list.append
+
+        counts = array("H")
+        counts_append = counts.append
+        edges = array("q")
+        edges_append = edges.append
+        outboxes = [bytearray() for _ in range(workers)]
+        resolutions = [array("q") for _ in range(workers)]
+        own_resolutions_append = resolutions[worker_id].append
+
+        for current, state, parent_mask, transition in self.expansion:
+            if transition == _FULL_SCAN:
+                mask = scan_enabled_mask(need, state)
+            else:
+                watch, touched = pairs[transition]
+                mask = parent_mask & ~touched
+                for bit, other_need in watch:
+                    if (state & other_need) == other_need:
+                        mask |= bit
+            mask_bytes = None
+            provenance_base = current << 16
+            edge_count = 0
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                index = low.bit_length() - 1
+                remainder = state & ~consume[index]
+                produced = produce[index]
+                overflow = remainder & produced
+                if overflow:
+                    raise SafenessOverflowError(index, next(iter_bits(overflow)))
+                successor = remainder | produced
+                edge_count += 1
+                owner = hash(successor) % workers
+                if owner == worker_id:
+                    resolved = local_index_get(successor)
+                    if resolved is not None:
+                        # Known own-shard state: a direct, final packed edge.
+                        edges_append(index | (resolved << 16))
+                        continue
+                    # New own-shard state: a reference into this shard's own
+                    # resolution stream (min-provenance kept for admission).
+                    pending_id = pending_get(successor)
+                    if pending_id is None:
+                        pending_id = len(records)
+                        pending[successor] = pending_id
+                        records_append((successor, mask, index))
+                        provenance_append(provenance_base | index)
+                    elif provenance_base | index < provenance_list[pending_id]:
+                        provenance_list[pending_id] = provenance_base | index
+                    edges_append(-(index | (worker_id << 16)) - 1)
+                    own_resolutions_append(-pending_id - 1)
+                else:
+                    # Foreign successor: ship it to its owner, emit a
+                    # reference the coordinator fills from the owner's
+                    # resolution stream for this shard.  The record carries
+                    # no separate transition -- the provenance's low 16 bits
+                    # are the transition already.
+                    if mask_bytes is None:
+                        mask_bytes = mask.to_bytes(mask_width, "little")
+                    outbox = outboxes[owner]
+                    outbox += successor.to_bytes(state_width, "little")
+                    outbox += mask_bytes
+                    outbox += (provenance_base | index).to_bytes(8, "little")
+                    edges_append(-(index | (owner << 16)) - 1)
+            counts_append(edge_count)
+
+        connection.send_bytes(bytes([_MSG_OUTBOX]) + _pack_sections(outboxes))
+
+        # Resolve the successor batches the other shards sent us.
+        from_bytes = int.from_bytes
+        inbound = [None] * workers
+        received = 0
+        while received < workers - 1:
+            message = connection.recv_bytes()
+            if message[0] == _MSG_QUIT:
+                # The coordinator aborted the level (e.g. another shard hit a
+                # 1-safeness overflow); exit quietly instead of waiting for
+                # relays that will never come.
+                return None
+            if message[0] != _MSG_RELAY:
+                raise VerificationError(
+                    "shard worker expected a relay, got {!r}".format(message[0]))
+            inbound[message[1]] = memoryview(message)[2:]
+            received += 1
+        for requester in range(workers):
+            batch = inbound[requester]
+            if not batch:
+                continue
+            stream_append = resolutions[requester].append
+            position = 0
+            end = len(batch)
+            while position < end:
+                state_end = position + state_width
+                state = from_bytes(batch[position:state_end], "little")
+                mask_end = state_end + mask_width
+                position = mask_end + 8
+                resolved = local_index_get(state)
+                if resolved is not None:
+                    stream_append(resolved)
+                    continue
+                pending_id = pending_get(state)
+                provenance = from_bytes(batch[mask_end:position], "little")
+                if pending_id is None:
+                    pending_id = len(records)
+                    pending[state] = pending_id
+                    parent_mask = from_bytes(batch[state_end:mask_end],
+                                             "little")
+                    records_append((state, parent_mask, provenance & 0xFFFF))
+                    provenance_append(provenance)
+                elif provenance < provenance_list[pending_id]:
+                    provenance_list[pending_id] = provenance
+                stream_append(-pending_id - 1)
+
+        candidate_states = bytearray()
+        for state, _, _ in records:
+            candidate_states += state.to_bytes(state_width, "little")
+        candidate_provenance = array("Q", provenance_list)
+        return bytes([_MSG_REPORT]) + _pack_sections(
+            [counts.tobytes(), edges.tobytes()]
+            + [stream.tobytes() for stream in resolutions]
+            + [candidate_provenance.tobytes(), candidate_states])
+
+
+def _shard_worker_main(connection, tables, worker_id, workers):
+    try:
+        _ShardWorker(connection, tables, worker_id, workers).run()
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        connection.close()
+
+
+class _Sender:
+    """A dispatch thread: keeps coordinator receives deadlock-free.
+
+    Pipes have finite OS buffers; if the coordinator blocked sending to a
+    worker that is itself blocked sending its report back, both sides would
+    wait forever.  Routing every outbound message through one thread lets
+    the coordinator's main loop keep draining inbound traffic while a send
+    backpressures.
+    """
+
+    def __init__(self, connections):
+        self.connections = connections
+        self.queue = []
+        self.lock = threading.Lock()
+        self.ready = threading.Event()
+        self.closed = False
+        self.error = None
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+
+    def send(self, worker, payload):
+        with self.lock:
+            self.queue.append((worker, payload))
+            self.ready.set()
+
+    def close(self):
+        with self.lock:
+            self.closed = True
+            self.ready.set()
+        self.thread.join(timeout=10.0)
+
+    def _run(self):
+        while True:
+            self.ready.wait()
+            with self.lock:
+                batch, self.queue = self.queue, []
+                if not batch and self.closed:
+                    return
+                self.ready.clear()
+            for worker, payload in batch:
+                try:
+                    self.connections[worker].send_bytes(payload)
+                except (BrokenPipeError, OSError) as error:
+                    self.error = error
+                    return
+
+
+def explore_sharded(compiled, marking=None, max_states=200000, workers=None):
+    """Breadth-first exploration sharded across worker processes.
+
+    Returns a :class:`~repro.petri.compiled.CompiledReachabilityGraph`
+    bit-identical to ``explore_compiled(compiled, marking, max_states)`` --
+    see the module docstring for how.  *workers* defaults to the CPU count.
+    """
+    if not isinstance(compiled, CompiledNet):
+        compiled = CompiledNet.compile(compiled)
+    workers = int(workers) if workers else (os.cpu_count() or 1)
+    if workers < 1:
+        raise VerificationError(
+            "sharded exploration needs at least one worker, got {}".format(
+                workers))
+    if workers > 127:
+        raise VerificationError(
+            "sharded exploration supports at most 127 workers")
+    initial = marking if marking is not None else compiled.net.initial_marking()
+    initial_state = compiled.encode(initial)
+
+    context = mp_context()
+    tables = _ShardTables(compiled)
+    connections = []
+    processes = []
+    for worker_id in range(workers):
+        parent_end, child_end = context.Pipe()
+        process = context.Process(
+            target=_shard_worker_main,
+            args=(child_end, tables, worker_id, workers), daemon=True)
+        process.start()
+        child_end.close()
+        connections.append(parent_end)
+        processes.append(process)
+    sender = _Sender(connections)
+    completed = False
+    try:
+        graph = _drive(compiled, initial_state, max_states, workers,
+                       connections, sender)
+        completed = True
+        return graph
+    finally:
+        if not completed:
+            # Abort path (overflow, worker death, any mid-level error):
+            # workers may be blocked writing into full pipes, and the sender
+            # thread may be blocked writing towards them -- a blocking QUIT
+            # from here would deadlock.  Kill the workers first; the broken
+            # pipes then unblock the sender thread too.
+            for process in processes:
+                process.terminate()
+        sender.close()
+        for connection in connections:
+            try:
+                connection.send_bytes(bytes([_MSG_QUIT]))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for connection in connections:
+            connection.close()
+
+
+def _recv(connections, worker):
+    try:
+        return connections[worker].recv_bytes()
+    except (EOFError, OSError):
+        raise VerificationError(
+            "sharded exploration worker {} died mid-level".format(worker))
+
+
+def _drive(compiled, initial_state, max_states, workers, connections, sender):
+    from array import array
+    from time import perf_counter
+
+    #: Per-phase second counters, printed when REPRO_SHARD_TIMING is set:
+    #: wait (receiving/relaying), admit (phase 2), merge (phase 3).
+    timing = {"wait": 0.0, "admit": 0.0, "merge": 0.0}
+
+    place_names = compiled.place_names
+    transition_names = compiled.transition_names
+    state_width = (len(place_names) + 7) // 8
+    from_bytes = int.from_bytes
+
+    graph = CompiledReachabilityGraph(compiled, initial_state)
+    states = graph._mask_states
+    edges = graph._mask_edges
+    parents = graph._parents
+    frontier = graph._frontier_indices
+    truncated = False
+
+    # The initial state's edge list is not pre-created: edge lists are
+    # appended by the merge phase in discovery order, starting with the
+    # initial state itself when level 0's expansion is merged.
+    states.append(initial_state)
+    parents.append(None)
+
+    # Level 0: seed the owning shard; everyone else gets empty assignments.
+    owner_seq = [shard_of(initial_state, workers)]
+    sender.send(owner_seq[0], bytes([_MSG_SEED])
+                + initial_state.to_bytes(state_width, "little"))
+    for worker in range(workers):
+        if worker != owner_seq[0]:
+            sender.send(worker, bytes([_MSG_ASSIGN]))
+
+    states_append = states.append
+    edges_append = edges.append
+    parents_append = parents.append
+    frontier_add = frontier.add
+
+    while owner_seq:
+        # Phase 1: collect successor batches as workers finish expanding,
+        # relaying each batch to the shard that owns its states.
+        phase_started = perf_counter()
+        waiting = set(range(workers))
+        reports = {}
+        while waiting:
+            for connection in connection_wait(
+                    [connections[w] for w in waiting], timeout=1.0):
+                worker = connections.index(connection)
+                message = _recv(connections, worker)
+                kind = message[0]
+                if kind == _MSG_OVERFLOW:
+                    raise SafenessOverflowError(
+                        transition_names[message[1] | (message[2] << 8)],
+                        place_names[message[3] | (message[4] << 8)])
+                if kind == _MSG_OUTBOX:
+                    batches = _unpack_sections(memoryview(message), 1)
+                    for destination in range(workers):
+                        if destination != worker:
+                            sender.send(destination,
+                                        bytes([_MSG_RELAY, worker])
+                                        + bytes(batches[destination]))
+                elif kind == _MSG_REPORT:
+                    reports[worker] = _unpack_sections(memoryview(message), 1)
+                    waiting.discard(worker)
+                else:
+                    raise VerificationError(
+                        "coordinator received unexpected message {!r}".format(
+                            kind))
+            if sender.error is not None:
+                raise VerificationError(
+                    "sharded exploration dispatch failed: {}".format(
+                        sender.error))
+
+        counts = {}
+        edge_streams = {}
+        resolution_streams = {}
+        candidates = []
+        pending_counts = [0] * workers
+        for worker, sections in reports.items():
+            counts[worker] = array("H")
+            counts[worker].frombytes(sections[0])
+            edge_streams[worker] = array("q")
+            edge_streams[worker].frombytes(sections[1])
+            streams = []
+            for requester in range(workers):
+                stream = array("q")
+                stream.frombytes(sections[2 + requester])
+                streams.append(stream)
+            resolution_streams[worker] = streams
+            provenance = array("Q")
+            provenance.frombytes(sections[2 + workers])
+            pending_counts[worker] = len(provenance)
+            for pending_id, value in enumerate(provenance):
+                candidates.append((value, worker, pending_id))
+        candidate_states = {worker: reports[worker][3 + workers]
+                            for worker in reports}
+
+        timing["wait"] += perf_counter() - phase_started
+        phase_started = perf_counter()
+
+        # Phase 2: admission.  Sorting by provenance reproduces the exact
+        # order the sequential BFS first reaches each new state, so indices,
+        # parents and the truncation cut-off all match bit for bit.  The
+        # provenance int *is* the packed parent pointer the graph stores.
+        candidates.sort()
+        rejected = array("q", [-1])
+        assignments = [rejected * pending_counts[worker]
+                       for worker in range(workers)]
+        next_owner_seq = []
+        next_owner_append = next_owner_seq.append
+        index = len(states)
+        for provenance, worker, pending_id in candidates:
+            if index >= max_states:
+                truncated = True
+                break
+            assignments[worker][pending_id] = index
+            index += 1
+            encoded = candidate_states[worker]
+            states_append(from_bytes(
+                encoded[pending_id * state_width:
+                        (pending_id + 1) * state_width], "little"))
+            parents_append(provenance)
+            next_owner_append(worker)
+
+        timing["admit"] += perf_counter() - phase_started
+
+        # Phase 3: broadcast the assignments immediately -- the workers
+        # start expanding the next level while the coordinator is still
+        # merging this level's edge streams below.  When nothing was
+        # admitted the exploration is over; the workers are left waiting
+        # for assignments and the caller's shutdown message is the next
+        # thing they see (the final merge below still runs).
+        finished = not next_owner_seq
+        if not finished:
+            for worker in range(workers):
+                sender.send(worker, bytes([_MSG_ASSIGN])
+                            + assignments[worker].tobytes())
+        phase_started = perf_counter()
+
+        # Phase 4: merge the edge streams in global discovery order,
+        # consuming each shard's resolution streams to finalise references.
+        # Edge lists are created here, not at admission: states are merged
+        # in exactly the order they were admitted, so plain appends keep
+        # ``edges`` aligned with ``states``.
+        positions = {worker: 0 for worker in reports}
+        edge_cursors = {worker: 0 for worker in reports}
+        requester_cursors = [[0] * workers for _ in range(workers)]
+        requester_streams = [
+            [resolution_streams[owner][worker] for owner in range(workers)]
+            for worker in range(workers)
+        ]
+        for worker in owner_seq:
+            position = positions[worker]
+            edge_count = counts[worker][position]
+            positions[worker] = position + 1
+            cursor = edge_cursors[worker]
+            chunk_end = cursor + edge_count
+            chunk = edge_streams[worker][cursor:chunk_end]
+            edge_cursors[worker] = chunk_end
+            cursors = requester_cursors[worker]
+            streams = requester_streams[worker]
+            current_edges = []
+            current_edges_append = current_edges.append
+            complete = True
+            for value in chunk:
+                if value >= 0:
+                    current_edges_append(value)
+                    continue
+                key = -value - 1
+                owner = key >> 16
+                offset = cursors[owner]
+                cursors[owner] = offset + 1
+                resolved = streams[owner][offset]
+                if resolved < 0:
+                    resolved = assignments[owner][-resolved - 1]
+                    if resolved < 0:
+                        complete = False
+                        continue
+                current_edges_append((key & 0xFFFF) | (resolved << 16))
+            if not complete:
+                frontier_add(len(edges))
+            edges_append(current_edges)
+
+        timing["merge"] += perf_counter() - phase_started
+        if finished:
+            break
+        owner_seq = next_owner_seq
+
+    if os.environ.get("REPRO_SHARD_TIMING"):
+        import sys
+        print("sharded coordinator: wait {wait:.2f}s admit {admit:.2f}s "
+              "merge {merge:.2f}s".format(**timing), file=sys.stderr)
+    graph.truncated = truncated
+    return graph

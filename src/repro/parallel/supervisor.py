@@ -1,0 +1,218 @@
+"""A supervised process pool: the shared engine under every parallel path.
+
+This is the supervision machinery that used to live inside the campaign
+runner, extracted so the racing portfolio checker (and any future parallel
+subsystem) reuses it instead of growing its own: each *task* runs in its own
+worker process (bounded to *parallelism* concurrent workers), a task that
+hangs is terminated at its deadline, a worker that dies without reporting
+(a crash, ``os._exit``, an OOM kill) is detected and recorded -- the caller
+always gets one :class:`TaskOutcome` per task, never a hung pool.
+
+On top of the campaign runner's semantics it adds **first-winner
+cancellation**: pass ``stop_when`` (a predicate over :class:`TaskOutcome`)
+and the pool terminates every other worker the moment an outcome satisfies
+it, recording the losers as ``"cancelled"``.  That is exactly the shape of a
+checker portfolio race -- first conclusive verdict wins, losers are killed
+immediately instead of running out their budgets.
+
+``parallelism=0`` runs the tasks inline in the calling process (no timeout
+enforcement, but ``stop_when`` still short-circuits), which doubles as the
+deterministic fallback inside daemonic workers that cannot spawn children.
+"""
+
+import queue as queue_module
+import time
+import traceback
+from collections import deque
+
+from repro.exceptions import ConfigurationError
+from repro.parallel.context import mp_context
+
+#: Seconds the supervisor waits for a dead worker's queued result to drain
+#: before declaring the worker crashed.
+_CRASH_GRACE = 0.5
+
+#: The terminal statuses a task can end in.
+STATUSES = ("ok", "error", "timeout", "crashed", "cancelled")
+
+
+class TaskOutcome:
+    """How one supervised task ended.
+
+    *status* is ``"ok"`` (the task ran; *payload* holds its return value),
+    ``"error"`` (the task raised; *error* holds the traceback), ``"timeout"``
+    (the worker exceeded its deadline and was terminated), ``"crashed"`` (the
+    worker died without reporting) or ``"cancelled"`` (a ``stop_when`` winner
+    made the task moot and its worker was terminated).
+    """
+
+    __slots__ = ("task_id", "status", "payload", "error", "elapsed")
+
+    def __init__(self, task_id, status, payload=None, error=None, elapsed=0.0):
+        self.task_id = task_id
+        self.status = status
+        self.payload = payload
+        self.error = error
+        self.elapsed = elapsed
+
+    @property
+    def ok(self):
+        return self.status == "ok"
+
+    def __repr__(self):
+        return "TaskOutcome({!r}, {})".format(self.task_id, self.status)
+
+
+def _worker_main(task_id, target, args, results_queue):
+    """Worker entry point: run one task and stream the outcome back."""
+    started = time.perf_counter()
+    try:
+        payload = target(*args)
+        results_queue.put((task_id, "ok", payload, None,
+                           time.perf_counter() - started))
+    except Exception:
+        results_queue.put((task_id, "error", None, traceback.format_exc(),
+                           time.perf_counter() - started))
+
+
+def _check_ids(tasks):
+    seen = set()
+    for task_id, _, _ in tasks:
+        if task_id in seen:
+            raise ConfigurationError(
+                "duplicate task id {!r}: the supervisor keys its bookkeeping "
+                "by task id, so every task needs a unique one".format(task_id))
+        seen.add(task_id)
+
+
+def _run_inline(tasks, stop_when):
+    outcomes = {}
+    stopped = False
+    for task_id, target, args in tasks:
+        if stopped:
+            outcomes[task_id] = TaskOutcome(task_id, "cancelled")
+            continue
+        started = time.perf_counter()
+        try:
+            payload = target(*args)
+            outcome = TaskOutcome(task_id, "ok", payload=payload,
+                                  elapsed=time.perf_counter() - started)
+        except Exception:
+            outcome = TaskOutcome(task_id, "error", error=traceback.format_exc(),
+                                  elapsed=time.perf_counter() - started)
+        outcomes[task_id] = outcome
+        if stop_when is not None and stop_when(outcome):
+            stopped = True
+    return outcomes
+
+
+def _drain(results_queue, records, block_seconds=0.0):
+    """Move every available queue item into *records*."""
+    while True:
+        try:
+            item = (results_queue.get(timeout=block_seconds)
+                    if block_seconds else results_queue.get_nowait())
+        except queue_module.Empty:
+            return
+        records[item[0]] = item[1:]
+        block_seconds = 0.0
+
+
+def _terminate(process):
+    process.terminate()
+    process.join(1.0)
+    if process.is_alive():
+        process.kill()
+        process.join(1.0)
+
+
+def run_supervised(tasks, parallelism, timeout=None, stop_when=None):
+    """Run *tasks* in supervised worker processes; return their outcomes.
+
+    Parameters
+    ----------
+    tasks:
+        Iterable of ``(task_id, target, args)`` triples.  *target* must be a
+        picklable callable (a module-level function) and *args* a picklable
+        tuple -- the task is executed as ``target(*args)`` in a worker
+        process and its return value must be picklable too.
+    parallelism:
+        Number of concurrent worker processes; ``0`` runs inline.
+    timeout:
+        Optional per-task deadline in seconds (worker mode only).
+    stop_when:
+        Optional predicate over :class:`TaskOutcome`.  The first outcome
+        satisfying it wins the race: every other active worker is terminated
+        immediately and every unfinished task is recorded as ``"cancelled"``.
+
+    Returns the list of :class:`TaskOutcome` in task order.
+    """
+    tasks = [(task_id, target, tuple(args)) for task_id, target, args in tasks]
+    _check_ids(tasks)
+    if parallelism <= 0:
+        outcomes = _run_inline(tasks, stop_when)
+        return [outcomes[task_id] for task_id, _, _ in tasks]
+
+    context = mp_context()
+    results_queue = context.Queue()
+    pending = deque(tasks)
+    active = {}   # task_id -> (process, started, deadline)
+    records = {}  # task_id -> (status, payload, error, elapsed)
+    outcomes = {}
+    winner_found = False
+
+    while pending or active:
+        while pending and len(active) < parallelism and not winner_found:
+            task_id, target, args = pending.popleft()
+            process = context.Process(
+                target=_worker_main,
+                args=(task_id, target, args, results_queue), daemon=True)
+            process.start()
+            started = time.monotonic()
+            deadline = started + timeout if timeout is not None else None
+            active[task_id] = (process, started, deadline)
+        if winner_found and pending:
+            while pending:
+                task_id, _, _ = pending.popleft()
+                outcomes[task_id] = TaskOutcome(task_id, "cancelled")
+        _drain(results_queue, records, block_seconds=0.05)
+
+        now = time.monotonic()
+        for task_id in list(active):
+            process, started, deadline = active[task_id]
+            if task_id in records:
+                process.join()
+                del active[task_id]
+                status, payload, error, elapsed = records.pop(task_id)
+                outcome = TaskOutcome(task_id, status, payload=payload,
+                                      error=error, elapsed=elapsed)
+                outcomes[task_id] = outcome
+                if (not winner_found and stop_when is not None
+                        and stop_when(outcome)):
+                    winner_found = True
+            elif winner_found:
+                _terminate(process)
+                outcomes[task_id] = TaskOutcome(
+                    task_id, "cancelled", elapsed=now - started)
+                del active[task_id]
+            elif deadline is not None and now > deadline:
+                _terminate(process)
+                outcomes[task_id] = TaskOutcome(
+                    task_id, "timeout", elapsed=now - started,
+                    error="task exceeded its {:.3g}s deadline and was "
+                          "terminated".format(timeout))
+                del active[task_id]
+            elif not process.is_alive():
+                # The worker died; give its (possibly buffered) result one
+                # last chance to drain before declaring a crash.
+                _drain(results_queue, records, block_seconds=_CRASH_GRACE)
+                if task_id not in records:
+                    outcomes[task_id] = TaskOutcome(
+                        task_id, "crashed", elapsed=time.monotonic() - started,
+                        error="worker process died with exit code {} before "
+                              "reporting a result".format(process.exitcode))
+                    del active[task_id]
+                process.join()
+
+    results_queue.close()
+    return [outcomes[task_id] for task_id, _, _ in tasks]

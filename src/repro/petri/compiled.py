@@ -50,6 +50,36 @@ def iter_bits(mask):
         mask ^= low
 
 
+def scan_enabled_mask(need, state):
+    """Enabled-transition mask of *state* by full scan of the *need* table.
+
+    Shared by :meth:`CompiledNet.enabled_mask` and the sharded explorer's
+    workers (which carry the tables without a :class:`CompiledNet`).
+    """
+    mask = 0
+    bit = 1
+    for transition_need in need:
+        if (state & transition_need) == transition_need:
+            mask |= bit
+        bit <<= 1
+    return mask
+
+
+def expand_watch_pairs(need, affected):
+    """Per transition: ``(((bit, need), ...), touched_mask)`` watch pairs.
+
+    The incremental enabled-set update after firing ``t`` re-checks only
+    the transitions in ``affected[t]``; pre-expanding that mask into
+    ``(single-bit, need)`` pairs takes the bit-scan (``& -``, ``^``,
+    ``bit_length``) out of the exploration inner loops.  Shared by the
+    sequential and sharded explorers so the update logic cannot diverge.
+    """
+    return [
+        (tuple((1 << i, need[i]) for i in iter_bits(mask)), mask)
+        for mask in affected
+    ]
+
+
 class CompiledNet:
     """A Petri net compiled to integer-indexed tables and bitmasks."""
 
@@ -64,6 +94,7 @@ class CompiledNet:
         "read",             # per transition: mask of read places
         "need",             # per transition: consume | read
         "affected",         # per transition: mask over *transitions* to re-check
+        "_affected_pairs",  # lazily built: per transition, ((bit, need), ...)
     )
 
     def __init__(self, net):
@@ -79,6 +110,14 @@ class CompiledNet:
             raise CompilationError(
                 "cannot compile net {!r}: arc between {!r} and {!r} has "
                 "weight {}".format(net.name, p, t, w)
+            )
+        # Edges and BFS parents are packed as ``transition`` in the low 16
+        # bits; 0xFFFF itself is the sharded explorer's full-scan sentinel.
+        # Nets beyond that fall back to the explicit explorer, loudly.
+        if len(net.transitions) >= 0xFFFF:
+            raise CompilationError(
+                "cannot compile net {!r}: {} transitions exceed the packed "
+                "16-bit transition index".format(net.name, len(net.transitions))
             )
         self.net = net
         self.place_names = sorted(net.places)
@@ -109,6 +148,7 @@ class CompiledNet:
             for place in iter_bits(touched):
                 mask |= watch.get(place, 0)
             self.affected.append(mask)
+        self._affected_pairs = None
 
     @classmethod
     def compile(cls, net):
@@ -162,20 +202,23 @@ class CompiledNet:
 
     def enabled_mask(self, state):
         """Mask over transitions enabled at *state* (full scan)."""
-        mask = 0
-        for index, need in enumerate(self.need):
-            if (state & need) == need:
-                mask |= 1 << index
-        return mask
+        return scan_enabled_mask(self.need, state)
 
     def fire(self, transition_index, state):
         """Fire an enabled transition; detect loss of 1-safeness."""
         remainder = state & ~self.consume[transition_index]
-        overflow = remainder & self.produce[transition_index]
+        produced = self.produce[transition_index]
+        overflow = remainder & produced
         if overflow:
             place = self.place_names[next(iter_bits(overflow))]
             raise SafenessOverflowError(self.transition_names[transition_index], place)
-        return remainder | self.produce[transition_index]
+        return remainder | produced
+
+    def affected_pairs(self):
+        """The :func:`expand_watch_pairs` of this net, built on first use."""
+        if self._affected_pairs is None:
+            self._affected_pairs = expand_watch_pairs(self.need, self.affected)
+        return self._affected_pairs
 
     def __repr__(self):
         return "CompiledNet({!r}, places={}, transitions={})".format(
@@ -196,13 +239,22 @@ class CompiledReachabilityGraph(ReachabilityGraph):
     #: Compiled graphs exist only while every marking stayed 1-safe.
     one_safe = True
 
+    #: Edges are stored packed -- ``transition | target_index << 16`` -- one
+    #: small int per edge instead of a tuple.  Packing keeps multi-million
+    #: -edge graphs ~3x smaller and (ints being invisible to the cyclic GC)
+    #: far cheaper to hold, and it is the exact wire format of the sharded
+    #: explorer, whose merge loop appends worker-produced values verbatim.
+    #: (``CompiledNet`` refuses nets whose transition count overflows the
+    #: 16-bit field.)
+
     def __init__(self, compiled, initial_state):
         super().__init__(compiled.net, compiled.decode(initial_state))
         self.compiled = compiled
         self._mask_states = []      # int states in discovery order
-        self._mask_index = {}       # int state -> index
-        self._mask_edges = []       # per state: list of (transition idx, state idx)
-        self._parents = []          # per state: (transition idx, parent idx) or None
+        self._mask_index = None     # int state -> index (built lazily)
+        self._mask_edges = []       # per state: list of packed edges
+        self._parents = []          # per state: parent idx << 16 | transition
+                                    # (None for the initial state)
         self._frontier_indices = set()
         self._decoded = {}          # state index -> Marking (memoised)
         self._all_decoded = None    # list of all markings, discovery order
@@ -213,12 +265,27 @@ class CompiledReachabilityGraph(ReachabilityGraph):
     def _add_mask_state(self, state, parent=None):
         index = len(self._mask_states)
         self._mask_states.append(state)
+        if self._mask_index is None:
+            self._mask_index = {}
         self._mask_index[state] = index
         self._mask_edges.append([])
         self._parents.append(parent)
         return index
 
     # -- decoding ------------------------------------------------------------
+
+    def _state_index(self):
+        """The ``int state -> index`` map, built on first use.
+
+        The sequential explorer fills it as its dedup structure; the sharded
+        explorer dedups inside its shard workers, so coordinator-side the map
+        only exists if a caller actually asks a marking-level question.
+        """
+        if self._mask_index is None:
+            self._mask_index = {
+                state: index for index, state in enumerate(self._mask_states)
+            }
+        return self._mask_index
 
     def _marking_at(self, index):
         marking = self._decoded.get(index)
@@ -233,7 +300,7 @@ class CompiledReachabilityGraph(ReachabilityGraph):
             state = self.compiled.encode(marking)
         except CompilationError:
             return None
-        return self._mask_index.get(state)
+        return self._state_index().get(state)
 
     def _ensure_materialized(self):
         """Populate the dict-based structures of the parent class."""
@@ -244,8 +311,9 @@ class CompiledReachabilityGraph(ReachabilityGraph):
             self._add_state(self._marking_at(index))
         for index, edges in enumerate(self._mask_edges):
             source = self._marking_at(index)
-            for transition, target_index in edges:
-                self._add_edge(source, names[transition], self._marking_at(target_index))
+            for packed in edges:
+                self._add_edge(source, names[packed & 0xFFFF],
+                               self._marking_at(packed >> 16))
         self._frontier = {self._marking_at(i) for i in self._frontier_indices}
         self._materialized = True
 
@@ -278,7 +346,8 @@ class CompiledReachabilityGraph(ReachabilityGraph):
         if index is None:
             raise KeyError(marking)
         names = self.compiled.transition_names
-        return sorted({names[t] for t, _ in self._mask_edges[index]})
+        return sorted({names[packed & 0xFFFF]
+                       for packed in self._mask_edges[index]})
 
     @property
     def frontier(self):
@@ -307,8 +376,9 @@ class CompiledReachabilityGraph(ReachabilityGraph):
         trace = []
         names = self.compiled.transition_names
         while self._parents[index] is not None:
-            transition, index = self._parents[index]
-            trace.append(names[transition])
+            packed = self._parents[index]
+            trace.append(names[packed & 0xFFFF])
+            index = packed >> 16
         trace.reverse()
         return trace
 
@@ -363,9 +433,11 @@ class CompiledReachabilityGraph(ReachabilityGraph):
         for index, edges in enumerate(self._mask_edges):
             if index in self._frontier_indices or len(edges) < 2:
                 continue
-            for t1, target in edges:
-                after = states[target]
-                for t2, _ in edges:
+            for packed in edges:
+                t1 = packed & 0xFFFF
+                after = states[packed >> 16]
+                for other in edges:
+                    t2 = other & 0xFFFF
                     if t1 == t2:
                         continue
                     if allow_conflicts and consume[t1] & consume[t2]:
@@ -389,6 +461,12 @@ def explore_compiled(compiled, marking=None, max_states=200000):
     are still recorded after the bound is hit; partially-expanded states form
     the frontier) -- but runs on integer states with incrementally maintained
     enabled masks.
+
+    The loop body is deliberately flat: firing is inlined (a call per edge
+    costs more than the firing itself), every table and bound method is
+    hoisted into a local, and the incremental enabled-set update walks the
+    pre-expanded ``affected_pairs`` watch lists instead of bit-scanning the
+    affected mask per new state.
     """
     if not isinstance(compiled, CompiledNet):
         compiled = CompiledNet.compile(compiled)
@@ -397,25 +475,41 @@ def explore_compiled(compiled, marking=None, max_states=200000):
     graph = CompiledReachabilityGraph(compiled, state)
     graph._add_mask_state(state)
     enabled = [compiled.enabled_mask(state)]
-    fire = compiled.fire
-    need = compiled.need
-    affected = compiled.affected
-    index_of = graph._mask_index
+    consume = compiled.consume
+    produce = compiled.produce
+    affected_pairs = compiled.affected_pairs()
+    index_get = graph._mask_index.get
+    mask_index = graph._mask_index
     states = graph._mask_states
+    states_append = states.append
     edges = graph._mask_edges
-    queue = deque([0])
+    edges_append = edges.append
+    parents_append = graph._parents.append
+    enabled_append = enabled.append
+    frontier_add = graph._frontier_indices.add
+    queue = deque((0,))
+    queue_append = queue.append
+    queue_popleft = queue.popleft
     while queue:
-        current = queue.popleft()
+        current = queue_popleft()
         source = states[current]
         complete = True
-        current_edges = edges[current]
-        remaining = enabled[current]
+        current_edges_append = edges[current].append
+        current_enabled = enabled[current]
+        remaining = current_enabled
         while remaining:
             low = remaining & -remaining
             remaining ^= low
             transition = low.bit_length() - 1
-            successor = fire(transition, source)
-            target = index_of.get(successor)
+            remainder = source & ~consume[transition]
+            produced = produce[transition]
+            overflow = remainder & produced
+            if overflow:
+                raise SafenessOverflowError(
+                    compiled.transition_names[transition],
+                    compiled.place_names[next(iter_bits(overflow))])
+            successor = remainder | produced
+            target = index_get(successor)
             if target is None:
                 if len(states) >= max_states:
                     graph.truncated = True
@@ -423,18 +517,19 @@ def explore_compiled(compiled, marking=None, max_states=200000):
                     continue
                 # Incremental enabled-set update: only transitions watching a
                 # place touched by `transition` can change status.
-                touched = affected[transition]
-                mask = enabled[current] & ~touched
-                while touched:
-                    bit = touched & -touched
-                    touched ^= bit
-                    other_need = need[bit.bit_length() - 1]
+                pairs, touched = affected_pairs[transition]
+                mask = current_enabled & ~touched
+                for bit, other_need in pairs:
                     if (successor & other_need) == other_need:
                         mask |= bit
-                target = graph._add_mask_state(successor, parent=(transition, current))
-                enabled.append(mask)
-                queue.append(target)
-            current_edges.append((transition, target))
+                target = len(states)
+                states_append(successor)
+                mask_index[successor] = target
+                edges_append([])
+                parents_append(current << 16 | transition)
+                enabled_append(mask)
+                queue_append(target)
+            current_edges_append(transition | (target << 16))
         if not complete:
-            graph._frontier_indices.add(current)
+            frontier_add(current)
     return graph

@@ -19,11 +19,22 @@ with opposite effects.  Minimal-support pruning keeps the basis small; the
 worst case is still exponential, so the computation carries a row budget and
 raises :class:`InvariantBudgetExceeded` instead of hanging on adversarial
 nets (callers then fall back to weaker reasoning or report inconclusive).
+
+Because semiflows depend only on net *structure*, they are ideal cache
+material: campaign grids re-verify pipeline families whose members are
+structurally stable across runs, and every inductive sweep used to re-derive
+the same basis per scenario.  :class:`SemiflowCache` memoises
+:func:`compute_semiflows` on disk keyed by the canonical net fingerprint
+(the same scheme as the campaign verdict cache) -- warm hits are
+bit-identical to a cold derivation, and budget blow-ups are remembered too,
+so a hopeless net does not burn its row budget on every run.
 """
 
 from math import gcd
 
 from repro.exceptions import VerificationError
+from repro.petri.fingerprint import net_fingerprint, options_digest
+from repro.utils.diskcache import JsonDiskCache
 
 
 class InvariantBudgetExceeded(VerificationError):
@@ -58,6 +69,22 @@ class Semiflow:
     def holds_at(self, marking):
         """Evaluate the invariant on a marking (sanity checks and tests)."""
         return sum(w * marking[p] for p, w in self.weights.items()) == self.value
+
+    def to_payload(self):
+        """A JSON-able description that round-trips bit-identically."""
+        return {"weights": dict(self.weights), "value": self.value}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(payload["weights"], payload["value"])
+
+    def __eq__(self, other):
+        return (isinstance(other, Semiflow)
+                and self.weights == other.weights
+                and self.value == other.value)
+
+    def __hash__(self):
+        return hash((frozenset(self.weights.items()), self.value))
 
     def __repr__(self):
         terms = " + ".join(
@@ -164,3 +191,62 @@ def proves_bound(semiflows, places, bound=1):
     """``True`` when the semiflows bound every listed place by *bound*."""
     bounds = place_bounds(semiflows)
     return all(bounds.get(place, bound + 1) <= bound for place in places)
+
+
+class SemiflowCache(JsonDiskCache):
+    """Disk memo of :func:`compute_semiflows`, keyed by net fingerprint.
+
+    The cache key combines the canonical net fingerprint with the ``max_rows``
+    budget (a bigger budget can genuinely produce a different outcome on a
+    net that blows up), so distinct budgets never shadow each other.  Two
+    kinds of entry are stored: a successful basis, and a remembered
+    :class:`InvariantBudgetExceeded` -- replayed as the exception on warm
+    hits, so cached behaviour is indistinguishable from cold behaviour.
+    """
+
+    def entry_key(self, net, max_rows):
+        return self.key(net_fingerprint(net),
+                        options_digest({"max_rows": int(max_rows)}))
+
+    def load(self, net, max_rows):
+        """Return ``(hit, semiflows)``; raises on a cached budget blow-up."""
+        payload = self.get(self.entry_key(net, max_rows))
+        if payload is None:
+            return False, None
+        if payload.get("budget_exceeded"):
+            raise InvariantBudgetExceeded(payload.get(
+                "detail", "semiflow computation exceeded its cached budget"))
+        return True, [Semiflow.from_payload(entry)
+                      for entry in payload["semiflows"]]
+
+    def store(self, net, max_rows, semiflows):
+        self.put(self.entry_key(net, max_rows),
+                 {"semiflows": [semiflow.to_payload() for semiflow in semiflows]})
+
+    def store_budget_exceeded(self, net, max_rows, error):
+        self.put(self.entry_key(net, max_rows),
+                 {"budget_exceeded": True, "detail": str(error)})
+
+
+def compute_semiflows_cached(net, max_rows=20000, cache=None):
+    """:func:`compute_semiflows` through an optional :class:`SemiflowCache`.
+
+    *cache* is a :class:`SemiflowCache`, a cache directory path, or ``None``
+    to compute directly.  Warm hits return a basis equal element-for-element
+    to the cold derivation (same order, same weights, same values), and a
+    cold :class:`InvariantBudgetExceeded` is re-raised on warm hits too.
+    """
+    if cache is None:
+        return compute_semiflows(net, max_rows=max_rows)
+    if not isinstance(cache, SemiflowCache):
+        cache = SemiflowCache(cache)
+    hit, semiflows = cache.load(net, max_rows)
+    if hit:
+        return semiflows
+    try:
+        semiflows = compute_semiflows(net, max_rows=max_rows)
+    except InvariantBudgetExceeded as error:
+        cache.store_budget_exceeded(net, max_rows, error)
+        raise
+    cache.store(net, max_rows, semiflows)
+    return semiflows

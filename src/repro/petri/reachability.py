@@ -187,7 +187,8 @@ def explore(net, marking=None, max_states=200000):
     return graph
 
 
-def build_reachability_graph(net, marking=None, max_states=200000, engine="auto"):
+def build_reachability_graph(net, marking=None, max_states=200000, engine="auto",
+                             workers=0):
     """Build the reachability graph of *net* with the best available engine.
 
     Parameters
@@ -202,8 +203,14 @@ def build_reachability_graph(net, marking=None, max_states=200000, engine="auto"
         ``"compiled"`` forces the bitmask engine and raises
         :class:`~repro.exceptions.CompilationError` when the net does not
         fit it; ``"explicit"`` forces the hash-dict explorer.
+    workers:
+        ``> 1`` explores the compiled relation with the sharded parallel
+        explorer of :mod:`repro.parallel.sharded`, whose graph is
+        bit-identical to the single-process one.  Ignored on the explicit
+        path, and inside daemonic workers (which cannot spawn children --
+        campaign jobs fall back to the sequential engine transparently).
 
-    Both engines explore states in the same order and implement the same
+    All engines explore states in the same order and implement the same
     truncation semantics, so the resulting graphs are interchangeable.
     """
     if engine == "explicit":
@@ -216,6 +223,13 @@ def build_reachability_graph(net, marking=None, max_states=200000, engine="auto"
 
     try:
         compiled = CompiledNet.compile(net)
+        if workers and int(workers) > 1:
+            from repro.parallel.context import in_daemon_worker
+            from repro.parallel.sharded import explore_sharded
+
+            if not in_daemon_worker():
+                return explore_sharded(compiled, marking,
+                                       max_states=max_states, workers=workers)
         return explore_compiled(compiled, marking, max_states=max_states)
     except CompilationError:
         if engine == "compiled":

@@ -1,0 +1,87 @@
+"""A directory of JSON cache entries, written atomically, keyed by hash.
+
+This is the storage layer shared by the campaign verdict cache
+(:mod:`repro.campaign.cache`) and the semiflow cache
+(:mod:`repro.petri.invariants`): one JSON file per key, written atomically
+(temp file + ``os.replace``) so that parallel workers can share a cache
+directory without locking, and unreadable or corrupt entries counting as
+misses so a damaged cache degrades to recomputation instead of failure.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+
+
+def canonical_json(payload):
+    """Serialise *payload* deterministically (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def digest(payload):
+    """Stable hex digest of a JSON-able *payload*."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class JsonDiskCache:
+    """A directory of cached JSON payloads, one file per cache key."""
+
+    def __init__(self, directory):
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    @staticmethod
+    def key(fingerprint, options_digest):
+        """Combine a model fingerprint and an options digest into one key."""
+        return hashlib.sha256(
+            "{}:{}".format(fingerprint, options_digest).encode("utf-8")
+        ).hexdigest()
+
+    def path(self, key):
+        return os.path.join(self.directory, key + ".json")
+
+    def get(self, key):
+        """Return the cached payload for *key*, or ``None`` on a miss.
+
+        Unreadable or corrupt entries count as misses: the caller then
+        recomputes and overwrites them.
+        """
+        try:
+            with open(self.path(key), "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key, payload):
+        """Store *payload* (a JSON-able value) under *key* atomically."""
+        descriptor, temp_path = tempfile.mkstemp(
+            prefix=".cache-", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(temp_path, self.path(key))
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        return key
+
+    def __len__(self):
+        return sum(1 for name in os.listdir(self.directory) if name.endswith(".json"))
+
+    def clear(self):
+        """Delete every cached entry."""
+        for name in os.listdir(self.directory):
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except OSError:
+                    pass
+
+    def __repr__(self):
+        return "{}({!r}, entries={})".format(
+            type(self).__name__, self.directory, len(self))

@@ -34,7 +34,10 @@ checkers must never return a conclusive answer they cannot justify.
 
 from repro.exceptions import ReachEvaluationError, VerificationError
 from repro.petri.compiled import CompiledNet
-from repro.petri.invariants import InvariantBudgetExceeded, compute_semiflows
+from repro.petri.invariants import (
+    InvariantBudgetExceeded,
+    compute_semiflows_cached,
+)
 from repro.petri.reachability import build_reachability_graph
 from repro.reach.ast import ReachExpression
 from repro.reach.evaluator import check_places as evaluator_check_places
@@ -152,10 +155,18 @@ class CheckerContext:
     never explores it at all.
     """
 
-    def __init__(self, net, max_states=200000, engine="auto"):
+    def __init__(self, net, max_states=200000, engine="auto", workers=0,
+                 semiflow_cache=None):
         self.net = net
         self.max_states = max_states
         self.engine = engine
+        #: Worker processes for the exploration of the state space (0/1 =
+        #: sequential).  The sharded graph is bit-identical to the
+        #: sequential one, so verdicts are unaffected by this knob.
+        self.workers = int(workers or 0)
+        #: Optional :class:`~repro.petri.invariants.SemiflowCache` (or cache
+        #: directory) memoising the place-invariant derivation on disk.
+        self.semiflow_cache = semiflow_cache
         self._graph = None
         self._compiled = _UNSET
         self._semiflows = _UNSET
@@ -165,7 +176,8 @@ class CheckerContext:
         """The reachability graph (built on first access)."""
         if self._graph is None:
             self._graph = build_reachability_graph(
-                self.net, max_states=self.max_states, engine=self.engine)
+                self.net, max_states=self.max_states, engine=self.engine,
+                workers=self.workers)
         return self._graph
 
     @property
@@ -181,10 +193,16 @@ class CheckerContext:
 
     @property
     def semiflows(self):
-        """Place invariants of the net (empty when the budget was exceeded)."""
+        """Place invariants of the net (empty when the budget was exceeded).
+
+        Memoised in-process always, and on disk when the context carries a
+        semiflow cache -- warm hits are bit-identical to a cold derivation,
+        including a remembered budget blow-up.
+        """
         if self._semiflows is _UNSET:
             try:
-                self._semiflows = compute_semiflows(self.net)
+                self._semiflows = compute_semiflows_cached(
+                    self.net, cache=self.semiflow_cache)
             except InvariantBudgetExceeded:
                 self._semiflows = []
         return self._semiflows

@@ -7,19 +7,35 @@ because the three are conclusive in complementary regimes: provers answer
 truncation horizon, and exhaustive search answers both ways but only within
 its state budget.
 
-This portfolio runs its members as a cooperative race in deterministic
-order -- cheap structural reasoning first, then the falsifier, then the
-exhaustive engine -- and returns the first conclusive verdict.  (The members
-are pure CPU-bound Python sharing one interpreter, so "racing" them on
-threads would only interleave the same work; a budgeted rotation gives the
-same first-conclusive-verdict semantics deterministically.)  The winning
-member's name is reported as the verdict's ``method``, so campaign records
-and cache entries say *which* engine concluded.  When nobody concludes, the
-outcome summarises every member's reason.
+The portfolio has two execution modes:
+
+* **Budgeted rotation** (default): members run one after the other in
+  deterministic order -- cheap structural reasoning first, then the
+  falsifier, then the exhaustive engine -- and the first conclusive verdict
+  wins.  All members share the context's artefacts (graph, compiled net,
+  invariants), so nothing is computed twice.
+* **True racing** (``race=True``): every member runs in its **own worker
+  process** through the supervised pool of
+  :mod:`repro.parallel.supervisor`; the first conclusive verdict wins and
+  the losing workers are **terminated immediately** instead of running out
+  their budgets.  This is the mode for beyond-horizon workloads on real
+  cores: a deadlock hunt no longer waits for the inductive prover to
+  decline, and an inductive proof no longer waits behind a hopeless
+  exhaustive exploration.  ``race_timeout`` bounds the whole race (seconds).
+  Conclusive verdicts never contradict each other (checker soundness), so
+  which member wins a close race can vary between runs, but never what the
+  verdict says.  Inside a daemonic worker (e.g. a campaign job), where new
+  processes cannot be spawned, the portfolio falls back to rotation
+  transparently.
+
+The winning member's name is reported as the verdict's ``method``, so
+campaign records and cache entries say *which* engine concluded.  When
+nobody concludes, the outcome summarises every member's reason.
 
 Member budgets are configurable per checker::
 
-    PortfolioChecker(context, walk={"walks": 32, "steps": 1024},
+    PortfolioChecker(context, race=True,
+                     walk={"walks": 32, "steps": 1024},
                      inductive={"max_cubes": 10000})
 
 Queries a member does not support simply yield an inconclusive answer and
@@ -28,9 +44,12 @@ decide -- still works through a portfolio without special cases.
 """
 
 from repro.exceptions import ConfigurationError
+from repro.parallel.context import in_daemon_worker
+from repro.parallel.supervisor import run_supervised
 from repro.verification.checkers.base import (
     CHECKERS,
     Checker,
+    CheckerContext,
     CheckerOutcome,
     register_checker,
 )
@@ -39,15 +58,32 @@ from repro.verification.checkers.base import (
 DEFAULT_ORDER = ("inductive", "walk", "exhaustive")
 
 
+def _race_member(net, max_states, engine, workers, semiflow_cache, name,
+                 options, query, max_witnesses):
+    """Worker entry point of a portfolio race: run one member, return its outcome.
+
+    Rebuilds the member's context from plain data (the context artefacts --
+    graph, invariants -- are process-local by design: each racer pays only
+    for the artefacts its own strategy needs).
+    """
+    context = CheckerContext(net, max_states=max_states, engine=engine,
+                             workers=workers, semiflow_cache=semiflow_cache)
+    checker = CHECKERS[name](context, **(options or {}))
+    return checker.check(query, max_witnesses=max_witnesses)
+
+
 @register_checker
 class PortfolioChecker(Checker):
     """First conclusive verdict from a race of complementary checkers."""
 
     name = "portfolio"
 
-    def __init__(self, context, order=DEFAULT_ORDER, **member_options):
+    def __init__(self, context, order=DEFAULT_ORDER, race=False,
+                 race_timeout=None, **member_options):
         super().__init__(context)
         self.order = tuple(order)
+        self.race = bool(race)
+        self.race_timeout = race_timeout
         if self.name in self.order:
             raise ConfigurationError(
                 "a portfolio cannot contain itself (order={!r})".format(
@@ -62,18 +98,65 @@ class PortfolioChecker(Checker):
             raise ConfigurationError(
                 "options given for checker(s) outside the portfolio order: "
                 "{}".format(", ".join(stray)))
+        self.member_options = {name: dict(member_options.get(name) or {})
+                               for name in self.order}
         self.members = [
-            CHECKERS[name](context, **(member_options.get(name) or {}))
+            CHECKERS[name](context, **self.member_options[name])
             for name in self.order
         ]
 
     def check(self, query, max_witnesses=5):
+        if self.race and len(self.members) > 1 and not in_daemon_worker():
+            return self._check_racing(query, max_witnesses)
+        return self._check_rotation(query, max_witnesses)
+
+    # -- budgeted rotation (shared artefacts, deterministic) ------------------
+
+    def _check_rotation(self, query, max_witnesses):
         attempts = []
         for member in self.members:
             outcome = member.check(query, max_witnesses=max_witnesses)
             if outcome.conclusive:
                 return outcome
             attempts.append((member.name, outcome.details))
+        details = "; ".join(
+            "{}: {}".format(name, reason) for name, reason in attempts)
+        return CheckerOutcome(None, method=self.name,
+                              details="no member concluded -- " + details)
+
+    # -- true racing (separate processes, losers cancelled) -------------------
+
+    def _check_racing(self, query, max_witnesses):
+        context = self.context
+        tasks = [
+            (name, _race_member,
+             (context.net, context.max_states, context.engine,
+              0, context.semiflow_cache, name,
+              self.member_options[name], query, max_witnesses))
+            for name in self.order
+        ]
+        outcomes = run_supervised(
+            tasks, parallelism=len(tasks), timeout=self.race_timeout,
+            stop_when=lambda outcome: (outcome.ok
+                                       and outcome.payload.conclusive))
+        by_name = {outcome.task_id: outcome for outcome in outcomes}
+        for outcome in outcomes:
+            if outcome.ok and outcome.payload.conclusive:
+                winner = outcome.payload
+                losers = ", ".join(
+                    "{} {}".format(name, by_name[name].status)
+                    for name in self.order if name != outcome.task_id)
+                winner.details = "{} [won the race; {}]".format(
+                    winner.details, losers or "no other members")
+                return winner
+        attempts = []
+        for name in self.order:
+            outcome = by_name[name]
+            if outcome.ok:
+                attempts.append((name, outcome.payload.details))
+            else:
+                attempts.append((name, "worker {}: {}".format(
+                    outcome.status, outcome.error or "no detail")))
         details = "; ".join(
             "{}: {}".format(name, reason) for name, reason in attempts)
         return CheckerOutcome(None, method=self.name,

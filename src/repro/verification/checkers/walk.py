@@ -19,6 +19,15 @@ enabled transitions (when hunting deadlocks -- corners of the state space)
 or maximises satisfied bad-cube literals (when hunting Reach violations),
 which in practice finds injected-hole deadlocks orders of magnitude faster
 than uniform wandering.
+
+Walks are additionally **counterexample-guided**: the checker keeps the
+top-``restarts`` best-scoring *near-miss* states seen so far (with the
+prefix trace that reached them) and restarts every other walk from one of
+them instead of from the initial marking.  A walk that got close to a bad
+cube -- or into a sparsely-enabled corner, for deadlock hunts -- thereby
+becomes the launch pad of the next walk, which deepens falsification
+coverage well beyond the per-walk step budget while staying fully
+deterministic per seed.
 """
 
 from repro.chip.lfsr import Lfsr
@@ -36,13 +45,17 @@ class RandomWalkChecker(Checker):
     name = "walk"
 
     def __init__(self, context, walks=8, steps=256, seed=0xACE1,
-                 guidance=0.5, dnf_limit=64):
+                 guidance=0.5, dnf_limit=64, restarts=4):
         super().__init__(context)
         self.walks = int(walks)
         self.steps = int(steps)
         self.seed = int(seed)
         self.guidance = float(guidance)
         self.dnf_limit = int(dnf_limit)
+        #: Size of the near-miss pool for counterexample-guided restarts
+        #: (``0`` disables restarting: every walk starts at the initial
+        #: marking, the pre-restart behaviour).
+        self.restarts = int(restarts)
 
     # -- queries -------------------------------------------------------------
 
@@ -145,9 +158,36 @@ class RandomWalkChecker(Checker):
                 witnesses.append({"marking": compiled.decode(state),
                                   "trace": list(trace)})
 
-        for _ in range(self.walks):
+        # Counterexample-guided restarts: the top-k best-scoring (lowest
+        # rank) near-miss prefixes seen so far, as (rank, state, trace).
+        pool = []
+        pool_states = set()
+        track_near_misses = self.restarts > 0 and score is not None
+
+        def remember(rank, state, trace):
+            if state in pool_states:
+                return
+            if len(pool) >= self.restarts:
+                worst = max(range(len(pool)), key=lambda i: pool[i][0])
+                if pool[worst][0] <= rank:
+                    return
+                pool_states.discard(pool[worst][1])
+                del pool[worst]
+            pool_states.add(state)
+            pool.append((rank, state, trace))
+
+        for walk_index in range(self.walks):
             state = initial
             trace = []
+            if pool and walk_index % 2:
+                # Every other walk launches from a stored near-miss prefix
+                # instead of the initial marking (LFSR-chosen, so restart
+                # coverage sweeps with the seed like everything else).
+                rank, near_state, near_trace = pool[lfsr.next() % len(pool)]
+                if near_state not in witnessed_states:
+                    state = near_state
+                    trace = list(near_trace)
+            best = None
             for _ in range(self.steps):
                 if predicate is not None and predicate(state):
                     witness(state, trace)
@@ -157,6 +197,10 @@ class RandomWalkChecker(Checker):
                     if stop_in_deadlock:
                         witness(state, trace)
                     break
+                if track_near_misses:
+                    rank = score(compiled, state)
+                    if best is None or rank < best[0]:
+                        best = (rank, state, list(trace))
                 draw = lfsr.next()
                 try:
                     transition, state = self._step(
@@ -175,6 +219,8 @@ class RandomWalkChecker(Checker):
                         "firing {!r} overflows place {!r}".format(
                             overflow.transition, overflow.place)))
                 trace.append(names[transition])
+            if best is not None:
+                remember(*best)
             if len(witnesses) >= max_witnesses:
                 break
         return witnesses or None

@@ -68,7 +68,13 @@ class Verifier:
     ``"auto"`` compiles 1-safe nets to the bitmask engine of
     :mod:`repro.petri.compiled` and falls back to the explicit explorer,
     ``"compiled"`` fails loudly instead of falling back, ``"explicit"``
-    forces the hash-dict explorer.
+    forces the hash-dict explorer.  *workers* > 1 runs the compiled
+    exploration sharded across worker processes
+    (:mod:`repro.parallel.sharded`) -- the graph, and therefore every
+    verdict, is bit-identical to the sequential one.  *semiflow_cache*
+    memoises the place-invariant derivation on disk
+    (:class:`~repro.petri.invariants.SemiflowCache`), which makes inductive
+    sweeps over structurally stable families near-free on warm runs.
 
     *checker_options* maps checker names to keyword options for their
     construction (e.g. ``{"walk": {"walks": 32, "steps": 1024}}``);
@@ -94,10 +100,17 @@ class Verifier:
 
     def __init__(self, dfs, max_states=200000, engine="auto", net=None,
                  checker="exhaustive", checker_options=None,
-                 checker_overrides=None):
+                 checker_overrides=None, workers=0, semiflow_cache=None):
         self.dfs = dfs
         self.max_states = max_states
         self.engine = engine
+        #: Worker processes for state-space exploration (0/1 = sequential).
+        #: The sharded graph is bit-identical to the sequential one, so this
+        #: changes wall-clock, never verdicts.
+        self.workers = int(workers or 0)
+        #: Optional on-disk memo of the place-invariant derivation (a
+        #: :class:`~repro.petri.invariants.SemiflowCache` or directory).
+        self.semiflow_cache = semiflow_cache
         if checker not in CHECKERS:
             raise VerificationError(
                 "unknown checker {!r} (known: {})".format(
@@ -137,7 +150,8 @@ class Verifier:
         """The shared checker context (graph, compiled net, invariants)."""
         if self._context is None:
             self._context = CheckerContext(
-                self.net, max_states=self.max_states, engine=self.engine)
+                self.net, max_states=self.max_states, engine=self.engine,
+                workers=self.workers, semiflow_cache=self.semiflow_cache)
         return self._context
 
     @property

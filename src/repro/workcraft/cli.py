@@ -78,10 +78,31 @@ def _command_validate(args):
     return 1 if has_errors(issues) else 0
 
 
+def _resolve_checker(args):
+    """The effective (checker, checker_options) of ``--checker``/``--race``.
+
+    ``--race`` turns the portfolio's budgeted rotation into a true process
+    race; it implies ``--checker portfolio`` when no checker was named and
+    rejects any other explicit choice.
+    """
+    checker = args.checker
+    options = {}
+    if args.race:
+        if checker not in (None, "portfolio"):
+            raise SystemExit(
+                "--race races the portfolio's members; it cannot be combined "
+                "with --checker {}".format(checker))
+        checker = "portfolio"
+        options["portfolio"] = {"race": True}
+    return checker or "exhaustive", options
+
+
 def _command_verify(args):
     dfs = _load_model(args)
+    checker, checker_options = _resolve_checker(args)
     verifier = Verifier(dfs, max_states=args.max_states, engine=args.engine,
-                        checker=args.checker)
+                        checker=checker, checker_options=checker_options,
+                        workers=args.workers)
     summary = verifier.verify_all(include_persistence=not args.no_persistence)
     print(summary.report())
     return 0 if summary.passed else 1
@@ -190,6 +211,7 @@ def _command_campaign(args):
         raise SystemExit(
             "unknown --properties value(s): {} (known: {})".format(
                 ", ".join(unknown) or "(none given)", ", ".join(sorted(known))))
+    checker, checker_options = _resolve_checker(args)
     spec = ScenarioSpec(
         depths=axes.get("depths", (2, 3)),
         static_prefixes=axes.get("static_prefixes", (1,)),
@@ -200,9 +222,11 @@ def _command_campaign(args):
         properties=properties,
         engine=args.engine,
         max_states=args.max_states,
-        checker=args.checker,
+        checker=checker,
+        checker_options=checker_options,
         custom_properties=custom,
         simulate_steps=args.simulate_steps,
+        workers=args.workers,
     )
     jobs, skipped = generate_scenarios(spec)
     # Fail on unwritable report locations *before* spending the campaign.
@@ -255,13 +279,21 @@ def build_parser():
     verify = subparsers.add_parser("verify", help="run formal verification")
     _add_model_arguments(verify)
     verify.add_argument("--max-states", type=int, default=200000)
-    verify.add_argument("--checker", choices=sorted(CHECKERS), default="exhaustive",
+    verify.add_argument("--checker", choices=sorted(CHECKERS), default=None,
                         help="verification engine: exhaustive exploration, "
                              "inductive proving, random-walk falsification, "
                              "or a portfolio race (default exhaustive)")
     verify.add_argument("--engine", choices=("auto", "compiled", "explicit"),
                         default="auto",
                         help="state-space engine of the exhaustive path")
+    verify.add_argument("--workers", type=int, default=0,
+                        help="worker processes for sharded state-space "
+                             "exploration (default 0: sequential; the "
+                             "sharded graph is bit-identical)")
+    verify.add_argument("--race", action="store_true",
+                        help="race the portfolio members in separate "
+                             "processes, first conclusive verdict wins "
+                             "(implies --checker portfolio)")
     verify.add_argument("--no-persistence", action="store_true",
                         help="skip the (slower) persistence check")
     verify.set_defaults(handler=_command_verify)
@@ -297,8 +329,16 @@ def build_parser():
     campaign.add_argument("--engine", choices=("auto", "compiled", "explicit"),
                           default="auto")
     campaign.add_argument("--checker", choices=sorted(CHECKERS),
-                          default="exhaustive",
+                          default=None,
                           help="verification engine per job (default exhaustive)")
+    campaign.add_argument("--race", action="store_true",
+                          help="race the portfolio members per job (implies "
+                               "--checker portfolio; effective with --jobs 0, "
+                               "pool workers fall back to rotation)")
+    campaign.add_argument("--workers", type=int, default=0,
+                          help="sharded-exploration workers per job "
+                               "(effective with --jobs 0; pool workers fall "
+                               "back to sequential exploration)")
     campaign.add_argument("--custom", action="append", metavar="NAME=EXPR",
                           help="define a named custom Reach property "
                                "(repeatable); reference it in --properties")
