@@ -1,7 +1,16 @@
-"""The parallel verification path: sharded BFS, racing, invariant caching.
+"""The parallel verification path: batch engine, sharded BFS, racing, caches.
 
-Three claims of the parallel-engine work are measured and gated here:
+Four claims of the parallel/array-native engine work are measured and gated
+here:
 
+* **Whole-frontier batch exploration** (the NumPy engine of
+  :mod:`repro.petri.batch`) produces a graph bit-identical to the
+  sequential compiled engine while expanding entire BFS levels per step --
+  the committed baseline records the speedup over the pure-int engine on
+  the 300k-state 4-stage exploration (>= 3x against the PR-4 2.67s
+  reference), with states/sec and per-state RSS in the BENCH JSON.
+  ``check_regression.py`` gates the batch/sequential ratio, so a >30%
+  throughput regression of the batch path fails CI.
 * **Sharded exploration** produces a graph bit-identical to the sequential
   compiled engine while spreading the firing/dedup work across worker
   processes.  The wall-clock ratio is machine-dependent -- on a single-core
@@ -9,9 +18,7 @@ Three claims of the parallel-engine work are measured and gated here:
   win back, which the ``cores`` column makes explicit; on >= 4 cores it is
   expected to finish at least ~2x ahead of sequential on multi-million-state
   workloads (run with ``REPRO_BENCH_FULL=1`` for the full-size measurement).
-  ``check_regression.py`` gates the sharded/sequential ratio against the
-  committed baseline, so coordination-overhead regressions fail CI even on
-  one core.
+  The requester-side resolution memo's hit rate is reported alongside.
 * **Racing portfolios** answer beyond-horizon queries with the same verdict
   as the budgeted rotation while cancelling the losing engines mid-flight.
 * **The semiflow cache** makes warm inductive sweeps near-free: a warm hit
@@ -25,13 +32,15 @@ import time
 import pytest
 
 from repro.campaign.jobs import build_pipeline_model
+from repro.dfs.examples import token_ring
 from repro.dfs.translation import to_petri_net
 from repro.parallel.sharded import explore_sharded
+from repro.petri.batch import explore_batch, numpy_available
 from repro.petri.compiled import CompiledNet, explore_compiled
 from repro.petri.invariants import SemiflowCache, compute_semiflows_cached
 from repro.verification.verifier import Verifier
 
-from .conftest import print_table
+from .conftest import print_table, throughput_metrics
 
 #: Exploration bound of the always-on sharded comparison (the full-size
 #: acceptance measurement, REPRO_BENCH_FULL=1, explores 2M states instead).
@@ -57,24 +66,68 @@ def _sharded_rows(compiled, max_states):
     start = time.perf_counter()
     sequential = explore_compiled(compiled, max_states=max_states)
     sequential_seconds = time.perf_counter() - start
-    rows = [{
+    rows = [dict({
         "mode": "sequential", "states": len(sequential),
         "edges": sequential.edge_count(), "cores": cores,
         "seconds": sequential_seconds, "speedup": 1.0,
-    }]
+    }, **throughput_metrics(len(sequential), sequential_seconds))]
     for workers in (2, 4):
         start = time.perf_counter()
         sharded = explore_sharded(compiled, max_states=max_states,
                                   workers=workers)
         seconds = time.perf_counter() - start
         _assert_identical(sequential, sharded)
-        rows.append({
+        rows.append(dict({
             "mode": "sharded-{}".format(workers), "states": len(sharded),
             "edges": sharded.edge_count(), "cores": cores,
             "seconds": seconds, "speedup": sequential_seconds / seconds,
-        })
+        }, **throughput_metrics(len(sharded), seconds)))
         del sharded
     return rows
+
+
+#: The acceptance horizon of the batch-engine comparison: the 300k-state
+#: 4-stage exploration the PR-4 baseline clocked at 2.67s sequential.
+BATCH_HORIZON = 300000
+
+
+@pytest.mark.skipif(not numpy_available(),
+                    reason="the batch engine needs the optional NumPy extra")
+def test_batch_exploration_bit_identical_and_gated():
+    """Whole-frontier batch expansion vs the per-transition compiled loop."""
+    compiled = _compiled_pipeline()
+    start = time.perf_counter()
+    sequential = explore_compiled(compiled, max_states=BATCH_HORIZON)
+    sequential_seconds = time.perf_counter() - start
+    # Best of two: the first batch run pays NumPy's lazy-init warmup.
+    batch_seconds = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        batch = explore_batch(compiled, max_states=BATCH_HORIZON)
+        batch_seconds = min(batch_seconds, time.perf_counter() - start)
+    assert batch._mask_states == sequential._mask_states
+    assert batch._mask_edges == sequential._mask_edges
+    assert batch._parents == sequential._parents
+    assert batch._frontier_indices == sequential._frontier_indices
+    assert batch.truncated == sequential.truncated
+    rows = [
+        dict({"engine": "sequential", "states": len(sequential),
+              "edges": sequential.edge_count(), "seconds": sequential_seconds,
+              "speedup": 1.0},
+             **throughput_metrics(len(sequential), sequential_seconds,
+                                  graph=sequential)),
+        dict({"engine": "batch", "states": len(batch),
+              "edges": batch.edge_count(), "seconds": batch_seconds,
+              "speedup": sequential_seconds / batch_seconds},
+             **throughput_metrics(len(batch), batch_seconds, graph=batch)),
+    ]
+    print_table(
+        "batch exploration comparison (4-stage OPE, max_states={})".format(
+            BATCH_HORIZON), rows)
+    # The batch engine must beat the per-transition loop outright on this
+    # workload; the exact ratio is gated by check_regression.py against the
+    # committed baseline (>=3x vs the PR-4 2.67s sequential reference).
+    assert batch_seconds < sequential_seconds
 
 
 def test_sharded_exploration_bit_identical_and_gated():
@@ -86,6 +139,40 @@ def test_sharded_exploration_bit_identical_and_gated():
     # Identity is asserted inside _sharded_rows; the wall-clock ratio is
     # gated against the committed baseline by check_regression.py (absolute
     # speedup is a property of the runner's core count, not of the code).
+
+
+def test_exchange_memo_hit_rate():
+    """The requester-side memo answers cross-level re-references locally."""
+    compiled = CompiledNet.compile(
+        to_petri_net(token_ring(registers=6, tokens=2)))
+    sequential = explore_compiled(compiled)
+    rows = []
+    graphs = {}
+    for label, memo_size in (("memo-off", 0), ("memo-on", None)):
+        start = time.perf_counter()
+        sharded = explore_sharded(compiled, workers=3, memo_size=memo_size)
+        seconds = time.perf_counter() - start
+        stats = sharded.exchange_stats
+        graphs[label] = sharded
+        rows.append({
+            "mode": label,
+            "foreign_refs": stats["foreign_refs"],
+            "memo_hits": stats["memo_hits"],
+            "hit_rate": (stats["memo_hits"] / stats["foreign_refs"]
+                         if stats["foreign_refs"] else 0.0),
+            "chunk_messages": stats["chunk_messages"],
+            "seconds": seconds,
+        })
+    print_table("sharded exchange memo (6-register ring, 2 tokens)", rows)
+    for label, sharded in graphs.items():
+        assert sharded._mask_states == sequential._mask_states, label
+        assert sharded._mask_edges == sequential._mask_edges, label
+    by_mode = {row["mode"]: row for row in rows}
+    assert by_mode["memo-off"]["memo_hits"] == 0
+    assert by_mode["memo-on"]["memo_hits"] > 0
+    # A hit is an exchange record that never crossed a pipe.
+    assert by_mode["memo-on"]["foreign_refs"] == \
+        by_mode["memo-off"]["foreign_refs"]
 
 
 @pytest.mark.skipif(

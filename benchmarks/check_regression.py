@@ -64,6 +64,16 @@ GATES = [
         "tolerance": 0.60,
     },
     {
+        # The batch/sequential seconds ratio *is* the (inverse) throughput
+        # ratio: a >30% drop of the batch engine's states/sec relative to
+        # the in-process sequential reference fails this gate.
+        "table": "batch exploration comparison",
+        "key": "engine",
+        "reference": "sequential",
+        "gated": "batch",
+        "label": "batch exploration throughput",
+    },
+    {
         "table": "semiflow cache",
         "key": "mode",
         "reference": "cold",

@@ -11,14 +11,21 @@ Machine-readable results
 Passing ``--json DIR`` (or setting the ``BENCH_JSON`` environment variable)
 makes the session write one ``BENCH_<name>.json`` per benchmark module into
 *DIR*, containing every table the module printed (timings, state counts,
-speedups -- whatever the rows held) plus per-test call durations.  CI
-uploads these files as artifacts and feeds them to
-``benchmarks/check_regression.py``.
+speedups -- whatever the rows held) plus per-test call durations and the
+session's resource footprint (``peak_rss_kb``).  Exploration benches report
+throughput through :func:`throughput_metrics` (states/sec and peak RSS
+amortised per state).  CI uploads these files as artifacts and feeds them
+to ``benchmarks/check_regression.py``.
 """
 
 import json
 import os
 import sys
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - Windows
+    resource = None
 
 #: module name -> list of {"title": ..., "rows": [...]} in print order.
 _TABLES = {}
@@ -62,6 +69,61 @@ def _format(value):
     return str(value)
 
 
+def peak_rss_kb():
+    """Peak resident-set size of this process in KiB (0 when unavailable)."""
+    if resource is None:
+        return 0
+    peak = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":
+        peak //= 1024  # ru_maxrss is bytes on macOS, KiB elsewhere
+    return peak
+
+
+def graph_bytes(graph):
+    """Resident bytes of a reachability graph's core storage.
+
+    Columnar graphs (``repro.petri.batch``) report the exact ``nbytes`` of
+    their arrays; list-based compiled graphs sum ``sys.getsizeof`` over the
+    state/edge/parent structures.  Unlike peak RSS (a process-wide
+    monotonic high-water mark), this is a per-graph measure, so the
+    sequential and batch rows of one bench genuinely differ by the
+    columnar storage win.
+    """
+    arrays = [getattr(graph, name, None)
+              for name in ("_words", "_edge_data", "_edge_offsets",
+                           "_parents_arr", "_frontier_arr",
+                           "_hash_keys", "_hash_idx")]
+    if arrays[0] is not None:
+        return sum(array.nbytes for array in arrays if array is not None)
+    states = graph._mask_states
+    edges = graph._mask_edges
+    parents = graph._parents
+    total = (sys.getsizeof(states) + sys.getsizeof(edges)
+             + sys.getsizeof(parents))
+    total += sum(sys.getsizeof(state) for state in states)
+    total += sum(sys.getsizeof(edge_list)
+                 + sum(sys.getsizeof(edge) for edge in edge_list)
+                 for edge_list in edges)
+    total += sum(sys.getsizeof(parent) for parent in parents
+                 if parent is not None)
+    return total
+
+
+def throughput_metrics(states, seconds, graph=None):
+    """Throughput/memory columns shared by the exploration benches.
+
+    ``states_per_sec`` is the wall-clock exploration rate; with *graph*
+    given, ``graph_bytes_per_state`` amortises the graph's core storage
+    (:func:`graph_bytes`) over its states -- the per-state memory the
+    columnar storage is meant to cut.  The session-wide peak RSS lands in
+    the BENCH JSON as ``peak_rss_kb``.
+    """
+    metrics = {"states_per_sec": states / seconds if seconds else 0.0}
+    if graph is not None and states:
+        metrics["graph_bytes_per_state"] = graph_bytes(graph) / states
+    return metrics
+
+
 # -- machine-readable session report ----------------------------------------
 
 
@@ -99,6 +161,7 @@ def pytest_sessionfinish(session):
             "bench": module,
             "tables": _TABLES.get(module, []),
             "durations": _DURATIONS.get(module, {}),
+            "peak_rss_kb": peak_rss_kb(),
         }
         path = os.path.join(directory, "BENCH_{}.json".format(module))
         with open(path, "w", encoding="utf-8") as handle:

@@ -1,10 +1,11 @@
 """Sharded frontier-partitioned BFS over the compiled bitmask relation.
 
-The sequential explorer (:func:`repro.petri.compiled.explore_compiled`) is
-bounded by one core: every enabled-set update, every firing and -- the real
-limiter at scale -- every dedup probe of the ever-growing state index runs
-in one process.  This module distributes all three across shard workers
-while keeping the resulting graph **bit-identical**: same states in the same
+The sequential explorers (:func:`repro.petri.compiled.explore_compiled` and
+the array-native :func:`repro.petri.batch.explore_batch`) are bounded by one
+core: every enabled-set update, every firing and -- the real limiter at
+scale -- every dedup probe of the ever-growing state index runs in one
+process.  This module distributes all three across shard workers while
+keeping the resulting graph **bit-identical**: same states in the same
 discovery order, same packed edge lists, same BFS parents (hence traces),
 same frontier and truncation behaviour, so every property verdict computed
 on a sharded graph equals the sequential one exactly.
@@ -16,13 +17,31 @@ Architecture
   belongs to the worker ``hash(state) % workers`` (Python's int hash, so the
   partition is reproducible).  Each worker keeps the index of *its* states
   only -- dedup, the memory hog of explicit exploration, is thereby both
-  parallelised and partitioned.
-* **Cross-shard successors are exchanged in batches.**  Expanding a level,
-  a worker resolves own-shard successors against its local index and sends
-  every foreign successor to that successor's owner in one batch per level
-  (relayed by the coordinator, which never parses them).  The owner dedups
-  against its shard and answers with a *resolution stream* -- a known global
-  index, or a shard-local id for a newly discovered state.
+  parallelised and partitioned.  Workers expand **vectorised** whenever the
+  optional NumPy extra is importable (:class:`_BatchShardWorker`, built on
+  the primitives of :mod:`repro.petri.batch`, including a vectorised
+  :func:`shard_of` over whole successor batches); without NumPy the
+  pure-int backend (:class:`_IntShardWorker`) runs the same wire protocol,
+  so the two interoperate and produce identical graphs.
+* **Cross-shard successors stream in chunks within a level.**  Expanding a
+  level, a worker resolves own-shard successors against its local index and
+  ships every foreign successor to that successor's owner.  Instead of one
+  batch per level, the outboxes are flushed every ``chunk_states`` expanded
+  states (relayed by the coordinator, which never parses them), and between
+  flushes the worker drains and resolves whatever inbound chunks have
+  already arrived -- so inbound-batch resolution overlaps expansion instead
+  of serialising behind the level barrier.  The last chunk of a level
+  carries a *final* marker; a worker's level is done when its own expansion
+  is finished and every peer's final chunk has been resolved.
+* **A bounded requester-side memo short-circuits re-converging edges.**
+  After each level the coordinator feeds every worker the final global
+  indices its shipped foreign states resolved to (``_MSG_MEMO``); the
+  worker keeps a bounded memo of those resolutions and, on the next
+  encounter of a memoised state, emits the final packed edge directly --
+  no outbox entry, no owner-side probe, no resolution-stream slot.  Only
+  admitted states enter the memo, so a hit is exactly the edge the owner
+  would have answered and the graph stays bit-identical.  Hit counters are
+  aggregated into ``graph.exchange_stats``.
 * **The coordinator replays only admissions, not edges.**  New states are
   admitted in the exact order the sequential BFS would discover them: every
   candidate carries its provenance ``parent_index << 16 | transition``, the
@@ -33,17 +52,16 @@ Architecture
   parsed at C speed; the coordinator's per-edge Python work is a single
   append for resolved edges.
 
-The per-level message round trip is: coordinator sends admission
-assignments, workers expand and exchange successor batches, workers report
-(edge stream, resolution streams, new-state candidates), coordinator admits
-and merges.  A 1-safeness overflow detected by a worker aborts the
-exploration with the same :class:`~repro.exceptions.SafenessOverflowError`
-the sequential engine raises (under ``engine="auto"`` the caller then falls
-back to the explicit explorer, exactly as before).
+A 1-safeness overflow detected by a worker aborts the exploration with the
+same :class:`~repro.exceptions.SafenessOverflowError` the sequential engine
+raises (under ``engine="auto"`` the caller then falls back to the explicit
+explorer, exactly as before).
 """
 
 import os
 import threading
+from array import array
+from collections import deque
 from multiprocessing.connection import wait as connection_wait
 
 from repro.exceptions import SafenessOverflowError, VerificationError
@@ -63,13 +81,21 @@ _FULL_SCAN = 0xFFFF
 #: Message type prefixes (coordinator -> worker).
 _MSG_SEED = 0x53        # "S": level-0 seed (initial state)
 _MSG_ASSIGN = 0x41      # "A": admission assignments for the previous level
-_MSG_RELAY = 0x52       # "R": relayed successor batch from another shard
+_MSG_RELAY = 0x52       # "R": relayed successor chunk from another shard
+_MSG_MEMO = 0x4D        # "M": resolutions of last level's shipped states
 _MSG_QUIT = 0x51        # "Q": shutdown
 
 #: Worker -> coordinator message prefixes.
-_MSG_OUTBOX = 0x4F      # "O": per-destination successor batches
+_MSG_CHUNK = 0x43       # "C": per-destination successor chunk (+final flag)
 _MSG_REPORT = 0x45      # "E": edge stream + resolutions + candidates
 _MSG_OVERFLOW = 0x56    # "V": 1-safeness overflow (transition, place)
+
+#: Default bound of the requester-side resolution memo (entries per worker).
+_DEFAULT_MEMO = 1 << 16
+
+#: Default expansion chunk (states per outbox flush); REPRO_SHARD_CHUNK
+#: overrides it, letting tests force many small chunks per level.
+_DEFAULT_CHUNK = 2048
 
 
 def _pack_sections(sections):
@@ -98,9 +124,22 @@ def shard_of(state, workers):
 
     ``hash`` of a Python int is deterministic (no ``PYTHONHASHSEED``
     dependence), so the partition -- and with it the exact batch layout of
-    the exchange -- is reproducible run to run.
+    the exchange -- is reproducible run to run.  The batch workers compute
+    the same partition vectorised with
+    :func:`repro.petri.batch.shard_rows`.
     """
     return hash(state) % workers
+
+
+def _state_row_width(place_count):
+    """Bytes of one state on the wire: whole little-endian 64-bit words.
+
+    Both worker backends and the coordinator derive the width from this one
+    helper, so the pure-int and NumPy backends stay wire-compatible (the
+    batch workers serialise state rows with ``ndarray.tobytes``, which
+    emits whole words).
+    """
+    return 8 * max(1, (place_count + 63) // 64)
 
 
 class _ShardTables:
@@ -118,30 +157,30 @@ class _ShardTables:
         self.transition_count = len(compiled.transition_names)
 
 
-class _ShardWorker:
-    """One shard: local state index, expansion, and successor resolution.
+class _ShardWorkerBase:
+    """Shared level protocol of both worker backends.
 
-    Per level the worker expands the states admitted to its shard (in global
-    discovery order), emits one packed edge stream, one successor batch per
-    foreign shard, one resolution stream per requesting shard, and the list
-    of its newly discovered (pending) states with min-provenance -- see the
-    module docstring for how the coordinator stitches these together.
+    Subclasses provide the expansion/resolution machinery through the
+    ``_seed`` / ``_apply_assignments`` / ``_begin_level`` /
+    ``_expansion_size`` / ``_expand_chunk`` / ``_resolve_inbound`` /
+    ``_apply_memo`` / ``_report`` hooks; this base class owns the message
+    loop, the chunked flush/drain cycle and the final-marker accounting.
     """
 
-    def __init__(self, connection, tables, worker_id, workers):
+    def __init__(self, connection, tables, worker_id, workers, memo_size,
+                 chunk_states):
         self.connection = connection
         self.tables = tables
         self.worker_id = worker_id
         self.workers = workers
-        self.state_width = (tables.place_count + 7) // 8
-        self.pairs = expand_watch_pairs(tables.need, tables.affected)
-        self.local_index = {}   # own-shard state -> global index
-        self.pending = {}       # own-shard state -> pending id (this level)
-        self.records = []       # pending id -> (state, parent_mask, transition)
-        self.provenance = []    # pending id -> min provenance
-        self.expansion = []     # (global index, state, parent_mask, transition)
-
-    # -- per-level protocol ---------------------------------------------------
+        self.memo_size = memo_size
+        self.chunk_states = max(1, int(chunk_states))
+        self.row_width = _state_row_width(tables.place_count)
+        self.mask_width = (tables.transition_count + 7) // 8
+        self.shipped_history = deque()
+        self.finals_received = 0
+        self.level_memo_hits = 0
+        self.level_foreign = 0
 
     def run(self):
         connection = self.connection
@@ -150,12 +189,13 @@ class _ShardWorker:
             kind = message[0]
             if kind == _MSG_QUIT:
                 return
+            if kind == _MSG_MEMO:
+                self._apply_memo(memoryview(message)[1:])
+                continue
             if kind == _MSG_SEED:
-                state = int.from_bytes(message[1:], "little")
-                self.local_index[state] = 0
-                self.expansion = [(0, state, 0, _FULL_SCAN)]
+                self._seed(int.from_bytes(message[1:], "little"))
             elif kind == _MSG_ASSIGN:
-                self._apply_assignments(message)
+                self._apply_assignments(memoryview(message)[1:])
             else:
                 raise VerificationError(
                     "shard worker received unexpected message {!r}".format(kind))
@@ -171,12 +211,97 @@ class _ShardWorker:
                 return  # the coordinator shut the exploration down mid-level
             connection.send_bytes(report)
 
-    def _apply_assignments(self, message):
-        """Admission results for last level's pendings; queue the admitted."""
-        from array import array
+    def _expand_and_exchange(self):
+        self.finals_received = 0
+        self.level_memo_hits = 0
+        self.level_foreign = 0
+        self._begin_level()
+        connection = self.connection
+        total = self._expansion_size()
+        chunk_states = self.chunk_states
+        start = 0
+        while start < total:
+            stop = min(total, start + chunk_states)
+            outboxes = self._expand_chunk(start, stop)
+            final = 1 if stop >= total else 0
+            connection.send_bytes(bytes([_MSG_CHUNK, final])
+                                  + _pack_sections(outboxes))
+            start = stop
+            # Overlap: resolve whatever inbound chunks already arrived
+            # before expanding the next slice of our own frontier.
+            if not self._drain_inbound(block=False):
+                return None
+        if total == 0:
+            connection.send_bytes(bytes([_MSG_CHUNK, 1])
+                                  + _pack_sections([b""] * self.workers))
+        if not self._drain_inbound(block=True):
+            return None
+        if self.memo_size and self.shipped:
+            self.shipped_history.append(self.shipped)
+            self.shipped = []
+        return self._report()
 
+    def _drain_inbound(self, block):
+        """Resolve queued relays; ``False`` when the coordinator quit."""
+        connection = self.connection
+        while True:
+            if block:
+                if self.finals_received >= self.workers - 1:
+                    return True
+            elif not connection.poll(0):
+                return True
+            message = connection.recv_bytes()
+            kind = message[0]
+            if kind == _MSG_QUIT:
+                # The coordinator aborted the level (e.g. another shard hit
+                # a 1-safeness overflow); exit quietly instead of waiting
+                # for relays that will never come.
+                return False
+            if kind == _MSG_MEMO:
+                self._apply_memo(memoryview(message)[1:])
+            elif kind == _MSG_RELAY:
+                payload = memoryview(message)[3:]
+                if len(payload):
+                    self._resolve_inbound(message[1], payload)
+                if message[2]:
+                    self.finals_received += 1
+            else:
+                raise VerificationError(
+                    "shard worker expected a relay, got {!r}".format(kind))
+
+
+class _IntShardWorker(_ShardWorkerBase):
+    """One shard on the pure-int backend: the no-NumPy fallback.
+
+    Per level the worker expands the states admitted to its shard (in global
+    discovery order), emits one packed edge stream, chunked successor
+    batches per foreign shard, one resolution stream per requesting shard,
+    and the list of its newly discovered (pending) states with
+    min-provenance -- see the module docstring for how the coordinator
+    stitches these together.
+    """
+
+    def __init__(self, connection, tables, worker_id, workers, memo_size,
+                 chunk_states):
+        super().__init__(connection, tables, worker_id, workers, memo_size,
+                         chunk_states)
+        self.pairs = expand_watch_pairs(tables.need, tables.affected)
+        self.local_index = {}   # own-shard state -> global index
+        self.pending = {}       # own-shard state -> pending id (this level)
+        self.records = []       # pending id -> (state, parent_mask, transition)
+        self.provenance = []    # pending id -> min provenance
+        self.expansion = []     # (global index, state, parent_mask, transition)
+        self.memo = {}          # foreign state -> global index (LRU-bounded)
+        self.shipped = []       # foreign states shipped this level, in order
+
+    def _seed(self, state):
+        self.local_index[state] = 0
+        self.expansion = [(0, state, 0, _FULL_SCAN)]
+
+    def _apply_assignments(self, payload):
+        """Admission results for last level's pendings; queue the admitted."""
         assigned = array("q")
-        assigned.frombytes(memoryview(message)[1:])
+        assigned.frombytes(payload)
         records = self.records
         local_index = self.local_index
         expansion = []
@@ -193,37 +318,59 @@ class _ShardWorker:
         self.records = []
         self.provenance = []
 
-    def _expand_and_exchange(self):
-        from array import array
+    def _apply_memo(self, payload):
+        resolutions = array("q")
+        resolutions.frombytes(payload)
+        shipped = self.shipped_history.popleft()
+        memo = self.memo
+        memo_size = self.memo_size
+        for state, index in zip(shipped, resolutions):
+            if index >= 0:
+                if state in memo:
+                    del memo[state]
+                memo[state] = index
+        while len(memo) > memo_size:
+            del memo[next(iter(memo))]
 
+    def _begin_level(self):
+        self.counts = array("H")
+        self.edges = array("q")
+        self.resolutions = [array("q") for _ in range(self.workers)]
+        self.shipped = []
+
+    def _expansion_size(self):
+        return len(self.expansion)
+
+    def _expand_chunk(self, start, stop):
         tables = self.tables
         consume = tables.consume
         produce = tables.produce
         need = tables.need
         pairs = self.pairs
-        state_width = self.state_width
-        mask_width = (tables.transition_count + 7) // 8
+        row_width = self.row_width
+        mask_width = self.mask_width
         worker_id = self.worker_id
         workers = self.workers
-        connection = self.connection
-        local_index = self.local_index
-        local_index_get = local_index.get
+        local_index_get = self.local_index.get
         pending = self.pending
         pending_get = pending.get
         records = self.records
         records_append = records.append
         provenance_list = self.provenance
         provenance_append = provenance_list.append
-
-        counts = array("H")
-        counts_append = counts.append
-        edges = array("q")
-        edges_append = edges.append
+        counts_append = self.counts.append
+        edges_append = self.edges.append
+        own_resolutions_append = self.resolutions[worker_id].append
+        memo = self.memo
+        memo_get = memo.get
+        memo_pop = memo.pop
+        memo_enabled = self.memo_size > 0
+        shipped_append = self.shipped.append
         outboxes = [bytearray() for _ in range(workers)]
-        resolutions = [array("q") for _ in range(workers)]
-        own_resolutions_append = resolutions[worker_id].append
+        foreign = 0
+        memo_hits = 0
 
-        for current, state, parent_mask, transition in self.expansion:
+        for current, state, parent_mask, transition in self.expansion[start:stop]:
             if transition == _FULL_SCAN:
                 mask = scan_enabled_mask(need, state)
             else:
@@ -267,80 +414,469 @@ class _ShardWorker:
                     edges_append(-(index | (worker_id << 16)) - 1)
                     own_resolutions_append(-pending_id - 1)
                 else:
-                    # Foreign successor: ship it to its owner, emit a
+                    # Foreign successor: answer from the resolution memo when
+                    # possible, otherwise ship it to its owner and emit a
                     # reference the coordinator fills from the owner's
                     # resolution stream for this shard.  The record carries
                     # no separate transition -- the provenance's low 16 bits
                     # are the transition already.
+                    foreign += 1
+                    if memo_enabled:
+                        cached = memo_get(successor)
+                        if cached is not None:
+                            memo[successor] = memo_pop(successor)  # LRU touch
+                            memo_hits += 1
+                            edges_append(index | (cached << 16))
+                            continue
+                        shipped_append(successor)
                     if mask_bytes is None:
                         mask_bytes = mask.to_bytes(mask_width, "little")
                     outbox = outboxes[owner]
-                    outbox += successor.to_bytes(state_width, "little")
+                    outbox += successor.to_bytes(row_width, "little")
                     outbox += mask_bytes
                     outbox += (provenance_base | index).to_bytes(8, "little")
                     edges_append(-(index | (owner << 16)) - 1)
             counts_append(edge_count)
+        self.level_foreign += foreign
+        self.level_memo_hits += memo_hits
+        return outboxes
 
-        connection.send_bytes(bytes([_MSG_OUTBOX]) + _pack_sections(outboxes))
-
-        # Resolve the successor batches the other shards sent us.
+    def _resolve_inbound(self, requester, batch):
         from_bytes = int.from_bytes
-        inbound = [None] * workers
-        received = 0
-        while received < workers - 1:
-            message = connection.recv_bytes()
-            if message[0] == _MSG_QUIT:
-                # The coordinator aborted the level (e.g. another shard hit a
-                # 1-safeness overflow); exit quietly instead of waiting for
-                # relays that will never come.
-                return None
-            if message[0] != _MSG_RELAY:
-                raise VerificationError(
-                    "shard worker expected a relay, got {!r}".format(message[0]))
-            inbound[message[1]] = memoryview(message)[2:]
-            received += 1
-        for requester in range(workers):
-            batch = inbound[requester]
-            if not batch:
+        row_width = self.row_width
+        mask_width = self.mask_width
+        local_index_get = self.local_index.get
+        pending = self.pending
+        pending_get = pending.get
+        records = self.records
+        records_append = records.append
+        provenance_list = self.provenance
+        provenance_append = provenance_list.append
+        stream_append = self.resolutions[requester].append
+        position = 0
+        end = len(batch)
+        while position < end:
+            state_end = position + row_width
+            state = from_bytes(batch[position:state_end], "little")
+            mask_end = state_end + mask_width
+            position = mask_end + 8
+            resolved = local_index_get(state)
+            if resolved is not None:
+                stream_append(resolved)
                 continue
-            stream_append = resolutions[requester].append
-            position = 0
-            end = len(batch)
-            while position < end:
-                state_end = position + state_width
-                state = from_bytes(batch[position:state_end], "little")
-                mask_end = state_end + mask_width
-                position = mask_end + 8
-                resolved = local_index_get(state)
-                if resolved is not None:
-                    stream_append(resolved)
-                    continue
-                pending_id = pending_get(state)
-                provenance = from_bytes(batch[mask_end:position], "little")
-                if pending_id is None:
-                    pending_id = len(records)
-                    pending[state] = pending_id
-                    parent_mask = from_bytes(batch[state_end:mask_end],
-                                             "little")
-                    records_append((state, parent_mask, provenance & 0xFFFF))
-                    provenance_append(provenance)
-                elif provenance < provenance_list[pending_id]:
-                    provenance_list[pending_id] = provenance
-                stream_append(-pending_id - 1)
+            pending_id = pending_get(state)
+            provenance = from_bytes(batch[mask_end:position], "little")
+            if pending_id is None:
+                pending_id = len(records)
+                pending[state] = pending_id
+                parent_mask = from_bytes(batch[state_end:mask_end], "little")
+                records_append((state, parent_mask, provenance & 0xFFFF))
+                provenance_append(provenance)
+            elif provenance < provenance_list[pending_id]:
+                provenance_list[pending_id] = provenance
+            stream_append(-pending_id - 1)
 
+    def _report(self):
         candidate_states = bytearray()
-        for state, _, _ in records:
-            candidate_states += state.to_bytes(state_width, "little")
-        candidate_provenance = array("Q", provenance_list)
+        row_width = self.row_width
+        for state, _, _ in self.records:
+            candidate_states += state.to_bytes(row_width, "little")
+        candidate_provenance = array("Q", self.provenance)
+        stats = array("Q", [self.level_memo_hits, self.level_foreign])
         return bytes([_MSG_REPORT]) + _pack_sections(
-            [counts.tobytes(), edges.tobytes()]
-            + [stream.tobytes() for stream in resolutions]
-            + [candidate_provenance.tobytes(), candidate_states])
+            [self.counts.tobytes(), self.edges.tobytes()]
+            + [stream.tobytes() for stream in self.resolutions]
+            + [candidate_provenance.tobytes(), candidate_states,
+               stats.tobytes()])
 
 
-def _shard_worker_main(connection, tables, worker_id, workers):
+class _BatchShardWorker(_ShardWorkerBase):
+    """One shard on the NumPy backend: whole-chunk vectorised expansion.
+
+    The same wire protocol as :class:`_IntShardWorker`, produced with the
+    array primitives of :mod:`repro.petri.batch`: broadcast firing over the
+    chunk, vectorised :func:`shard_of` routing, sort-based dedup of new
+    own-shard states, hash-probed local/pending/memo indices, and
+    ``tobytes`` serialisation of outboxes, edge streams and candidates.
+    """
+
+    def __init__(self, connection, tables, worker_id, workers, memo_size,
+                 chunk_states):
+        super().__init__(connection, tables, worker_id, workers, memo_size,
+                         chunk_states)
+        import numpy
+        from repro.petri import batch
+        self._n = numpy
+        self._b = batch
+        self.word_tables = batch.WordTables.from_raw(
+            tables.need, tables.consume, tables.produce, tables.affected,
+            tables.place_count)
+        words = self.word_tables.words
+        self.words = words
+        self.local_rows = numpy.zeros((256, words), dtype=numpy.uint64)
+        self.local_global = numpy.zeros(256, dtype=numpy.int64)
+        self.local_count = 0
+        self.local_keys = numpy.empty(0, dtype=numpy.uint64)
+        self.local_pos = numpy.empty(0, dtype=numpy.int64)
+        self.exp_rows = numpy.empty((0, words), dtype=numpy.uint64)
+        self.exp_enabled = numpy.empty((0, tables.transition_count),
+                                       dtype=bool)
+        self.exp_global = numpy.empty(0, dtype=numpy.int64)
+        self.memo_rows = numpy.empty((0, words), dtype=numpy.uint64)
+        self.memo_idx = numpy.empty(0, dtype=numpy.int64)
+        self.memo_hashes = numpy.empty(0, dtype=numpy.uint64)
+        self.memo_keys = numpy.empty(0, dtype=numpy.uint64)
+        self.memo_pos = numpy.empty(0, dtype=numpy.int64)
+        self.shipped = []       # per-chunk row matrices shipped this level
+        self._reset_pending()
+
+    # -- stores ---------------------------------------------------------------
+
+    def _reset_pending(self):
+        n = self._n
+        words = self.words
+        self.pend_rows = n.zeros((64, words), dtype=n.uint64)
+        self.pend_masks = n.zeros((64, self.mask_width), dtype=n.uint8)
+        self.pend_fired = n.zeros(64, dtype=n.int64)
+        self.pend_prov = n.zeros(64, dtype=n.int64)
+        self.pend_count = 0
+        self.pend_keys = n.empty(0, dtype=n.uint64)
+        self.pend_pos = n.empty(0, dtype=n.int64)
+
+    def _insert_local(self, rows, global_indices):
+        n = self._n
+        count = self.local_count
+        needed = count + len(rows)
+        while needed > len(self.local_rows):
+            self.local_rows = n.concatenate(
+                [self.local_rows, n.zeros_like(self.local_rows)])
+            self.local_global = n.concatenate(
+                [self.local_global, n.zeros_like(self.local_global)])
+        self.local_rows[count:needed] = rows
+        self.local_global[count:needed] = global_indices
+        self.local_keys, self.local_pos = self._b.merge_sorted_index(
+            self.local_keys, self.local_pos,
+            self.word_tables.hash_rows(rows),
+            n.arange(count, needed, dtype=n.int64))
+        self.local_count = needed
+
+    def _append_pending(self, rows, hashes, masks, fired, provenance):
+        n = self._n
+        count = self.pend_count
+        needed = count + len(rows)
+        while needed > len(self.pend_rows):
+            self.pend_rows = n.concatenate(
+                [self.pend_rows, n.zeros_like(self.pend_rows)])
+            self.pend_masks = n.concatenate(
+                [self.pend_masks, n.zeros_like(self.pend_masks)])
+            self.pend_fired = n.concatenate(
+                [self.pend_fired, n.zeros_like(self.pend_fired)])
+            self.pend_prov = n.concatenate(
+                [self.pend_prov, n.zeros_like(self.pend_prov)])
+        identifiers = n.arange(count, needed, dtype=n.int64)
+        self.pend_rows[count:needed] = rows
+        self.pend_masks[count:needed] = masks
+        self.pend_fired[count:needed] = fired
+        self.pend_prov[count:needed] = provenance
+        self.pend_keys, self.pend_pos = self._b.merge_sorted_index(
+            self.pend_keys, self.pend_pos, hashes, identifiers)
+        self.pend_count = needed
+        return identifiers
+
+    # -- protocol hooks -------------------------------------------------------
+
+    def _seed(self, state):
+        n = self._n
+        row = n.asarray([self._b.int_to_words(state, self.words)],
+                        dtype=n.uint64)
+        self._insert_local(row, n.zeros(1, dtype=n.int64))
+        self.exp_rows = row
+        self.exp_enabled = self.word_tables.enabled_matrix(row)
+        self.exp_global = n.zeros(1, dtype=n.int64)
+
+    def _apply_assignments(self, payload):
+        n = self._n
+        assigned = n.frombuffer(bytes(payload), dtype="<i8")
+        transition_count = self.tables.transition_count
+        if len(assigned):
+            admitted = n.flatnonzero(assigned >= 0)
+            admitted = admitted[n.argsort(assigned[admitted])]
+            global_indices = assigned[admitted].astype(n.int64)
+            rows = n.ascontiguousarray(
+                self.pend_rows[:self.pend_count][admitted])
+            enabled = self._b.unpack_mask_rows(
+                self.pend_masks[:self.pend_count][admitted],
+                transition_count).astype(bool)
+            if len(admitted):
+                self._b.refresh_enabled(
+                    self.word_tables, enabled, rows,
+                    self.pend_fired[:self.pend_count][admitted])
+                self._insert_local(rows, global_indices)
+            self.exp_rows = rows
+            self.exp_enabled = enabled
+            self.exp_global = global_indices
+        else:
+            self.exp_rows = n.empty((0, self.words), dtype=n.uint64)
+            self.exp_enabled = n.empty((0, transition_count), dtype=bool)
+            self.exp_global = n.empty(0, dtype=n.int64)
+        self._reset_pending()
+
+    def _apply_memo(self, payload):
+        n = self._n
+        b = self._b
+        resolved = n.frombuffer(bytes(payload), dtype="<i8")
+        chunks = self.shipped_history.popleft()
+        rows = chunks[0] if len(chunks) == 1 else n.concatenate(chunks)
+        admitted = resolved >= 0
+        if not admitted.any():
+            return
+        rows = rows[admitted]
+        indices = resolved[admitted].astype(n.int64)
+        hashes = self.word_tables.hash_rows(rows)
+        # Duplicate shipments of one state resolve identically; keep one.
+        _, _, group_rows, group_hashes, group_idx = b.dedup_rows(
+            rows, hashes, indices, self.words)
+        slot = b._probe_rows(self.memo_keys, self.memo_pos, self.memo_rows,
+                             group_rows, group_hashes, self.words)
+        fresh = slot < 0
+        if not fresh.any():
+            return
+        previous = len(self.memo_rows)
+        self.memo_rows = n.concatenate([self.memo_rows, group_rows[fresh]])
+        self.memo_idx = n.concatenate([self.memo_idx, group_idx[fresh]])
+        self.memo_hashes = n.concatenate([self.memo_hashes,
+                                          group_hashes[fresh]])
+        if len(self.memo_rows) > self.memo_size:
+            # Bounded: drop the oldest entries (insertion order).  Slot
+            # positions shift, so the sorted index is rebuilt -- only on
+            # eviction; the steady state below merges incrementally.
+            self.memo_rows = self.memo_rows[-self.memo_size:]
+            self.memo_idx = self.memo_idx[-self.memo_size:]
+            self.memo_hashes = self.memo_hashes[-self.memo_size:]
+            position = n.argsort(self.memo_hashes)
+            self.memo_keys = self.memo_hashes[position]
+            self.memo_pos = position.astype(n.int64)
+        else:
+            self.memo_keys, self.memo_pos = b.merge_sorted_index(
+                self.memo_keys, self.memo_pos, group_hashes[fresh],
+                n.arange(previous, len(self.memo_rows), dtype=n.int64))
+
+    def _begin_level(self):
+        self.count_chunks = []
+        self.edge_chunks = []
+        self.stream_chunks = [[] for _ in range(self.workers)]
+        self.shipped = []
+
+    def _expansion_size(self):
+        return len(self.exp_global)
+
+    def _expand_chunk(self, start, stop):
+        n = self._n
+        b = self._b
+        tables = self.word_tables
+        words = self.words
+        workers = self.workers
+        worker_id = self.worker_id
+        transition_count = self.tables.transition_count
+        rows = self.exp_rows[start:stop]
+        enabled = self.exp_enabled[start:stop]
+        global_indices = self.exp_global[start:stop]
+        outboxes = [b""] * workers
+        flat = n.flatnonzero(enabled)
+        self.count_chunks.append(
+            n.bincount(flat // transition_count, minlength=stop - start))
+        if not len(flat):
+            return outboxes
+        # Shared firing: raises SafenessOverflowError with integer indices,
+        # which is exactly this worker's overflow wire format.
+        source_local, transition, successor = b.fire_enabled(tables, rows,
+                                                             flat)
+        provenance = (global_indices[source_local] << 16) | transition
+        owner = b.shard_rows(successor, workers)
+        edge_values = n.empty(len(flat), dtype=n.int64)
+
+        own_positions = n.flatnonzero(owner == worker_id)
+        if len(own_positions):
+            own_rows = successor[own_positions]
+            own_hashes = tables.hash_rows(own_rows)
+            local_hit = b._probe_rows(self.local_keys, self.local_pos,
+                                      self.local_rows, own_rows, own_hashes,
+                                      words)
+            known = local_hit >= 0
+            known_positions = own_positions[known]
+            edge_values[known_positions] = (
+                transition[known_positions]
+                | (self.local_global[local_hit[known]] << 16))
+            unknown_positions = own_positions[~known]
+            if len(unknown_positions):
+                (order, group_of_sorted, group_rows, group_hashes,
+                 group_prov) = b.dedup_rows(
+                    own_rows[~known], own_hashes[~known],
+                    provenance[unknown_positions], words)
+                group_pending = b._probe_rows(
+                    self.pend_keys, self.pend_pos, self.pend_rows,
+                    group_rows, group_hashes, words)
+                hit = group_pending >= 0
+                if hit.any():
+                    identifiers = group_pending[hit]
+                    self.pend_prov[identifiers] = n.minimum(
+                        self.pend_prov[identifiers], group_prov[hit])
+                fresh = n.flatnonzero(~hit)
+                if len(fresh):
+                    fresh_prov = group_prov[fresh]
+                    # The min-provenance parent is in this level's
+                    # expansion; its enabled row is the shipped mask.
+                    parent_pos = n.searchsorted(self.exp_global,
+                                                fresh_prov >> 16)
+                    group_pending[fresh] = self._append_pending(
+                        group_rows[fresh], group_hashes[fresh],
+                        b.pack_mask_rows(self.exp_enabled[parent_pos]),
+                        fresh_prov & 0xFFFF, fresh_prov)
+                occurrence = n.empty(len(unknown_positions), dtype=n.int64)
+                occurrence[order] = group_pending[group_of_sorted]
+                self.stream_chunks[worker_id].append(-occurrence - 1)
+                edge_values[unknown_positions] = -(
+                    transition[unknown_positions] | (worker_id << 16)) - 1
+
+        foreign_positions = n.flatnonzero(owner != worker_id)
+        if len(foreign_positions):
+            self.level_foreign += len(foreign_positions)
+            foreign_rows = successor[foreign_positions]
+            foreign_hashes = tables.hash_rows(foreign_rows)
+            if self.memo_size:
+                slot = b._probe_rows(self.memo_keys, self.memo_pos,
+                                     self.memo_rows, foreign_rows,
+                                     foreign_hashes, words)
+                hit = slot >= 0
+            else:
+                hit = n.zeros(len(foreign_positions), dtype=bool)
+            hit_positions = foreign_positions[hit]
+            if len(hit_positions):
+                self.level_memo_hits += len(hit_positions)
+                edge_values[hit_positions] = (
+                    transition[hit_positions]
+                    | (self.memo_idx[slot[hit]] << 16))
+            miss_positions = foreign_positions[~hit]
+            if len(miss_positions):
+                miss_owner = owner[miss_positions]
+                edge_values[miss_positions] = -(
+                    transition[miss_positions] | (miss_owner << 16)) - 1
+                miss_rows = foreign_rows[~hit]
+                if self.memo_size:
+                    self.shipped.append(miss_rows)
+                record_width = self.row_width + self.mask_width + 8
+                record = n.empty((len(miss_positions), record_width),
+                                 dtype=n.uint8)
+                record[:, :self.row_width] = n.ascontiguousarray(
+                    miss_rows.astype("<u8", copy=False)).view(
+                        n.uint8).reshape(len(miss_positions), -1)
+                record[:, self.row_width:self.row_width + self.mask_width] = \
+                    b.pack_mask_rows(enabled[source_local[miss_positions]])
+                record[:, record_width - 8:] = n.ascontiguousarray(
+                    provenance[miss_positions].astype("<u8")).view(
+                        n.uint8).reshape(len(miss_positions), 8)
+                dest_order = n.argsort(miss_owner, kind="stable")
+                sorted_owner = miss_owner[dest_order]
+                bounds = n.searchsorted(
+                    sorted_owner, n.arange(workers + 1, dtype=n.int64))
+                for destination in n.unique(sorted_owner).tolist():
+                    members = dest_order[bounds[destination]:
+                                         bounds[destination + 1]]
+                    outboxes[destination] = record[members].tobytes()
+        self.edge_chunks.append(edge_values)
+        return outboxes
+
+    def _resolve_inbound(self, requester, payload):
+        n = self._n
+        b = self._b
+        words = self.words
+        record_width = self.row_width + self.mask_width + 8
+        buf = n.frombuffer(bytes(payload), dtype=n.uint8)
+        count = len(buf) // record_width
+        buf = buf.reshape(count, record_width)
+        rows = n.ascontiguousarray(buf[:, :self.row_width]).view(
+            "<u8").reshape(count, words).astype(n.uint64)
+        provenance = n.ascontiguousarray(buf[:, record_width - 8:]).view(
+            "<u8").reshape(count).astype(n.int64)
+        hashes = self.word_tables.hash_rows(rows)
+        stream = n.empty(count, dtype=n.int64)
+        local_hit = b._probe_rows(self.local_keys, self.local_pos,
+                                  self.local_rows, rows, hashes, words)
+        known = local_hit >= 0
+        stream[known] = self.local_global[local_hit[known]]
+        unknown = n.flatnonzero(~known)
+        if len(unknown):
+            unknown_rows = rows[unknown]
+            unknown_hashes = hashes[unknown]
+            unknown_prov = provenance[unknown]
+            # The representative of each group must be one occurrence (its
+            # shipped parent mask has to pair with its own provenance), so
+            # dedup with the min-provenance occurrence as the head.
+            order, group_of_sorted, heads = b.dedup_rows_argmin(
+                unknown_rows, unknown_hashes, unknown_prov, words)
+            group_rows = unknown_rows[heads]
+            group_hashes = unknown_hashes[heads]
+            group_prov = unknown_prov[heads]
+            group_pending = b._probe_rows(
+                self.pend_keys, self.pend_pos, self.pend_rows,
+                group_rows, group_hashes, words)
+            hit = group_pending >= 0
+            if hit.any():
+                identifiers = group_pending[hit]
+                self.pend_prov[identifiers] = n.minimum(
+                    self.pend_prov[identifiers], group_prov[hit])
+            fresh = n.flatnonzero(~hit)
+            if len(fresh):
+                head_records = unknown[heads[fresh]]
+                masks = buf[head_records,
+                            self.row_width:self.row_width + self.mask_width]
+                group_pending[fresh] = self._append_pending(
+                    group_rows[fresh], group_hashes[fresh], masks,
+                    group_prov[fresh] & 0xFFFF, group_prov[fresh])
+            occurrence = n.empty(len(unknown), dtype=n.int64)
+            occurrence[order] = group_pending[group_of_sorted]
+            stream[unknown] = -occurrence - 1
+        self.stream_chunks[requester].append(stream)
+
+    def _report(self):
+        n = self._n
+        counts = (n.concatenate(self.count_chunks)
+                  if self.count_chunks else n.empty(0, dtype=n.int64))
+        edges = (n.concatenate(self.edge_chunks)
+                 if self.edge_chunks else n.empty(0, dtype=n.int64))
+        streams = []
+        for chunks in self.stream_chunks:
+            if chunks:
+                streams.append(n.concatenate(chunks).astype(
+                    "<i8", copy=False).tobytes())
+            else:
+                streams.append(b"")
+        candidate_provenance = self.pend_prov[:self.pend_count].astype("<u8")
+        candidate_states = n.ascontiguousarray(
+            self.pend_rows[:self.pend_count].astype(
+                "<u8", copy=False)).tobytes()
+        stats = array("Q", [self.level_memo_hits, self.level_foreign])
+        return bytes([_MSG_REPORT]) + _pack_sections(
+            [counts.astype("<u2").tobytes(),
+             edges.astype("<i8", copy=False).tobytes()]
+            + streams
+            + [candidate_provenance.tobytes(), candidate_states,
+               stats.tobytes()])
+
+
+def _shard_worker_main(connection, tables, worker_id, workers, memo_size,
+                       chunk_states, batch):
     try:
-        _ShardWorker(connection, tables, worker_id, workers).run()
+        worker_class = _IntShardWorker
+        if batch is not False:
+            try:
+                from repro.petri.batch import numpy_available
+                if numpy_available():
+                    worker_class = _BatchShardWorker
+            except ImportError:  # pragma: no cover - defensive
+                pass
+        worker_class(connection, tables, worker_id, workers, memo_size,
+                     chunk_states).run()
     except (EOFError, OSError, KeyboardInterrupt):
         pass
     finally:
@@ -394,12 +930,21 @@ class _Sender:
                     return
 
 
-def explore_sharded(compiled, marking=None, max_states=200000, workers=None):
+def explore_sharded(compiled, marking=None, max_states=200000, workers=None,
+                    memo_size=None, chunk_states=None, batch=None):
     """Breadth-first exploration sharded across worker processes.
 
     Returns a :class:`~repro.petri.compiled.CompiledReachabilityGraph`
     bit-identical to ``explore_compiled(compiled, marking, max_states)`` --
     see the module docstring for how.  *workers* defaults to the CPU count.
+    *memo_size* bounds the per-worker requester-side resolution memo
+    (default 65536 entries; 0 disables it), *chunk_states* sets the
+    intra-level streaming chunk (default 2048 expanded states per flush,
+    overridable with ``REPRO_SHARD_CHUNK``), and *batch* selects the worker
+    backend: ``None`` (default) uses the vectorised NumPy backend whenever
+    the extra is importable in the workers, ``False`` forces the pure-int
+    backend.  Exchange/memo counters are attached to the result as
+    ``graph.exchange_stats``.
     """
     if not isinstance(compiled, CompiledNet):
         compiled = CompiledNet.compile(compiled)
@@ -411,6 +956,12 @@ def explore_sharded(compiled, marking=None, max_states=200000, workers=None):
     if workers > 127:
         raise VerificationError(
             "sharded exploration supports at most 127 workers")
+    if memo_size is None:
+        memo_size = _DEFAULT_MEMO
+    memo_size = max(0, int(memo_size))
+    if chunk_states is None:
+        chunk_states = int(os.environ.get("REPRO_SHARD_CHUNK",
+                                          _DEFAULT_CHUNK))
     initial = marking if marking is not None else compiled.net.initial_marking()
     initial_state = compiled.encode(initial)
 
@@ -422,7 +973,8 @@ def explore_sharded(compiled, marking=None, max_states=200000, workers=None):
         parent_end, child_end = context.Pipe()
         process = context.Process(
             target=_shard_worker_main,
-            args=(child_end, tables, worker_id, workers), daemon=True)
+            args=(child_end, tables, worker_id, workers, memo_size,
+                  chunk_states, batch), daemon=True)
         process.start()
         child_end.close()
         connections.append(parent_end)
@@ -431,7 +983,7 @@ def explore_sharded(compiled, marking=None, max_states=200000, workers=None):
     completed = False
     try:
         graph = _drive(compiled, initial_state, max_states, workers,
-                       connections, sender)
+                       connections, sender, memo_size)
         completed = True
         return graph
     finally:
@@ -466,8 +1018,8 @@ def _recv(connections, worker):
             "sharded exploration worker {} died mid-level".format(worker))
 
 
-def _drive(compiled, initial_state, max_states, workers, connections, sender):
-    from array import array
+def _drive(compiled, initial_state, max_states, workers, connections, sender,
+           memo_size):
     from time import perf_counter
 
     #: Per-phase second counters, printed when REPRO_SHARD_TIMING is set:
@@ -476,7 +1028,7 @@ def _drive(compiled, initial_state, max_states, workers, connections, sender):
 
     place_names = compiled.place_names
     transition_names = compiled.transition_names
-    state_width = (len(place_names) + 7) // 8
+    row_width = _state_row_width(len(place_names))
     from_bytes = int.from_bytes
 
     graph = CompiledReachabilityGraph(compiled, initial_state)
@@ -485,6 +1037,8 @@ def _drive(compiled, initial_state, max_states, workers, connections, sender):
     parents = graph._parents
     frontier = graph._frontier_indices
     truncated = False
+    exchange_stats = {"memo_hits": 0, "foreign_refs": 0, "levels": 0,
+                      "chunk_messages": 0}
 
     # The initial state's edge list is not pre-created: edge lists are
     # appended by the merge phase in discovery order, starting with the
@@ -495,7 +1049,7 @@ def _drive(compiled, initial_state, max_states, workers, connections, sender):
     # Level 0: seed the owning shard; everyone else gets empty assignments.
     owner_seq = [shard_of(initial_state, workers)]
     sender.send(owner_seq[0], bytes([_MSG_SEED])
-                + initial_state.to_bytes(state_width, "little"))
+                + initial_state.to_bytes(row_width, "little"))
     for worker in range(workers):
         if worker != owner_seq[0]:
             sender.send(worker, bytes([_MSG_ASSIGN]))
@@ -506,8 +1060,10 @@ def _drive(compiled, initial_state, max_states, workers, connections, sender):
     frontier_add = frontier.add
 
     while owner_seq:
-        # Phase 1: collect successor batches as workers finish expanding,
-        # relaying each batch to the shard that owns its states.
+        exchange_stats["levels"] += 1
+        # Phase 1: collect successor chunks as workers expand, relaying
+        # each chunk to the shard that owns its states as soon as it
+        # arrives (the workers resolve them while still expanding).
         phase_started = perf_counter()
         waiting = set(range(workers))
         reports = {}
@@ -521,13 +1077,20 @@ def _drive(compiled, initial_state, max_states, workers, connections, sender):
                     raise SafenessOverflowError(
                         transition_names[message[1] | (message[2] << 8)],
                         place_names[message[3] | (message[4] << 8)])
-                if kind == _MSG_OUTBOX:
-                    batches = _unpack_sections(memoryview(message), 1)
+                if kind == _MSG_CHUNK:
+                    exchange_stats["chunk_messages"] += 1
+                    final = message[1]
+                    batches = _unpack_sections(memoryview(message), 2)
                     for destination in range(workers):
-                        if destination != worker:
+                        if destination == worker:
+                            continue
+                        payload = batches[destination]
+                        # Empty non-final chunks carry no information; the
+                        # final marker must reach every peer regardless.
+                        if final or len(payload):
                             sender.send(destination,
-                                        bytes([_MSG_RELAY, worker])
-                                        + bytes(batches[destination]))
+                                        bytes([_MSG_RELAY, worker, final])
+                                        + bytes(payload))
                 elif kind == _MSG_REPORT:
                     reports[worker] = _unpack_sections(memoryview(message), 1)
                     waiting.discard(worker)
@@ -561,6 +1124,10 @@ def _drive(compiled, initial_state, max_states, workers, connections, sender):
             pending_counts[worker] = len(provenance)
             for pending_id, value in enumerate(provenance):
                 candidates.append((value, worker, pending_id))
+            report_stats = array("Q")
+            report_stats.frombytes(sections[4 + workers])
+            exchange_stats["memo_hits"] += report_stats[0]
+            exchange_stats["foreign_refs"] += report_stats[1]
         candidate_states = {worker: reports[worker][3 + workers]
                             for worker in reports}
 
@@ -586,8 +1153,8 @@ def _drive(compiled, initial_state, max_states, workers, connections, sender):
             index += 1
             encoded = candidate_states[worker]
             states_append(from_bytes(
-                encoded[pending_id * state_width:
-                        (pending_id + 1) * state_width], "little"))
+                encoded[pending_id * row_width:
+                        (pending_id + 1) * row_width], "little"))
             parents_append(provenance)
             next_owner_append(worker)
 
@@ -610,7 +1177,9 @@ def _drive(compiled, initial_state, max_states, workers, connections, sender):
         # consuming each shard's resolution streams to finalise references.
         # Edge lists are created here, not at admission: states are merged
         # in exactly the order they were admitted, so plain appends keep
-        # ``edges`` aligned with ``states``.
+        # ``edges`` aligned with ``states``.  While consuming foreign
+        # references the coordinator records their final resolutions per
+        # requester -- the memo feedback sent to the workers afterwards.
         positions = {worker: 0 for worker in reports}
         edge_cursors = {worker: 0 for worker in reports}
         requester_cursors = [[0] * workers for _ in range(workers)]
@@ -618,6 +1187,8 @@ def _drive(compiled, initial_state, max_states, workers, connections, sender):
             [resolution_streams[owner][worker] for owner in range(workers)]
             for worker in range(workers)
         ]
+        feedback = ([array("q") for _ in range(workers)]
+                    if memo_size else None)
         for worker in owner_seq:
             position = positions[worker]
             edge_count = counts[worker][position]
@@ -644,11 +1215,24 @@ def _drive(compiled, initial_state, max_states, workers, connections, sender):
                     resolved = assignments[owner][-resolved - 1]
                     if resolved < 0:
                         complete = False
+                        if feedback is not None and owner != worker:
+                            feedback[worker].append(-1)
                         continue
+                if feedback is not None and owner != worker:
+                    feedback[worker].append(resolved)
                 current_edges_append((key & 0xFFFF) | (resolved << 16))
             if not complete:
                 frontier_add(len(edges))
             edges_append(current_edges)
+
+        # The memo feedback pairs positionally with each worker's shipped
+        # list; workers only push a shipped list when it is non-empty, so
+        # empty feedback is not sent (and none is after the final level).
+        if feedback is not None and not finished:
+            for worker in range(workers):
+                if len(feedback[worker]):
+                    sender.send(worker, bytes([_MSG_MEMO])
+                                + feedback[worker].tobytes())
 
         timing["merge"] += perf_counter() - phase_started
         if finished:
@@ -660,4 +1244,5 @@ def _drive(compiled, initial_state, max_states, workers, connections, sender):
         print("sharded coordinator: wait {wait:.2f}s admit {admit:.2f}s "
               "merge {merge:.2f}s".format(**timing), file=sys.stderr)
     graph.truncated = truncated
+    graph.exchange_stats = exchange_stats
     return graph

@@ -1,0 +1,959 @@
+"""Array-native exploration core: whole-frontier batch expansion on NumPy.
+
+The compiled engine of :mod:`repro.petri.compiled` already reduced firing to
+integer bit operations, but its loop still fires one transition of one state
+per Python bytecode iteration.  This module escapes the interpreter the way
+bulk engines do: the *entire BFS frontier* is expanded per step.
+
+* Markings are rows of a ``uint64`` matrix -- nets wider than 64 places span
+  multiple words (place ``i`` lives in word ``i // 64``, bit ``i % 64``).
+* The per-transition ``need`` / ``consume`` / ``produce`` bitmasks of the
+  compiled net are precompiled into ``(transitions, words)`` arrays.
+* One level of BFS is: a broadcast compare for enabledness, a bulk
+  mask-and-or firing, a lexicographic sort for intra-level dedup, and a
+  ``searchsorted`` probe against the sorted table of known states.
+* New states are admitted in **provenance order** (``parent << 16 |
+  transition``, minimised over all discoverers) up to ``max_states`` --
+  exactly the order the sequential BFS first reaches each state, which makes
+  the resulting graph **bit-identical** to :func:`explore_compiled`: same
+  states in the same discovery order, same packed ``t | target << 16`` edge
+  lists, same parents (hence traces), same frontier and truncation.
+
+The result is a :class:`ColumnarReachabilityGraph`: the state table, packed
+edges (CSR layout), parents and frontier all stay NumPy arrays, so the
+mask-level scans of :mod:`repro.petri.properties` and
+:mod:`repro.reach.evaluator` become vectorised compares over the state table
+instead of per-state Python loops.  Marking-level APIs decode on demand,
+like the compiled graph.
+
+NumPy is an **optional extra** (``pip install repro-dfs[fast]``): when it is
+missing, :func:`numpy_available` is false, ``build_reachability_graph``
+silently keeps using the pure-int engine, and this module stays importable.
+The pure-int engine remains the single source of truth for semantics; this
+engine must match it bit for bit (see ``tests/test_petri_batch.py``).
+"""
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-NumPy CI job
+    _np = None
+
+from repro.exceptions import CompilationError, SafenessOverflowError
+from repro.petri.compiled import (
+    CompiledNet,
+    CompiledReachabilityGraph,
+    iter_bits,
+    transition_watch_lists,
+)
+from repro.petri.reachability import ReachabilityGraph
+
+#: Cap on the transient pair matrix of the vectorised persistence scan.
+_PAIR_BLOCK = 1 << 20
+
+_WORD_MASK = (1 << 64) - 1
+
+#: Odd 64-bit mixing constants of the row hash (splitmix64 / murmur3
+#: finalisation family).  The hash only pre-filters the exact row compare,
+#: so its quality affects speed, never correctness.
+_HASH_MULTIPLIERS = (
+    0x9E3779B97F4A7C15, 0xC2B2AE3D27D4EB4F, 0x165667B19E3779F9,
+    0xFF51AFD7ED558CCD, 0xC4CEB9FE1A85EC53, 0xD6E8FEB86659FD93,
+)
+
+
+def numpy_available():
+    """``True`` when the optional NumPy extra is importable.
+
+    Setting ``REPRO_NO_NUMPY`` in the environment reports NumPy as absent
+    even when it is installed, so the pure-Python fallback path can be
+    exercised (by the differential tests and the no-NumPy CI job) without
+    uninstalling the extra.
+    """
+    import os
+    return _np is not None and not os.environ.get("REPRO_NO_NUMPY")
+
+
+def _require_numpy():
+    if not numpy_available():
+        raise CompilationError(
+            "the batch exploration engine requires the optional NumPy "
+            "extra (pip install numpy, and REPRO_NO_NUMPY unset); the "
+            "pure-int engines remain available")
+
+
+def int_to_words(value, words):
+    """Split an int bitmask into *words* little-endian 64-bit words."""
+    return [(value >> (64 * w)) & _WORD_MASK for w in range(words)]
+
+
+def words_to_int(row):
+    """Inverse of :func:`int_to_words` for one row of word values."""
+    state = 0
+    for w, word in enumerate(row):
+        state |= int(word) << (64 * w)
+    return state
+
+
+class WordTables:
+    """Per-transition bitmask tables of a compiled net as uint64 matrices."""
+
+    __slots__ = ("compiled", "words", "mask_width",
+                 "need", "consume", "keep", "produce", "fire_tab",
+                 "watch_entries")
+
+    def __init__(self, compiled):
+        _require_numpy()
+        self.compiled = compiled
+        self._build(compiled.need, compiled.consume, compiled.produce,
+                    compiled.affected, len(compiled.place_names))
+
+    @classmethod
+    def from_raw(cls, need, consume, produce, affected, place_count):
+        """Build tables from raw mask lists (no :class:`CompiledNet`).
+
+        Used by the sharded batch workers, which carry only the picklable
+        table slice of the compiled net.  ``word_bit_of`` is unavailable on
+        tables built this way (``compiled`` is ``None``).
+        """
+        _require_numpy()
+        self = cls.__new__(cls)
+        self.compiled = None
+        self._build(need, consume, produce, affected, place_count)
+        return self
+
+    def _build(self, need_masks, consume_masks, produce_masks, affected,
+               place_count):
+        self.words = max(1, (place_count + 63) // 64)
+        transition_count = len(need_masks)
+        #: Bytes of a packed enabled mask (the sharded wire format).
+        self.mask_width = (transition_count + 7) // 8
+        shape = (transition_count, self.words)
+        self.need = _np.zeros(shape, dtype=_np.uint64)
+        self.consume = _np.zeros(shape, dtype=_np.uint64)
+        self.produce = _np.zeros(shape, dtype=_np.uint64)
+        for index in range(transition_count):
+            self.need[index] = int_to_words(need_masks[index], self.words)
+            self.consume[index] = int_to_words(consume_masks[index],
+                                               self.words)
+            self.produce[index] = int_to_words(produce_masks[index],
+                                               self.words)
+        self.keep = ~self.consume
+        # keep and produce side by side, so the firing loop pays one fancy
+        # gather per edge batch instead of two.
+        self.fire_tab = _np.concatenate([self.keep, self.produce], axis=1)
+        # The shared watch lists of the compiled net (the same
+        # transition_watch_lists the pure-int engines consume through
+        # expand_watch_pairs), expanded per watched transition to its
+        # nonzero need words: after firing ``t`` only ``watch_entries[t]``
+        # needs re-checking, and each check touches only the ~couple of
+        # words the watched transition's preset actually lives in.
+        self.watch_entries = []
+        for watched_list in transition_watch_lists(affected):
+            entries = []
+            for watched in watched_list:
+                needed = tuple(
+                    (w, self.need[watched, w])
+                    for w in range(self.words) if int(self.need[watched, w]))
+                entries.append((watched, needed))
+            self.watch_entries.append(tuple(entries))
+
+    def encode_rows(self, states):
+        """Pack an iterable of int states into a ``(n, words)`` matrix."""
+        rows = _np.empty((len(states), self.words), dtype=_np.uint64)
+        for position, state in enumerate(states):
+            rows[position] = int_to_words(state, self.words)
+        return rows
+
+    def hash_rows(self, rows):
+        """A 64-bit mix of every state row; a pre-filter, not an identity.
+
+        Single-word states are their own (collision-free) key.  Wider rows
+        xor per-word products by distinct odd constants -- collisions are
+        handled exactly by the callers (run scans, adjacent-row compares),
+        so hash quality only affects speed.
+        """
+        if self.words == 1:
+            return rows[:, 0]
+        mixed = rows[:, 0] * _np.uint64(_HASH_MULTIPLIERS[0])
+        for w in range(1, self.words):
+            multiplier = _HASH_MULTIPLIERS[w % len(_HASH_MULTIPLIERS)]
+            mixed = mixed ^ rows[:, w] * _np.uint64(multiplier)
+        return mixed
+
+    def enabled_matrix(self, rows):
+        """Full-scan enabledness of *rows*: a ``(n, transitions)`` matrix."""
+        enabled = _np.ones((len(rows), len(self.need)), dtype=bool)
+        for w in range(self.words):
+            need_w = self.need[:, w]
+            enabled &= (rows[:, w:w + 1] & need_w) == need_w
+        return enabled
+
+    def word_bit_of(self, place):
+        """``(word index, single-bit uint64)`` of *place*, or ``None``."""
+        mask = self.compiled.mask_of(place)
+        if not mask:
+            return None
+        bit = mask.bit_length() - 1
+        return bit // 64, _np.uint64(1 << (bit % 64))
+
+
+def _group_arange(counts):
+    """``concatenate([arange(c) for c in counts])`` without the Python loop."""
+    total = int(counts.sum())
+    starts = _np.cumsum(counts) - counts
+    return _np.arange(total, dtype=_np.int64) - _np.repeat(starts, counts)
+
+
+def fire_enabled(tables, rows, flat):
+    """Fire every enabled (state, transition) pair of a frontier slice.
+
+    *flat* is the flat index vector of the slice's enabled matrix (as from
+    ``np.flatnonzero``).  Returns ``(source_local, transition, successor)``.
+    A 1-safeness violation raises
+    :class:`~repro.exceptions.SafenessOverflowError` carrying the first
+    offender *in expansion order* as **integer indices** (transition index,
+    place index); callers holding name tables re-raise with names.  Shared
+    by :func:`explore_batch` and the sharded batch workers so the firing
+    and overflow semantics cannot diverge.
+    """
+    word_count = tables.words
+    transition_count = len(tables.need)
+    source_local = flat // transition_count
+    transition = flat - source_local * transition_count
+    gathered = tables.fire_tab[transition]
+    remainder = rows[source_local] & gathered[:, :word_count]
+    produced = gathered[:, word_count:]
+    overflowed = remainder[:, 0] & produced[:, 0]
+    for w in range(1, word_count):
+        overflowed = overflowed | (remainder[:, w] & produced[:, w])
+    if overflowed.any():
+        position = int(_np.argmax(overflowed != 0))
+        spill = words_to_int(remainder[position] & produced[position])
+        raise SafenessOverflowError(int(transition[position]),
+                                    next(iter_bits(spill)))
+    return source_local, transition, remainder | produced
+
+
+def refresh_enabled(tables, enabled, rows, fired):
+    """Recompute the watched entries of *enabled* after *fired* discoveries.
+
+    *enabled* is the ``(n, transitions)`` bool matrix inherited from the
+    parents of the *n* state *rows*, each discovered by firing ``fired[i]``;
+    only the transitions in the firing's watch list can have changed, so
+    the rows are grouped by fired transition and each watched transition is
+    re-checked with one compare per nonzero need word over the group.
+    Updates *enabled* in place (the vectorised analogue of the sequential
+    engine's :func:`~repro.petri.compiled.expand_watch_pairs` update).
+    """
+    order = _np.argsort(fired, kind="stable")
+    sorted_fired = fired[order]
+    bounds = _np.searchsorted(
+        sorted_fired, _np.arange(len(tables.need) + 1, dtype=_np.int64))
+    watch_entries = tables.watch_entries
+    for t in _np.unique(sorted_fired).tolist():
+        members = order[bounds[t]:bounds[t + 1]]
+        block = rows[members]
+        for watched, needed in watch_entries[t]:
+            if needed:
+                ok = None
+                for w, need_w in needed:
+                    hit = (block[:, w] & need_w) == need_w
+                    ok = hit if ok is None else ok & hit
+            else:
+                # A transition with an empty preset is always enabled.
+                ok = _np.ones(len(members), dtype=bool)
+            enabled[members, watched] = ok
+
+
+def _group_sorted(successor, hashes, word_count, order, collision_order):
+    """Adjacency grouping under *order*; the one copy of the collision path.
+
+    Given an *order* that makes equal rows adjacent whenever their hashes
+    are collision-free, return ``(order, head)`` where ``head`` marks the
+    first occurrence of each distinct row in sorted position.  When two
+    distinct multi-word rows collided in the 64-bit hash (practically
+    never), *collision_order* is called for an exact re-sort on the full
+    words and the grouping is redone on it.
+    """
+    ordered_hashes = hashes[order]
+    same_hash = _np.zeros(len(order), dtype=bool)
+    same_hash[1:] = ordered_hashes[1:] == ordered_hashes[:-1]
+    if word_count == 1:
+        # Single-word rows are their own hash: equal key *is* equal row.
+        head = ~same_hash
+        head[0] = True
+        return order, head
+    # Verify row equality only where the hashes matched: gathering two
+    # rows per duplicate beats gathering the whole sorted matrix.
+    duplicate_positions = _np.where(same_hash)[0]
+    collided = (successor[order[duplicate_positions - 1]]
+                != successor[order[duplicate_positions]]).any(axis=1)
+    if collided.any():
+        order = collision_order()
+        ordered_rows = successor[order]
+        head = _np.ones(len(order), dtype=bool)
+        head[1:] = (ordered_rows[1:] != ordered_rows[:-1]).any(axis=1)
+    else:
+        head = ~same_hash
+        head[0] = True
+    return order, head
+
+
+def dedup_rows(successor, hashes, provenance, word_count):
+    """Group duplicate successor rows, keeping each group's min provenance.
+
+    Returns ``(order, group_of_sorted, group_rows, group_hashes,
+    group_provenance)`` where *order* sorts the inputs so that equal rows
+    are adjacent, ``group_of_sorted[i]`` is the dedup-group of the sorted
+    position ``i``, and the ``group_*`` arrays hold one entry per distinct
+    row -- its provenance being the minimum over the group, i.e. the edge
+    over which the sequential BFS first discovers that state.
+    """
+    order, head = _group_sorted(
+        successor, hashes, word_count,
+        _np.argsort(hashes),  # non-stable: reduceat takes the group min
+        lambda: _np.lexsort(tuple(successor[:, w]
+                                  for w in range(word_count))))
+    head_positions = _np.where(head)[0]
+    group_rows = successor[order[head_positions]]
+    group_of_sorted = _np.cumsum(head) - 1
+    group_provenance = _np.minimum.reduceat(provenance[order],
+                                            head_positions)
+    group_hashes = hashes[order[head_positions]]
+    return order, group_of_sorted, group_rows, group_hashes, group_provenance
+
+
+def dedup_rows_argmin(successor, hashes, provenance, word_count):
+    """Like :func:`dedup_rows`, but each group's head *is* an occurrence.
+
+    Returns ``(order, group_of_sorted, head_occurrences)`` where
+    ``head_occurrences`` indexes the original arrays at each group's
+    minimum-provenance occurrence.  The sharded batch workers use this
+    where the representative's side data (the shipped parent mask) must
+    pair with the representative's provenance, not just its row.
+    """
+    order, head = _group_sorted(
+        successor, hashes, word_count,
+        # Provenance as the minor key puts each group's minimum first...
+        _np.lexsort((provenance, hashes)),
+        # ...including under the exact-words collision re-sort.
+        lambda: _np.lexsort(
+            (provenance,) + tuple(successor[:, w]
+                                  for w in range(word_count))))
+    head_positions = _np.where(head)[0]
+    group_of_sorted = _np.cumsum(head) - 1
+    return order, group_of_sorted, order[head_positions]
+
+
+def merge_sorted_index(keys, idx, new_keys, new_idx):
+    """Merge (unsorted) new entries into a sorted ``(keys, idx)`` pair.
+
+    One fused placement pass instead of two ``np.insert`` copies; returns
+    the merged ``(keys, idx)`` arrays.
+    """
+    order = _np.argsort(new_keys)
+    new_keys = new_keys[order]
+    insert_at = _np.searchsorted(keys, new_keys)
+    merged_size = len(keys) + len(new_keys)
+    new_slots = insert_at + _np.arange(len(new_keys))
+    old_slots = _np.ones(merged_size, dtype=bool)
+    old_slots[new_slots] = False
+    merged_keys = _np.empty(merged_size, dtype=keys.dtype)
+    merged_idx = _np.empty(merged_size, dtype=idx.dtype)
+    merged_keys[new_slots] = new_keys
+    merged_idx[new_slots] = new_idx[order]
+    merged_keys[old_slots] = keys
+    merged_idx[old_slots] = idx
+    return merged_keys, merged_idx
+
+
+#: ``2**61 - 1``, the Mersenne prime CPython reduces int hashes by.
+_HASH_MODULUS = (1 << 61) - 1
+
+
+def _mod_hash_prime(values):
+    """``values % (2**61 - 1)`` for a uint64 vector, in uint64 arithmetic."""
+    prime = _np.uint64(_HASH_MODULUS)
+    shift = _np.uint64(61)
+    values = (values & prime) + (values >> shift)
+    values = (values & prime) + (values >> shift)
+    return _np.where(values == prime, _np.uint64(0), values)
+
+
+def shard_rows(rows, workers):
+    """Vectorised :func:`repro.parallel.sharded.shard_of` over state rows.
+
+    Python's int hash is the value modulo ``2**61 - 1``; with little-endian
+    64-bit words that is a Horner evaluation in base ``2**64 === 8`` (mod
+    the prime), so the whole partition reduces to shifts and masked adds --
+    exactly matching ``hash(state) % workers`` bit for bit.
+    """
+    word_count = rows.shape[1]
+    acc = _mod_hash_prime(rows[:, word_count - 1])
+    for w in range(word_count - 2, -1, -1):
+        acc = _mod_hash_prime(
+            _mod_hash_prime(acc << _np.uint64(3)) + _mod_hash_prime(rows[:, w]))
+    return (acc % _np.uint64(workers)).astype(_np.int64)
+
+
+def pack_mask_rows(enabled):
+    """Pack a ``(n, transitions)`` bool matrix into little-endian mask bytes.
+
+    Row ``i`` packs to ``ceil(transitions / 8)`` bytes equal to the
+    sequential engine's ``mask.to_bytes(mask_width, "little")``.
+    """
+    return _np.packbits(enabled, axis=1, bitorder="little")
+
+
+def unpack_mask_rows(mask_bytes, transition_count):
+    """Inverse of :func:`pack_mask_rows` (*mask_bytes* is a uint8 matrix)."""
+    return _np.unpackbits(
+        mask_bytes, axis=1, bitorder="little")[:, :transition_count]
+
+
+class ColumnarReachabilityGraph(CompiledReachabilityGraph):
+    """Reachability graph stored columnar: NumPy arrays, not Python lists.
+
+    * ``_words`` -- the ``(states, words)`` uint64 state table;
+    * ``_edge_data`` / ``_edge_offsets`` -- packed ``t | target << 16`` edges
+      in one flat int64 array with CSR-style per-state offsets;
+    * ``_parents_arr`` -- packed ``parent << 16 | transition`` BFS parents
+      (``-1`` for the initial state);
+    * ``_frontier_arr`` -- sorted indices of partially-expanded states;
+    * ``_sorted_keys`` / ``_sorted_idx`` -- the byte-key index used for
+      O(log n) marking lookup without materialising Python ints.
+
+    The full marking-level :class:`~repro.petri.reachability.ReachabilityGraph`
+    API is preserved -- markings decode on demand, and the list-based mirrors
+    (``_mask_states`` and friends) materialise lazily so differential tests
+    and mixed-engine callers can still compare graphs field by field.
+    """
+
+    one_safe = True
+
+    def __init__(self, compiled, tables, initial_state):
+        ReachabilityGraph.__init__(self, compiled.net,
+                                   compiled.decode(initial_state))
+        self.compiled = compiled
+        self.tables = tables
+        self._decoded = {}
+        self._all_decoded = None
+        self._materialized = False
+        # Columnar storage (filled by explore_batch).
+        self._words = None
+        self._edge_data = None
+        self._edge_offsets = None
+        self._parents_arr = None
+        self._frontier_arr = None
+        self._hash_keys = None      # sorted row hashes of every state
+        self._hash_idx = None       # state index per sorted hash
+        # Lazy list-based mirrors of the arrays.
+        self._list_states = None
+        self._list_edges = None
+        self._list_parents = None
+        self._frontier_set = None
+
+    # -- list-based mirrors (lazy; differential tests, explicit fallbacks) ----
+
+    @property
+    def _mask_states(self):
+        if self._list_states is None:
+            ints = _np.zeros(len(self), dtype=object)
+            for w in range(self.tables.words):
+                ints |= self._words[:, w].astype(object) << (64 * w)
+            self._list_states = ints.tolist()
+        return self._list_states
+
+    @property
+    def _mask_edges(self):
+        if self._list_edges is None:
+            data = self._edge_data.tolist()
+            offsets = self._edge_offsets.tolist()
+            self._list_edges = [data[offsets[i]:offsets[i + 1]]
+                                for i in range(len(self))]
+        return self._list_edges
+
+    @property
+    def _parents(self):
+        if self._list_parents is None:
+            self._list_parents = [None if parent < 0 else parent
+                                  for parent in self._parents_arr.tolist()]
+        return self._list_parents
+
+    @property
+    def _frontier_indices(self):
+        if self._frontier_set is None:
+            self._frontier_set = set(self._frontier_arr.tolist())
+        return self._frontier_set
+
+    # -- decoding -------------------------------------------------------------
+
+    def _state_int(self, index):
+        return words_to_int(self._words[index])
+
+    def _marking_at(self, index):
+        marking = self._decoded.get(index)
+        if marking is None:
+            marking = self.compiled.decode(self._state_int(index))
+            self._decoded[index] = marking
+        return marking
+
+    def _index_of(self, marking):
+        try:
+            state = self.compiled.encode(marking)
+        except CompilationError:
+            return None
+        row = self.tables.encode_rows([state])
+        key = self.tables.hash_rows(row)[0]
+        keys = self._hash_keys
+        position = int(_np.searchsorted(keys, key))
+        # Hashes only pre-filter: scan the (almost always length-one) run of
+        # equal hashes and compare the actual rows.
+        while position < len(keys) and keys[position] == key:
+            index = int(self._hash_idx[position])
+            if bool((self._words[index] == row[0]).all()):
+                return index
+            position += 1
+        return None
+
+    # -- ReachabilityGraph API ------------------------------------------------
+
+    def __len__(self):
+        return int(self._words.shape[0])
+
+    @property
+    def states(self):
+        if self._all_decoded is None:
+            self._all_decoded = [self._marking_at(i) for i in range(len(self))]
+        return list(self._all_decoded)
+
+    def enabled(self, marking):
+        index = self._index_of(marking)
+        if index is None:
+            raise KeyError(marking)
+        names = self.compiled.transition_names
+        low = int(self._edge_offsets[index])
+        high = int(self._edge_offsets[index + 1])
+        return sorted({names[int(packed) & 0xFFFF]
+                       for packed in self._edge_data[low:high]})
+
+    @property
+    def frontier(self):
+        return {self._marking_at(int(i)) for i in self._frontier_arr}
+
+    def is_expanded(self, marking):
+        index = self._index_of(marking)
+        if index is None:
+            return False
+        position = int(_np.searchsorted(self._frontier_arr, index))
+        return not (position < len(self._frontier_arr)
+                    and int(self._frontier_arr[position]) == index)
+
+    def deadlocks(self):
+        degrees = _np.diff(self._edge_offsets)
+        dead = _np.where(degrees == 0)[0]
+        if len(self._frontier_arr):
+            dead = dead[~_np.isin(dead, self._frontier_arr)]
+        return [self._marking_at(int(i)) for i in dead]
+
+    def edge_count(self):
+        return int(len(self._edge_data))
+
+    def trace_to(self, target):
+        index = self._index_of(target)
+        if index is None:
+            from repro.exceptions import VerificationError
+            raise VerificationError(
+                "marking is not reachable: {!r}".format(target))
+        trace = []
+        names = self.compiled.transition_names
+        parents = self._parents_arr
+        while parents[index] >= 0:
+            packed = int(parents[index])
+            trace.append(names[packed & 0xFFFF])
+            index = packed >> 16
+        trace.reverse()
+        return trace
+
+    # -- vectorised fast paths ------------------------------------------------
+
+    def word_bit_of(self, place):
+        """``(word, bit)`` of *place* in the state table (``None`` unknown)."""
+        return self.tables.word_bit_of(place)
+
+    def matching_rows(self, row_predicate):
+        """Indices of states whose rows satisfy a vectorised predicate.
+
+        *row_predicate* receives the whole ``(states, words)`` uint64 table
+        and returns a boolean vector; this is the bulk counterpart of
+        :meth:`scan_masks` used by the Reach evaluator.
+        """
+        flags = row_predicate(self._words)
+        return _np.where(flags)[0]
+
+    def scan_rows(self, row_predicate, limit=None):
+        """Yield markings matched by a vectorised predicate, discovery order."""
+        matches = self.matching_rows(row_predicate)
+        if limit is not None:
+            matches = matches[:limit]
+        for index in matches:
+            yield self._marking_at(int(index))
+
+    def count_and_collect_rows(self, row_predicate, max_witnesses):
+        """Vectorised ``(count, markings)`` over the whole state table."""
+        matches = self.matching_rows(row_predicate)
+        return len(matches), [self._marking_at(int(i))
+                              for i in matches[:max_witnesses]]
+
+    def count_and_collect_required(self, required_mask, max_witnesses):
+        """States containing every place of an int *required_mask*.
+
+        The all-places-marked scan (mutual exclusion and friends) as one
+        compare per word over the state table.
+        """
+        required = self.tables.encode_rows([required_mask])[0]
+
+        def matches(words):
+            flags = _np.ones(len(words), dtype=bool)
+            for w in range(self.tables.words):
+                flags &= (words[:, w] & required[w]) == required[w]
+            return flags
+
+        return self.count_and_collect_rows(matches, max_witnesses)
+
+    def persistence_scan(self, allow_conflicts=True, max_witnesses=5):
+        """The persistence scan of the compiled graph, vectorised.
+
+        Identical contract and witness order: states in discovery order, the
+        fired/disabled pair loops in edge order, frontier states skipped.
+        Pair matrices are built in bounded blocks so a dense level cannot
+        blow the transient memory up.
+        """
+        tables = self.tables
+        words = self._words
+        data = self._edge_data
+        offsets = self._edge_offsets
+        degrees = _np.diff(offsets)
+        eligible = degrees >= 2
+        if len(self._frontier_arr):
+            eligible[self._frontier_arr] = False
+        candidates = _np.where(eligible)[0]
+        if not len(candidates):
+            return 0, []
+        violations = 0
+        witnesses = []
+        names = self.compiled.transition_names
+        pair_counts = (degrees[candidates] * degrees[candidates]).astype(
+            _np.int64)
+        boundaries = _np.cumsum(pair_counts)
+        start = 0
+        while start < len(candidates):
+            base = int(boundaries[start - 1]) if start else 0
+            stop = start + 1
+            while (stop < len(candidates)
+                   and int(boundaries[stop]) - base <= _PAIR_BLOCK):
+                stop += 1
+            block = candidates[start:stop]
+            degree = degrees[block]
+            counts = (degree * degree).astype(_np.int64)
+            state_rep = _np.repeat(block, counts)
+            start_rep = _np.repeat(offsets[block], counts)
+            degree_rep = _np.repeat(degree, counts)
+            pair = _group_arange(counts)
+            first = pair // degree_rep
+            second = pair % degree_rep
+            edge_one = data[start_rep + first]
+            edge_two = data[start_rep + second]
+            fired = (edge_one & 0xFFFF).astype(_np.int64)
+            other = (edge_two & 0xFFFF).astype(_np.int64)
+            keep = fired != other
+            if allow_conflicts:
+                conflict = _np.zeros(len(keep), dtype=bool)
+                for w in range(tables.words):
+                    conflict |= (tables.consume[fired, w]
+                                 & tables.consume[other, w]) != 0
+                keep &= ~conflict
+            after = (edge_one >> 16)[keep]
+            other_kept = other[keep]
+            disabled = _np.zeros(len(other_kept), dtype=bool)
+            for w in range(tables.words):
+                need_w = tables.need[other_kept, w]
+                disabled |= (words[after, w] & need_w) != need_w
+            violations += int(disabled.sum())
+            if len(witnesses) < max_witnesses:
+                hits = _np.where(disabled)[0]
+                kept_positions = _np.where(keep)[0]
+                for hit in hits[:max_witnesses - len(witnesses)]:
+                    position = int(kept_positions[hit])
+                    witnesses.append({
+                        "marking": self._marking_at(int(state_rep[position])),
+                        "fired": names[int(fired[position])],
+                        "disabled": names[int(other[position])],
+                    })
+            start = stop
+        return violations, witnesses
+
+
+def compile_row_predicate(expression, word_bit_of):
+    """Compile a Reach AST into a vectorised predicate over state tables.
+
+    The columnar counterpart of
+    :func:`repro.reach.evaluator.compile_mask_predicate`: the returned
+    callable receives the whole ``(states, words)`` uint64 table and
+    returns a boolean vector.  *word_bit_of* maps a place name to its
+    ``(word, single-bit)`` pair or ``None`` for unknown places (which hold
+    zero tokens, matching marking semantics on 1-safe states).  Returns
+    ``None`` for AST node kinds this compiler does not know, in which case
+    callers fall back to the mask- or marking-level evaluators.
+    """
+    from repro.reach import ast as _ast
+
+    if isinstance(expression, _ast.Constant):
+        value = bool(expression.value)
+        return lambda words: _np.full(len(words), value, dtype=bool)
+    if isinstance(expression, _ast.Marked):
+        position = word_bit_of(expression.place)
+        if position is None:
+            return lambda words: _np.zeros(len(words), dtype=bool)
+        word, bit = position
+        return lambda words: (words[:, word] & bit) != 0
+    if isinstance(expression, _ast.Compare):
+        position = word_bit_of(expression.place)
+        operator = _ast.Compare._OPERATORS[expression.operator]
+        value = expression.value
+        if position is None:
+            outcome = bool(operator(0, value))
+            return lambda words: _np.full(len(words), outcome, dtype=bool)
+        word, bit = position
+        def compare(words):
+            tokens = ((words[:, word] & bit) != 0).astype(_np.int64)
+            return operator(tokens, value)
+        return compare
+    if isinstance(expression, _ast.Not):
+        operand = compile_row_predicate(expression.operand, word_bit_of)
+        if operand is None:
+            return None
+        return lambda words: ~operand(words)
+    if isinstance(expression, (_ast.And, _ast.Or, _ast.Implies)):
+        left = compile_row_predicate(expression.left, word_bit_of)
+        right = compile_row_predicate(expression.right, word_bit_of)
+        if left is None or right is None:
+            return None
+        if isinstance(expression, _ast.And):
+            return lambda words: left(words) & right(words)
+        if isinstance(expression, _ast.Or):
+            return lambda words: left(words) | right(words)
+        return lambda words: ~left(words) | right(words)
+    return None
+
+
+def _probe_rows(hash_keys, hash_idx, words_buffer, rows, hashes, word_count):
+    """Resolve candidate *rows* against the sorted hash index.
+
+    Returns an int64 vector of global state indices (``-1`` for unknown
+    rows).  The hash is only a pre-filter: every hit is verified by an exact
+    row compare, and runs of colliding hashes are scanned to the end, so the
+    result is exact whatever the hash quality.
+    """
+    targets = _np.full(len(rows), -1, dtype=_np.int64)
+    table_size = len(hash_keys)
+    position = _np.searchsorted(hash_keys, hashes)
+    open_rows = _np.arange(len(rows), dtype=_np.int64)
+    while len(open_rows):
+        in_range = position < table_size
+        open_rows = open_rows[in_range]
+        if not len(open_rows):
+            break
+        position = position[in_range]
+        candidate = hash_keys[position] == hashes[open_rows]
+        open_rows = open_rows[candidate]
+        if not len(open_rows):
+            break
+        position = position[candidate]
+        indices = hash_idx[position]
+        matches = _np.ones(len(open_rows), dtype=bool)
+        for w in range(word_count):
+            matches &= words_buffer[indices, w] == rows[open_rows, w]
+        targets[open_rows[matches]] = indices[matches]
+        # A hash hit with a different row is a collision: step down the run.
+        open_rows = open_rows[~matches]
+        position = position[~matches] + 1
+    return targets
+
+
+def explore_batch(compiled, marking=None, max_states=200000):
+    """Whole-frontier breadth-first exploration on NumPy arrays.
+
+    Returns a :class:`ColumnarReachabilityGraph` bit-identical to
+    ``explore_compiled(compiled, marking, max_states)`` -- same discovery
+    order, packed edges, parents, frontier and truncation -- built one BFS
+    level per step instead of one transition per step.  The enabled matrix
+    of a level is propagated incrementally from the parents (only the
+    watch-listed transitions of the discovering firing are recomputed, the
+    vectorised analogue of the sequential engine's incremental masks).
+    Raises :class:`~repro.exceptions.CompilationError` when NumPy is
+    unavailable, so ``engine="auto"`` callers fall through to the pure-int
+    engines.
+    """
+    _require_numpy()
+    if not isinstance(compiled, CompiledNet):
+        compiled = CompiledNet.compile(compiled)
+    tables = WordTables(compiled)
+    initial = marking if marking is not None else compiled.net.initial_marking()
+    initial_state = compiled.encode(initial)
+    graph = ColumnarReachabilityGraph(compiled, tables, initial_state)
+
+    word_count = tables.words
+    transition_names = compiled.transition_names
+    place_names = compiled.place_names
+
+    from time import perf_counter
+
+    #: Per-phase second counters, printed when REPRO_BATCH_TIMING is set:
+    #: fire (enabled scan + firing), dedup (sort + grouping), probe (global
+    #: lookup), admit (admission + incremental masks + index merge), edges.
+    timing = {"fire": 0.0, "dedup": 0.0, "probe": 0.0, "admit": 0.0,
+              "edges": 0.0}
+
+    level = tables.encode_rows([initial_state])
+    level_enabled = tables.enabled_matrix(level)
+    parent_chunks = [_np.full(1, -1, dtype=_np.int64)]
+    edge_chunks = []
+    count_chunks = []
+    frontier_chunks = []
+    # The state table doubles as the exact-match side of the hash probe, so
+    # it is kept in an amortised-growth buffer instead of per-level chunks.
+    words_buffer = _np.zeros((256, word_count), dtype=_np.uint64)
+    words_buffer[0] = level[0]
+    hash_keys = tables.hash_rows(level)
+    hash_idx = _np.zeros(1, dtype=_np.int64)
+    total = 1
+    truncated = False
+
+    while len(level):
+        level_start = total - len(level)
+        phase_started = perf_counter()
+        flat = _np.flatnonzero(level_enabled)
+        if not len(flat):
+            break
+        try:
+            source_local, transition, successor = fire_enabled(tables, level,
+                                                               flat)
+        except SafenessOverflowError as overflow:
+            # Report the first offender in expansion order, exactly as the
+            # sequential engine would have -- by name at this level.
+            raise SafenessOverflowError(
+                transition_names[overflow.transition],
+                place_names[overflow.place]) from None
+        source = source_local + level_start
+        hashes = tables.hash_rows(successor)
+        provenance = (source << 16) | transition
+        timing["fire"] += perf_counter() - phase_started
+        phase_started = perf_counter()
+
+        # Intra-level dedup of *all* successors first, so the (more
+        # expensive) probe against the global state table only runs once per
+        # distinct successor.  A sort on the row hashes makes equal rows
+        # adjacent; each group's provenance is the minimum over its members
+        # -- the edge over which the sequential BFS first discovers that
+        # state.
+        (order, group_of_sorted, group_rows, group_hashes,
+         group_provenance) = dedup_rows(successor, hashes, provenance,
+                                        word_count)
+        timing["dedup"] += perf_counter() - phase_started
+        phase_started = perf_counter()
+
+        # Resolve the distinct successors against the globally known states
+        # (exact, hash-accelerated), then admit the unknown ones in
+        # provenance order up to the state budget.
+        group_target = _probe_rows(hash_keys, hash_idx, words_buffer,
+                                   group_rows, group_hashes, word_count)
+        fresh_groups = _np.where(group_target < 0)[0]
+        timing["probe"] += perf_counter() - phase_started
+        phase_started = perf_counter()
+        admitted_rows = None
+        admitted_enabled = None
+        if len(fresh_groups):
+            admission = _np.argsort(group_provenance[fresh_groups])
+            capacity = max(0, max_states - total)
+            admitted = fresh_groups[admission[:capacity]]
+            if len(admitted) < len(fresh_groups):
+                truncated = True
+            group_target[admitted] = total + _np.arange(len(admitted))
+            admitted_provenance = group_provenance[admitted]
+            admitted_rows = group_rows[admitted]
+            parent_chunks.append(admitted_provenance)
+            # Grow the state buffer and append the admitted rows.
+            while total + len(admitted) > len(words_buffer):
+                words_buffer = _np.concatenate(
+                    [words_buffer, _np.zeros_like(words_buffer)])
+            words_buffer[total:total + len(admitted)] = admitted_rows
+            # Incremental enabledness: inherit the parent's enabled row,
+            # recompute only the transitions watching a place the
+            # discovering firing touched.
+            if len(admitted):
+                parent_local = (admitted_provenance >> 16) - level_start
+                admitted_enabled = level_enabled[parent_local]
+                fired = admitted_provenance & 0xFFFF
+                refresh_enabled(tables, admitted_enabled, admitted_rows,
+                                fired)
+            total += len(admitted)
+            # Merge the admitted hashes into the sorted hash index (one
+            # fused pass instead of two np.insert copies).
+            if len(admitted):
+                hash_keys, hash_idx = merge_sorted_index(
+                    hash_keys, hash_idx,
+                    group_hashes[admitted], group_target[admitted])
+
+        timing["admit"] += perf_counter() - phase_started
+        phase_started = perf_counter()
+        # Resolve every edge through its dedup group.
+        targets = _np.empty(len(order), dtype=_np.int64)
+        targets[order] = group_target[group_of_sorted]
+        if (group_target >= 0).all():
+            # Nothing was rejected: every edge survives (the common case).
+            edge_chunks.append(transition | (targets << 16))
+            count_chunks.append(_np.bincount(source_local,
+                                             minlength=len(level)))
+        else:
+            kept = targets >= 0
+            edge_chunks.append(transition[kept] | (targets[kept] << 16))
+            count_chunks.append(_np.bincount(source_local[kept],
+                                             minlength=len(level)))
+            frontier_chunks.append(_np.unique(source[~kept]))
+        timing["edges"] += perf_counter() - phase_started
+        if admitted_rows is not None and len(admitted_rows):
+            level = admitted_rows
+            level_enabled = admitted_enabled
+        else:
+            level = _np.empty((0, word_count), dtype=_np.uint64)
+
+    import os
+    if os.environ.get("REPRO_BATCH_TIMING"):
+        import sys
+        print("batch explorer: fire {fire:.2f}s dedup {dedup:.2f}s "
+              "probe {probe:.2f}s admit {admit:.2f}s edges {edges:.2f}s"
+              .format(**timing), file=sys.stderr)
+    graph._words = words_buffer[:total].copy()
+    graph._parents_arr = _np.concatenate(parent_chunks)
+    if edge_chunks:
+        graph._edge_data = _np.concatenate(edge_chunks)
+        counts = _np.concatenate(count_chunks)
+    else:
+        graph._edge_data = _np.empty(0, dtype=_np.int64)
+        counts = _np.zeros(total, dtype=_np.int64)
+    if len(counts) < total:
+        # States admitted on the last level expand to nothing enabled; their
+        # (empty) count rows are still owed to the CSR offsets.
+        counts = _np.concatenate(
+            [counts, _np.zeros(total - len(counts), dtype=_np.int64)])
+    offsets = _np.zeros(total + 1, dtype=_np.int64)
+    _np.cumsum(counts, out=offsets[1:])
+    graph._edge_offsets = offsets
+    graph._frontier_arr = (_np.concatenate(frontier_chunks)
+                           if frontier_chunks
+                           else _np.empty(0, dtype=_np.int64))
+    graph._hash_keys = hash_keys
+    graph._hash_idx = hash_idx
+    graph.truncated = truncated
+    return graph

@@ -65,6 +65,18 @@ def scan_enabled_mask(need, state):
     return mask
 
 
+def transition_watch_lists(affected):
+    """Per transition: the tuple of transition indices to re-check after it.
+
+    This is the single source of the watch-list structure shared by every
+    engine: the sequential explorer and the pure-int shard workers consume
+    it through :func:`expand_watch_pairs`, and the batch (NumPy) engines
+    through :class:`repro.petri.batch.WordTables` -- so the incremental
+    enabled-set update logic cannot diverge between them.
+    """
+    return [tuple(iter_bits(mask)) for mask in affected]
+
+
 def expand_watch_pairs(need, affected):
     """Per transition: ``(((bit, need), ...), touched_mask)`` watch pairs.
 
@@ -75,8 +87,8 @@ def expand_watch_pairs(need, affected):
     sequential and sharded explorers so the update logic cannot diverge.
     """
     return [
-        (tuple((1 << i, need[i]) for i in iter_bits(mask)), mask)
-        for mask in affected
+        (tuple((1 << i, need[i]) for i in watched), mask)
+        for watched, mask in zip(transition_watch_lists(affected), affected)
     ]
 
 

@@ -196,42 +196,62 @@ def build_reachability_graph(net, marking=None, max_states=200000, engine="auto"
     net, marking, max_states:
         As for :func:`explore`.
     engine:
-        ``"auto"`` (default) compiles 1-safe nets to the bitmask engine of
-        :mod:`repro.petri.compiled` and falls back to the explicit explorer
-        for nets it cannot represent (arc weights above one, multi-token
-        markings, non-safe behaviour discovered mid-exploration).
-        ``"compiled"`` forces the bitmask engine and raises
-        :class:`~repro.exceptions.CompilationError` when the net does not
-        fit it; ``"explicit"`` forces the hash-dict explorer.
+        ``"auto"`` (default) compiles 1-safe nets to a bitmask engine --
+        the array-native batch explorer of :mod:`repro.petri.batch` when
+        the optional NumPy extra is importable, the pure-int engine of
+        :mod:`repro.petri.compiled` otherwise -- and falls back to the
+        explicit explorer for nets it cannot represent (arc weights above
+        one, multi-token markings, non-safe behaviour discovered
+        mid-exploration).  ``"batch"`` forces the NumPy whole-frontier
+        engine (raising :class:`~repro.exceptions.CompilationError` when
+        NumPy is missing), ``"compiled"`` forces the pure-int bitmask
+        engine; both raise when the net does not fit the 1-safe
+        representation.  ``"explicit"`` forces the hash-dict explorer.
     workers:
         ``> 1`` explores the compiled relation with the sharded parallel
-        explorer of :mod:`repro.parallel.sharded`, whose graph is
+        explorer of :mod:`repro.parallel.sharded` (whose workers expand
+        vectorised whenever NumPy is importable), with a graph
         bit-identical to the single-process one.  Ignored on the explicit
         path, and inside daemonic workers (which cannot spawn children --
         campaign jobs fall back to the sequential engine transparently).
 
     All engines explore states in the same order and implement the same
-    truncation semantics, so the resulting graphs are interchangeable.
+    truncation semantics, so the resulting graphs are interchangeable --
+    bit-identical on states, packed edges, parents, frontier and
+    truncation across the compiled family.
     """
     if engine == "explicit":
         return explore(net, marking, max_states=max_states)
-    if engine not in ("auto", "compiled"):
+    if engine not in ("auto", "compiled", "batch"):
         raise ValueError("unknown reachability engine: {!r}".format(engine))
     # Imported lazily: compiled.py subclasses ReachabilityGraph.
     from repro.exceptions import CompilationError
+    from repro.petri.batch import explore_batch, numpy_available
     from repro.petri.compiled import CompiledNet, explore_compiled
 
     try:
+        if engine == "batch" and not numpy_available():
+            raise CompilationError(
+                "engine=\"batch\" requires the optional NumPy extra "
+                "(pip install numpy, and REPRO_NO_NUMPY unset)")
         compiled = CompiledNet.compile(net)
+        use_batch = engine == "batch" or (engine == "auto" and numpy_available())
         if workers and int(workers) > 1:
             from repro.parallel.context import in_daemon_worker
             from repro.parallel.sharded import explore_sharded
 
             if not in_daemon_worker():
+                # The engine choice binds the worker backend too: "compiled"
+                # forces pure-int workers, "batch" vectorised ones, "auto"
+                # lets each worker pick by NumPy availability.
                 return explore_sharded(compiled, marking,
-                                       max_states=max_states, workers=workers)
+                                       max_states=max_states, workers=workers,
+                                       batch=None if engine == "auto"
+                                       else use_batch)
+        if use_batch:
+            return explore_batch(compiled, marking, max_states=max_states)
         return explore_compiled(compiled, marking, max_states=max_states)
     except CompilationError:
-        if engine == "compiled":
+        if engine == "compiled" or engine == "batch":
             raise
         return explore(net, marking, max_states=max_states)

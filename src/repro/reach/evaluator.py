@@ -71,8 +71,30 @@ def compile_mask_predicate(expression, mask_of):
     return None
 
 
+def _columnar_scan(expression, graph):
+    """Return a vectorised row-level scanner for *graph*, or ``None``.
+
+    Columnar graphs (:mod:`repro.petri.batch`) store states as a uint64
+    word matrix; on those the expression compiles to one whole-table
+    vector operation instead of a per-state predicate call.
+    """
+    word_bit_of = getattr(graph, "word_bit_of", None)
+    scan = getattr(graph, "scan_rows", None)
+    if word_bit_of is None or scan is None:
+        return None
+    from repro.petri.batch import compile_row_predicate
+
+    predicate = compile_row_predicate(expression, word_bit_of)
+    if predicate is None:
+        return None
+    return lambda limit: scan(predicate, limit=limit)
+
+
 def _compiled_scan(expression, graph):
-    """Return a mask-level scanner for *graph*, or ``None``."""
+    """Return the fastest mask-level scanner for *graph*, or ``None``."""
+    scanner = _columnar_scan(expression, graph)
+    if scanner is not None:
+        return scanner
     mask_of = getattr(graph, "mask_of", None)
     scan = getattr(graph, "scan_masks", None)
     if mask_of is None or scan is None:

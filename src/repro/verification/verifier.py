@@ -65,10 +65,12 @@ class Verifier:
     * ``"portfolio"`` -- races the above, first conclusive verdict wins.
 
     *engine* selects the state-space engine used by the exhaustive path:
-    ``"auto"`` compiles 1-safe nets to the bitmask engine of
-    :mod:`repro.petri.compiled` and falls back to the explicit explorer,
-    ``"compiled"`` fails loudly instead of falling back, ``"explicit"``
-    forces the hash-dict explorer.  *workers* > 1 runs the compiled
+    ``"auto"`` compiles 1-safe nets to a bitmask engine -- the array-native
+    batch explorer of :mod:`repro.petri.batch` when the optional NumPy
+    extra is importable, the pure-int engine of
+    :mod:`repro.petri.compiled` otherwise -- and falls back to the
+    explicit explorer; ``"batch"`` / ``"compiled"`` fail loudly instead of
+    falling back, ``"explicit"`` forces the hash-dict explorer.  *workers* > 1 runs the compiled
     exploration sharded across worker processes
     (:mod:`repro.parallel.sharded`) -- the graph, and therefore every
     verdict, is bit-identical to the sequential one.  *semiflow_cache*

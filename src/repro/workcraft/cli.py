@@ -283,9 +283,12 @@ def build_parser():
                         help="verification engine: exhaustive exploration, "
                              "inductive proving, random-walk falsification, "
                              "or a portfolio race (default exhaustive)")
-    verify.add_argument("--engine", choices=("auto", "compiled", "explicit"),
+    verify.add_argument("--engine",
+                        choices=("auto", "batch", "compiled", "explicit"),
                         default="auto",
-                        help="state-space engine of the exhaustive path")
+                        help="state-space engine of the exhaustive path "
+                             "(auto prefers the NumPy batch engine when "
+                             "the optional extra is installed)")
     verify.add_argument("--workers", type=int, default=0,
                         help="worker processes for sharded state-space "
                              "exploration (default 0: sequential; the "
@@ -326,7 +329,8 @@ def build_parser():
     campaign.add_argument("--properties", default=",".join(DEFAULT_PROPERTIES),
                           help="comma list of checks (default {})".format(
                               ",".join(DEFAULT_PROPERTIES)))
-    campaign.add_argument("--engine", choices=("auto", "compiled", "explicit"),
+    campaign.add_argument("--engine",
+                          choices=("auto", "batch", "compiled", "explicit"),
                           default="auto")
     campaign.add_argument("--checker", choices=sorted(CHECKERS),
                           default=None,

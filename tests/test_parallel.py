@@ -118,6 +118,72 @@ class TestShardedExploration:
                                                     for s in states]
 
 
+class TestExchangeProtocol:
+    """Chunked streaming, the resolution memo, and the worker backends."""
+
+    def test_tiny_chunks_stay_bit_identical(self):
+        """Many chunks per level exercise the streamed relay/final markers."""
+        dfs = build_pipeline_model(2, static_prefix=1)
+        compiled = CompiledNet.compile(to_petri_net(dfs))
+        sequential = explore_compiled(compiled, max_states=2000)
+        for chunk_states in (1, 3, 17):
+            sharded = explore_sharded(compiled, max_states=2000, workers=3,
+                                      chunk_states=chunk_states)
+            _assert_identical(sequential, sharded,
+                              "chunk_states={}".format(chunk_states))
+
+    def test_memo_on_off_and_disabled_stay_bit_identical(self):
+        for name, dfs in _example_models():
+            compiled = CompiledNet.compile(to_petri_net(dfs))
+            sequential = explore_compiled(compiled, max_states=5000)
+            for memo_size in (0, 2, 65536):
+                sharded = explore_sharded(compiled, max_states=5000,
+                                          workers=2, memo_size=memo_size)
+                _assert_identical(sequential, sharded,
+                                  "{} memo_size={}".format(name, memo_size))
+
+    def test_both_backends_stay_bit_identical(self):
+        """The pure-int and (when available) NumPy workers interchange."""
+        dfs = build_pipeline_model(3, static_prefix=1, holes=[2])
+        compiled = CompiledNet.compile(to_petri_net(dfs))
+        for max_states in (50, 5000):
+            sequential = explore_compiled(compiled, max_states=max_states)
+            for batch in (False, None):
+                sharded = explore_sharded(compiled, max_states=max_states,
+                                          workers=2, batch=batch)
+                _assert_identical(sequential, sharded,
+                                  "batch={} max_states={}".format(
+                                      batch, max_states))
+
+    def test_exchange_stats_are_attached_and_consistent(self):
+        dfs = build_pipeline_model(2, static_prefix=1)
+        compiled = CompiledNet.compile(to_petri_net(dfs))
+        with_memo = explore_sharded(compiled, max_states=5000, workers=2)
+        without = explore_sharded(compiled, max_states=5000, workers=2,
+                                  memo_size=0, batch=False)
+        for stats in (with_memo.exchange_stats, without.exchange_stats):
+            assert set(stats) == {"memo_hits", "foreign_refs", "levels",
+                                  "chunk_messages"}
+            assert stats["levels"] > 0
+            assert stats["chunk_messages"] >= stats["levels"]
+            assert stats["memo_hits"] <= stats["foreign_refs"]
+        # Both backends route the same successors across shards.
+        assert with_memo.exchange_stats["foreign_refs"] == \
+            without.exchange_stats["foreign_refs"]
+        assert without.exchange_stats["memo_hits"] == 0
+
+    def test_memo_hits_on_reconvergent_graph(self):
+        """Cross-level re-references must be answered from the memo."""
+        compiled = CompiledNet.compile(
+            to_petri_net(token_ring(registers=5, tokens=2)))
+        sequential = explore_compiled(compiled)
+        for batch in (False, None):
+            sharded = explore_sharded(compiled, workers=3, batch=batch)
+            _assert_identical(sequential, sharded,
+                              "memo batch={}".format(batch))
+            assert sharded.exchange_stats["memo_hits"] > 0
+
+
 # -- the supervised pool ------------------------------------------------------
 
 

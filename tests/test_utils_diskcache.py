@@ -1,0 +1,132 @@
+"""Tests for the shared JSON disk-cache layer (repro.utils.diskcache).
+
+The cache's contract is crash/corruption tolerance: atomic writes (readers
+never observe a half-written entry, even with concurrent writers racing on
+one key), unreadable entries degrading to misses, and the higher-level
+caches built on it (here :class:`~repro.petri.invariants.SemiflowCache`)
+surviving truncated files by recomputing.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.dfs.examples import token_ring
+from repro.dfs.translation import to_petri_net
+from repro.parallel.context import mp_context
+from repro.petri.invariants import (
+    SemiflowCache,
+    compute_semiflows,
+    compute_semiflows_cached,
+)
+from repro.utils.diskcache import JsonDiskCache, canonical_json, digest
+
+
+def _hammer_writer(directory, key, payload, rounds):
+    cache = JsonDiskCache(directory)
+    for _ in range(rounds):
+        cache.put(key, payload)
+
+
+class TestAtomicity:
+    def test_concurrent_writers_same_key_leave_a_complete_entry(self, tmp_path):
+        """Two processes racing on one key: the file is always whole.
+
+        Each writer stores a *different* self-consistent payload; whatever
+        interleaving happens, the surviving entry must be exactly one of
+        them (``os.replace`` is atomic), never a mixture or a torn write.
+        """
+        directory = str(tmp_path)
+        key = "contended"
+        payloads = [{"writer": index, "blob": "x" * 4096, "check": index * 7}
+                    for index in range(2)]
+        context = mp_context()
+        writers = [
+            context.Process(target=_hammer_writer,
+                            args=(directory, key, payloads[index], 50))
+            for index in range(2)
+        ]
+        cache = JsonDiskCache(directory)
+        for process in writers:
+            process.start()
+        # Read concurrently while the writers race: every observed entry
+        # must be one of the two complete payloads, never a torn mixture.
+        while any(process.is_alive() for process in writers):
+            entry = cache.get(key)
+            if entry is not None:
+                assert entry in payloads
+        for process in writers:
+            process.join(timeout=30)
+            assert process.exitcode == 0
+        final = cache.get(key)
+        assert final in payloads
+        # No temp files may survive the race.
+        leftovers = [name for name in os.listdir(directory)
+                     if name.endswith(".tmp")]
+        assert leftovers == []
+        assert len(cache) == 1
+
+    def test_put_cleans_up_on_serialisation_failure(self, tmp_path):
+        cache = JsonDiskCache(str(tmp_path))
+        with pytest.raises(TypeError):
+            cache.put("bad", {"handle": object()})
+        assert [name for name in os.listdir(str(tmp_path))
+                if name.endswith(".tmp")] == []
+        assert cache.get("bad") is None
+
+
+class TestCorruptionRecovery:
+    @pytest.mark.parametrize("damage", [
+        pytest.param(b"", id="empty-file"),
+        pytest.param(b"{\"trunc", id="truncated-json"),
+        pytest.param(b"\x00\xff garbage \x80", id="binary-garbage"),
+        pytest.param(b"[1, 2", id="unclosed-array"),
+    ])
+    def test_corrupt_entry_counts_as_miss_and_is_overwritten(self, tmp_path,
+                                                             damage):
+        cache = JsonDiskCache(str(tmp_path))
+        key = digest({"k": 1})
+        cache.put(key, {"value": 41})
+        with open(cache.path(key), "wb") as handle:
+            handle.write(damage)
+        assert cache.get(key) is None  # corrupt == miss, not an error
+        cache.put(key, {"value": 42})  # ...and the caller's recompute heals it
+        assert cache.get(key) == {"value": 42}
+
+    def test_unreadable_entry_counts_as_miss(self, tmp_path):
+        cache = JsonDiskCache(str(tmp_path))
+        assert cache.get("never-written") is None
+
+    def test_canonical_json_is_deterministic(self):
+        left = canonical_json({"b": 2, "a": [1, {"d": 4, "c": 3}]})
+        right = canonical_json({"a": [1, {"c": 3, "d": 4}], "b": 2})
+        assert left == right
+        assert digest({"b": 2, "a": 1}) == digest({"a": 1, "b": 2})
+
+
+class TestSemiflowCacheRecovery:
+    def test_survives_truncated_json_file(self, tmp_path):
+        """A truncated entry must recompute (bit-identically) and heal."""
+        net = to_petri_net(token_ring())
+        cache = SemiflowCache(str(tmp_path))
+        cold = compute_semiflows_cached(net, cache=cache)
+        path = cache.path(cache.entry_key(net, 20000))
+        with open(path, "r", encoding="utf-8") as handle:
+            content = handle.read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content[:len(content) // 2])  # truncate mid-payload
+        with pytest.raises(json.JSONDecodeError):
+            json.load(open(path, "r", encoding="utf-8"))
+        healed = compute_semiflows_cached(net, cache=cache)
+        assert healed == cold == compute_semiflows(net)
+        # The recomputation overwrote the damaged entry with a valid one.
+        assert json.load(open(path, "r", encoding="utf-8"))["semiflows"]
+
+    def test_survives_binary_garbage(self, tmp_path):
+        net = to_petri_net(token_ring())
+        cache = SemiflowCache(str(tmp_path))
+        cold = compute_semiflows_cached(net, cache=cache)
+        with open(cache.path(cache.entry_key(net, 20000)), "wb") as handle:
+            handle.write(b"\x93NUMPY not json")
+        assert compute_semiflows_cached(net, cache=cache) == cold
