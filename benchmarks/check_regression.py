@@ -82,6 +82,18 @@ GATES = [
         "tolerance": 3.00,
     },
     {
+        # The service's content-addressed reuse: a warm key answered at
+        # submit time vs a cold pool execution.  Both sides divide small
+        # timings, so the band is wide -- the gate exists to catch the warm
+        # path regressing toward a re-verification, not millisecond drift.
+        "table": "service result reuse",
+        "key": "mode",
+        "reference": "cold",
+        "gated": "warm",
+        "label": "service warm-key reuse",
+        "tolerance": 3.00,
+    },
+    {
         "table": "time slope vs voltage",
         "key": "voltage_V",
         "reference": "1.6",

@@ -53,13 +53,16 @@ from repro.campaign.runner import (
     run_campaign,
     start_method,
 )
+from repro.campaign.scheduler import CampaignScheduler, JobTicket
 from repro.campaign.scenario import ScenarioSpec, enumerate_grid, generate_scenarios
 
 __all__ = [
     "CampaignReport",
     "CampaignResult",
+    "CampaignScheduler",
     "DEFAULT_PROPERTIES",
     "FACTORIES",
+    "JobTicket",
     "ResultCache",
     "ScenarioSpec",
     "VerificationJob",

@@ -181,20 +181,51 @@ class VerificationJob:
             description["metadata"] = dict(self.metadata)
         return description
 
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a job from its :meth:`to_dict` wire form.
+
+        This is the deserialisation half of the wire protocol: a service
+        client posts ``job.to_dict()`` as JSON and the daemon reconstructs
+        the job here.  Unknown keys are rejected loudly (a typoed option
+        silently ignored would verify something other than what the client
+        asked for).
+        """
+        payload = dict(payload)
+        try:
+            job_id = payload.pop("job_id")
+            factory = payload.pop("factory")
+        except KeyError as missing:
+            raise ConfigurationError(
+                "a job description needs a {} field".format(missing))
+        allowed = {"kwargs", "properties", "engine", "max_states",
+                   "max_witnesses", "checker", "checker_options",
+                   "custom_properties", "lfsr_seed", "simulate_steps",
+                   "voltage", "expect", "metadata", "workers"}
+        unknown = sorted(set(payload) - allowed)
+        if unknown:
+            raise ConfigurationError(
+                "unknown job field(s): {} (known: {})".format(
+                    ", ".join(unknown), ", ".join(sorted(allowed))))
+        return cls(job_id, factory, **payload)
+
     # -- execution -----------------------------------------------------------
 
     def build_model(self):
         """Resolve the factory and build the DFS model."""
         return resolve_factory(self.factory)(**self.kwargs)
 
-    def run(self, cache=None):
+    def run(self, cache=None, progress=None):
         """Build, verify (or answer from *cache*) and return a result dict.
 
         The returned dict has a deterministic ``"verdict"`` (the part the
         cache stores) plus per-run bookkeeping (``"cache"`` status and
         ``"elapsed"`` seconds).  *cache* is a
         :class:`~repro.campaign.cache.ResultCache`, a cache directory path,
-        or ``None`` to disable caching.
+        or ``None`` to disable caching.  *progress* is forwarded to
+        :meth:`~repro.verification.verifier.Verifier.verify_properties` on
+        cache misses (warm runs never re-verify, so they emit no
+        per-property events).
         """
         started = time.perf_counter()
         if cache is not None and not isinstance(cache, ResultCache):
@@ -214,7 +245,8 @@ class VerificationJob:
             # every checker) that verifies the same translation.
             semiflow_cache = os.path.join(cache.directory, "semiflows")
         if verdict is None:
-            verdict = self._compute_verdict(dfs, net, semiflow_cache)
+            verdict = self._compute_verdict(dfs, net, semiflow_cache,
+                                            progress=progress)
             # A round-trip through JSON makes the cold verdict bit-identical
             # to what a warm run will read back from disk.
             verdict = json.loads(json.dumps(verdict, sort_keys=True))
@@ -246,7 +278,7 @@ class VerificationJob:
             options.setdefault("walk", {}).setdefault("seed", self.lfsr_seed)
         return options
 
-    def _compute_verdict(self, dfs, net, semiflow_cache=None):
+    def _compute_verdict(self, dfs, net, semiflow_cache=None, progress=None):
         verifier = Verifier(dfs, max_states=self.max_states, engine=self.engine,
                             net=net, checker=self.checker,
                             checker_options=self.effective_checker_options(),
@@ -254,7 +286,7 @@ class VerificationJob:
                             semiflow_cache=semiflow_cache)
         summary = verifier.verify_properties(
             self.properties, max_witnesses=self.max_witnesses,
-            custom=self.custom_properties or None)
+            custom=self.custom_properties or None, progress=progress)
         verdict = {
             "state_count": summary.state_count,
             "truncated": summary.truncated,

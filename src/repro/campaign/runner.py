@@ -1,120 +1,39 @@
-"""Parallel campaign execution on the supervised process pool.
+"""Batch campaign execution: the thin front over the scheduling core.
 
 Each :class:`~repro.campaign.jobs.VerificationJob` runs in its **own**
-worker process (bounded to *parallelism* concurrent workers) through
-:func:`repro.parallel.supervisor.run_supervised` -- the supervision
+worker process (bounded to *parallelism* concurrent workers) through the
+:class:`~repro.campaign.scheduler.CampaignScheduler` -- the supervision
 machinery (per-job timeouts, crash containment, streamed results) that
-originated here and now also powers the racing portfolio checker.  A job
-that hangs is terminated at its deadline and a job whose worker dies (a
-crash, an ``os._exit``, an OOM kill) is detected by the supervisor -- in
-both cases the campaign records a failed :class:`CampaignResult` and keeps
-going instead of hanging the pool.
+originated here and now also powers the racing portfolio checker and the
+verification service daemon (:mod:`repro.service`).  A job that hangs is
+terminated at its deadline and a job whose worker dies (a crash, an
+``os._exit``, an OOM kill) is detected by the supervisor -- in both cases
+the campaign records a failed :class:`CampaignResult` and keeps going
+instead of hanging the pool.
 
 ``parallelism=0`` runs the jobs inline in the calling process (no timeout
 enforcement), which is handy for debugging and deterministic tests.
+
+Batch campaigns deliberately run the scheduler with ``single_flight=False``:
+single-flight coalescing builds each model in the submitting thread to
+compute its content key, and a batch run must never stall on a hanging
+factory outside the supervised workers -- duplicate work across one batch
+is already prevented by the verdict cache and the scenario generator's
+unique grid points.
 """
 
 import time
 
 from repro.campaign.cache import ResultCache
 from repro.campaign.report import CampaignReport
+from repro.campaign.scheduler import (  # noqa: F401  (re-exports)
+    CampaignResult,
+    CampaignScheduler,
+    JobTicket,
+    classify_verdict,
+)
 from repro.exceptions import ConfigurationError
 from repro.parallel.context import start_method  # noqa: F401  (re-export)
-from repro.parallel.supervisor import run_supervised
-
-
-class CampaignResult:
-    """Outcome of one campaign job: a payload, or how the worker failed.
-
-    *status* is ``"ok"`` (the job ran and produced a payload), ``"error"``
-    (the job raised; *error* holds the traceback), ``"timeout"`` (the worker
-    exceeded its deadline and was terminated) or ``"crashed"`` (the worker
-    process died without reporting).
-    """
-
-    def __init__(self, job, status, payload=None, error=None, elapsed=0.0):
-        self.job = job
-        self.status = status
-        self.payload = payload
-        self.error = error
-        self.elapsed = elapsed
-
-    @property
-    def verdict(self):
-        return (self.payload or {}).get("verdict")
-
-    @property
-    def outcome(self):
-        """``pass`` / ``fail`` / ``inconclusive``, or the failure status."""
-        if self.status != "ok":
-            return self.status
-        return classify_verdict(self.verdict)
-
-    @property
-    def cache_status(self):
-        return (self.payload or {}).get("cache", "off")
-
-    @property
-    def matched(self):
-        """Did the job behave as its ``expect`` field predicted?
-
-        ``True`` / ``False`` for a definite answer; ``None`` when the
-        verdict is inconclusive (truncated state space), which only the
-        campaign's strict mode treats as a failure.
-        """
-        if self.status != "ok":
-            return False
-        expect = self.job.expect
-        outcome = self.outcome
-        if outcome == "inconclusive":
-            return None
-        if expect is None:
-            return True  # no prediction: any conclusive verdict is fine
-        if expect == "pass":
-            return outcome == "pass"
-        if outcome != "fail":
-            return False
-        if expect == "deadlock":
-            return any(
-                record["property"] == "deadlock" and record["holds"] is False
-                for record in self.verdict.get("properties", ()))
-        return True  # expect == "fail": any violated property matches
-
-    def to_dict(self):
-        record = {
-            "job": self.job.to_dict(),
-            "status": self.status,
-            "outcome": self.outcome,
-            "matched": self.matched,
-            "elapsed": self.elapsed,
-        }
-        if self.payload is not None:
-            record.update({key: value for key, value in self.payload.items()
-                           if key != "job_id"})
-        if self.error is not None:
-            record["error"] = self.error
-        return record
-
-    def __repr__(self):
-        return "CampaignResult({!r}, {}, outcome={})".format(
-            self.job.job_id, self.status, self.outcome)
-
-
-def classify_verdict(verdict):
-    """Classify a job verdict: ``pass``, ``fail`` or ``inconclusive``."""
-    if not verdict:
-        return "inconclusive"
-    holds = [record.get("holds") for record in verdict.get("properties", ())]
-    if any(value is False for value in holds):
-        return "fail"
-    if any(value is None for value in holds):
-        return "inconclusive"
-    return "pass"
-
-
-def _execute_job(job, cache_directory):
-    """Supervised-task target: run one job against the shared cache."""
-    return job.run(cache=cache_directory)
 
 
 def run_campaign(jobs, parallelism=1, timeout=None, cache_dir=None, spec=None,
@@ -147,20 +66,13 @@ def run_campaign(jobs, parallelism=1, timeout=None, cache_dir=None, spec=None,
     if cache_dir is not None:
         ResultCache(cache_dir)  # create the directory once, up front
     started = time.perf_counter()
-    outcomes = run_supervised(
-        [(job.job_id, _execute_job, (job, cache_dir)) for job in jobs],
-        parallelism=parallelism, timeout=timeout)
-    by_id = {outcome.task_id: outcome for outcome in outcomes}
-    results = []
-    for job in jobs:
-        outcome = by_id[job.job_id]
-        error = outcome.error
-        if outcome.status == "timeout":
-            error = ("job exceeded its {:.3g}s deadline and was "
-                     "terminated".format(timeout))
-        results.append(CampaignResult(job, outcome.status,
-                                      payload=outcome.payload, error=error,
-                                      elapsed=outcome.elapsed))
+    scheduler = CampaignScheduler(parallelism=parallelism, timeout=timeout,
+                                  cache_dir=cache_dir, single_flight=False)
+    try:
+        tickets = [scheduler.submit(job) for job in jobs]
+        results = [ticket.wait() for ticket in tickets]
+    finally:
+        scheduler.shutdown(wait=True, cancel_pending=True)
     return CampaignReport(
         results, spec=spec, skipped=skipped, parallelism=parallelism,
         timeout=timeout, cache_dir=cache_dir,

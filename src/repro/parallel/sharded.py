@@ -40,8 +40,14 @@ Architecture
   encounter of a memoised state, emits the final packed edge directly --
   no outbox entry, no owner-side probe, no resolution-stream slot.  Only
   admitted states enter the memo, so a hit is exactly the edge the owner
-  would have answered and the graph stays bit-identical.  Hit counters are
-  aggregated into ``graph.exchange_stats``.
+  would have answered and the graph stays bit-identical.  The bound is
+  **frequency/depth-aware**: re-convergent edges overwhelmingly target
+  early-discovered states, so eviction removes the newest zero-hit entries
+  first and spares both older entries and entries that have already
+  produced a hit (plain FIFO measurably starved the memo -- 2 hits on the
+  3-stage pipeline family where ~1216 are attainable within the default
+  bound).  The policy only affects hit rate, never edges.  Hit counters
+  are aggregated into ``graph.exchange_stats``.
 * **The coordinator replays only admissions, not edges.**  New states are
   admitted in the exact order the sequential BFS would discover them: every
   candidate carries its provenance ``parent_index << 16 | transition``, the
@@ -291,7 +297,8 @@ class _IntShardWorker(_ShardWorkerBase):
         self.records = []       # pending id -> (state, parent_mask, transition)
         self.provenance = []    # pending id -> min provenance
         self.expansion = []     # (global index, state, parent_mask, transition)
-        self.memo = {}          # foreign state -> global index (LRU-bounded)
+        self.memo = {}          # foreign state -> global index (depth-ordered)
+        self.memo_hot = set()   # memo entries that have produced a hit
         self.shipped = []       # foreign states shipped this level, in order
 
     def _seed(self, state):
@@ -323,14 +330,31 @@ class _IntShardWorker(_ShardWorkerBase):
         resolutions.frombytes(payload)
         shipped = self.shipped_history.popleft()
         memo = self.memo
-        memo_size = self.memo_size
         for state, index in zip(shipped, resolutions):
             if index >= 0:
-                if state in memo:
+                memo[state] = index  # re-resolutions keep their depth slot
+        excess = len(memo) - self.memo_size
+        if excess > 0:
+            # Frequency/depth-aware eviction: walk the newest entries first
+            # and spare anything that has already produced a hit -- long
+            # -range re-convergences target early-discovered states, so the
+            # oldest entries are the ones worth keeping.
+            hot = self.memo_hot
+            victims = []
+            for state in reversed(memo):
+                if state not in hot:
+                    victims.append(state)
+                    if len(victims) == excess:
+                        break
+            for state in victims:
+                del memo[state]
+            excess = len(memo) - self.memo_size
+            if excess > 0:  # every entry is hot: drop the newest of those
+                victims = [state for _, state in zip(range(excess),
+                                                     reversed(memo))]
+                for state in victims:
                     del memo[state]
-                memo[state] = index
-        while len(memo) > memo_size:
-            del memo[next(iter(memo))]
+                    hot.discard(state)
 
     def _begin_level(self):
         self.counts = array("H")
@@ -361,9 +385,8 @@ class _IntShardWorker(_ShardWorkerBase):
         counts_append = self.counts.append
         edges_append = self.edges.append
         own_resolutions_append = self.resolutions[worker_id].append
-        memo = self.memo
-        memo_get = memo.get
-        memo_pop = memo.pop
+        memo_get = self.memo.get
+        hot_add = self.memo_hot.add
         memo_enabled = self.memo_size > 0
         shipped_append = self.shipped.append
         outboxes = [bytearray() for _ in range(workers)]
@@ -424,7 +447,7 @@ class _IntShardWorker(_ShardWorkerBase):
                     if memo_enabled:
                         cached = memo_get(successor)
                         if cached is not None:
-                            memo[successor] = memo_pop(successor)  # LRU touch
+                            hot_add(successor)  # a hit protects the entry
                             memo_hits += 1
                             edges_append(index | (cached << 16))
                             continue
@@ -525,6 +548,7 @@ class _BatchShardWorker(_ShardWorkerBase):
         self.memo_rows = numpy.empty((0, words), dtype=numpy.uint64)
         self.memo_idx = numpy.empty(0, dtype=numpy.int64)
         self.memo_hashes = numpy.empty(0, dtype=numpy.uint64)
+        self.memo_hits = numpy.empty(0, dtype=numpy.int64)
         self.memo_keys = numpy.empty(0, dtype=numpy.uint64)
         self.memo_pos = numpy.empty(0, dtype=numpy.int64)
         self.shipped = []       # per-chunk row matrices shipped this level
@@ -646,13 +670,23 @@ class _BatchShardWorker(_ShardWorkerBase):
         self.memo_idx = n.concatenate([self.memo_idx, group_idx[fresh]])
         self.memo_hashes = n.concatenate([self.memo_hashes,
                                           group_hashes[fresh]])
+        self.memo_hits = n.concatenate(
+            [self.memo_hits,
+             n.zeros(int(fresh.sum()), dtype=n.int64)])
         if len(self.memo_rows) > self.memo_size:
-            # Bounded: drop the oldest entries (insertion order).  Slot
-            # positions shift, so the sorted index is rebuilt -- only on
-            # eviction; the steady state below merges incrementally.
-            self.memo_rows = self.memo_rows[-self.memo_size:]
-            self.memo_idx = self.memo_idx[-self.memo_size:]
-            self.memo_hashes = self.memo_hashes[-self.memo_size:]
+            # Frequency/depth-aware bound (mirrors the int backend): a
+            # stable sort by descending hit count puts proven entries
+            # first and, within equal counts, the oldest first -- so the
+            # evictees are exactly the newest zero-hit rows.  Survivors
+            # keep their insertion (depth) order.  Slot positions shift,
+            # so the sorted index is rebuilt -- only on eviction; the
+            # steady state below merges incrementally.
+            order = n.argsort(-self.memo_hits, kind="stable")
+            keep = n.sort(order[:self.memo_size])
+            self.memo_rows = self.memo_rows[keep]
+            self.memo_idx = self.memo_idx[keep]
+            self.memo_hashes = self.memo_hashes[keep]
+            self.memo_hits = self.memo_hits[keep]
             position = n.argsort(self.memo_hashes)
             self.memo_keys = self.memo_hashes[position]
             self.memo_pos = position.astype(n.int64)
@@ -753,6 +787,7 @@ class _BatchShardWorker(_ShardWorkerBase):
             hit_positions = foreign_positions[hit]
             if len(hit_positions):
                 self.level_memo_hits += len(hit_positions)
+                n.add.at(self.memo_hits, slot[hit], 1)  # protect on eviction
                 edge_values[hit_positions] = (
                     transition[hit_positions]
                     | (self.memo_idx[slot[hit]] << 16))

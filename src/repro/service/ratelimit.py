@@ -1,0 +1,61 @@
+"""Token-bucket rate limiting for the verification service.
+
+A classic token bucket: capacity *burst* tokens, refilled continuously at
+*rate* tokens per second.  Each admitted request spends one token; when the
+bucket is empty the limiter answers with the number of seconds until enough
+tokens will have accrued -- which the HTTP layer surfaces verbatim as a
+``Retry-After`` header on a 429 response, so well-behaved clients back off
+by exactly the right amount.
+
+The clock is injectable so tests can drive time deterministically.
+"""
+
+import threading
+import time
+
+
+class TokenBucket:
+    """A thread-safe token bucket: *burst* capacity, *rate* tokens/second."""
+
+    def __init__(self, rate, burst, clock=time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ValueError(
+                "a token bucket needs positive rate and burst (got rate={}, "
+                "burst={})".format(rate, burst))
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self):
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._updated) * self.rate)
+        self._updated = now
+
+    def try_acquire(self, tokens=1.0):
+        """Spend *tokens* if available; return the seconds to wait otherwise.
+
+        ``0.0`` means the request was admitted.  A positive return value is
+        the time until the bucket will hold *tokens* again (the request was
+        **not** admitted and nothing was spent).
+        """
+        with self._lock:
+            self._refill()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return 0.0
+            return (tokens - self._tokens) / self.rate
+
+    @property
+    def available(self):
+        """The current token count (after refill); for stats only."""
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+    def __repr__(self):
+        return "TokenBucket(rate={}, burst={}, available={:.2f})".format(
+            self.rate, self.burst, self.available)

@@ -282,7 +282,7 @@ class Verifier:
             "unknown property {!r} (known: {})".format(name, ", ".join(known)))
 
     def verify_properties(self, properties, max_witnesses=5, checker=None,
-                          custom=None):
+                          custom=None, progress=None):
         """Run the named checks and return a summary.
 
         *properties* is an iterable of :data:`PROPERTY_CHECKS` keys and/or
@@ -291,10 +291,23 @@ class Verifier:
         run in the given order against the same shared artefacts.  *checker*
         forces one checker for every property of this batch (otherwise the
         per-property overrides and the verifier default apply).
+
+        *progress*, if given, is called as ``progress(event, name, result)``
+        around each property: once with ``("property-started", name, None)``
+        before a check runs and once with ``("property-finished", name,
+        result)`` after -- the hook the serving stack turns into streamed
+        per-job events.
         """
+        properties = list(properties)
         runners = [self._resolve_property(name, custom) for name in properties]
-        results = [runner(max_witnesses=max_witnesses, checker=checker)
-                   for runner in runners]
+        results = []
+        for name, runner in zip(properties, runners):
+            if progress is not None:
+                progress("property-started", name, None)
+            result = runner(max_witnesses=max_witnesses, checker=checker)
+            results.append(result)
+            if progress is not None:
+                progress("property-finished", name, result)
         summary = VerificationSummary(
             self.dfs.name,
             state_count=self.context.state_count,

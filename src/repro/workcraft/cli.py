@@ -14,7 +14,13 @@ built-in model):
 ``campaign`` takes no model file: it expands a scenario grid
 (``--grid depth=2..5 prefix=1``, ``--holes 0,1``, ...) into verification
 jobs, fans them out over worker processes, and writes JSON/markdown reports
-(see :mod:`repro.campaign`).
+(see :mod:`repro.campaign`).  With ``--server URL`` the jobs are submitted
+to a running verification daemon instead of a local pool.
+
+``serve`` starts that daemon: the stdlib HTTP/JSON verification service of
+:mod:`repro.service` (submit, poll, stream events, fetch reports), with
+single-flight result reuse, per-tenant cache namespaces, backpressure and
+rate limits.
 """
 
 import argparse
@@ -237,10 +243,13 @@ def _command_campaign(args):
     if args.timeout is not None and args.jobs <= 0 and not args.quiet:
         print("note: --timeout only applies to worker processes; "
               "--jobs 0 runs inline without deadlines")
-    cache_dir = None if args.no_cache else args.cache_dir
-    report = run_campaign(
-        jobs, parallelism=args.jobs, timeout=args.timeout,
-        cache_dir=cache_dir, spec=spec, skipped=skipped)
+    if args.server:
+        report = _run_remote_campaign(args, jobs, spec, skipped)
+    else:
+        cache_dir = None if args.no_cache else args.cache_dir
+        report = run_campaign(
+            jobs, parallelism=args.jobs, timeout=args.timeout,
+            cache_dir=cache_dir, spec=spec, skipped=skipped)
     if not args.quiet:
         print(report.render_text())
     if args.json:
@@ -252,11 +261,52 @@ def _command_campaign(args):
             handle.write(report.to_markdown())
         if not args.quiet:
             print("markdown report written to {}".format(args.markdown))
+    # Infrastructure failures (a hung or dying worker) are not verdicts:
+    # they exit 2 so CI can tell "the design is wrong" (1) from "the
+    # campaign never actually ran to completion" (2).
+    if report.count("crashed", "timeout", "cancelled"):
+        return 2
     if not report.ok:
         return 1
     if args.strict and report.inconclusive:
         return 1
     return 0
+
+
+def _run_remote_campaign(args, jobs, spec, skipped):
+    """Submit *jobs* to a running daemon; rebuild a local report."""
+    import time
+
+    from repro.campaign.report import CampaignReport
+    from repro.service.client import ServiceClient, result_from_record
+
+    client = ServiceClient(args.server, tenant=args.tenant)
+    started = time.perf_counter()
+    tickets = [client.submit(job, retries=8) for job in jobs]
+    results = []
+    for job, ticket in zip(jobs, tickets):
+        record = client.wait(ticket["id"],
+                             timeout=args.timeout or 600.0)
+        results.append(result_from_record(job, record))
+    return CampaignReport(
+        results, spec=spec, skipped=skipped, parallelism=0,
+        timeout=args.timeout, cache_dir=None,
+        elapsed=time.perf_counter() - started)
+
+
+def _command_serve(args):
+    from repro.service import VerificationService, run_daemon
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    service = VerificationService(
+        parallelism=max(1, args.jobs), timeout=args.timeout,
+        cache_dir=cache_dir, max_depth=args.max_depth,
+        rate=args.rate, burst=args.burst)
+
+    def ready(daemon):
+        print("serving verification on {}".format(daemon.address), flush=True)
+
+    return run_daemon(service, host=args.host, port=args.port, ready=ready)
 
 
 def build_parser():
@@ -359,12 +409,47 @@ def build_parser():
                               DEFAULT_CAMPAIGN_CACHE))
     campaign.add_argument("--no-cache", action="store_true",
                           help="disable the verdict cache")
+    campaign.add_argument("--server", metavar="URL", default=None,
+                          help="submit jobs to a running `repro-dfs serve` "
+                               "daemon instead of a local worker pool "
+                               "(caching and parallelism are then the "
+                               "server's; --timeout bounds the wait)")
+    campaign.add_argument("--tenant", default=None,
+                          help="tenant namespace for --server submissions "
+                               "(isolated verdict cache per tenant)")
     campaign.add_argument("--json", metavar="PATH", help="write a JSON report")
     campaign.add_argument("--markdown", metavar="PATH", help="write a markdown report")
     campaign.add_argument("--strict", action="store_true",
                           help="fail on inconclusive (truncated) verdicts too")
     campaign.add_argument("--quiet", action="store_true")
     campaign.set_defaults(handler=_command_campaign)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the verification service daemon (HTTP/JSON API)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 picks an ephemeral port; default 8765)")
+    serve.add_argument("--jobs", "-j", type=int, default=2,
+                       help="worker processes of the verification pool "
+                            "(default 2)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-job deadline in seconds")
+    serve.add_argument("--cache-dir", default=DEFAULT_CAMPAIGN_CACHE,
+                       help="verdict cache root; tenants get isolated "
+                            "namespaces below it (default {})".format(
+                                DEFAULT_CAMPAIGN_CACHE))
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the verdict cache (single-flight "
+                            "coalescing still deduplicates concurrent work)")
+    serve.add_argument("--max-depth", type=int, default=64,
+                       help="in-flight job bound before submissions get "
+                            "429 + Retry-After (default 64)")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="per-tenant submissions/second budget "
+                            "(default: unlimited)")
+    serve.add_argument("--burst", type=float, default=None,
+                       help="per-tenant burst size (default: max(1, rate))")
+    serve.set_defaults(handler=_command_serve)
 
     export = subparsers.add_parser("export", help="export the model")
     _add_model_arguments(export)

@@ -265,6 +265,28 @@ class TestCampaignCli:
         assert warm_verdicts == cold_verdicts
         capsys.readouterr()
 
+    @needs_fork
+    def test_crashed_job_exits_with_infrastructure_code(self, tmp_path):
+        """A crashed worker is an infrastructure failure: exit 2, not 0/1."""
+        report_path = str(tmp_path / "report.json")
+        argv = ["campaign", "--grid", "depth=2", "--family", "_test_crashy",
+                "--jobs", "1", "--timeout", "30", "--no-cache",
+                "--json", report_path, "--quiet"]
+        assert cli_main(argv) == 2
+        payload = json.load(open(report_path, encoding="utf-8"))
+        assert payload["summary"]["outcomes"]["crashed"] == 1
+        assert payload["summary"]["ok"] is False
+
+    @needs_fork
+    def test_timed_out_job_exits_with_infrastructure_code(self, tmp_path):
+        report_path = str(tmp_path / "report.json")
+        argv = ["campaign", "--grid", "depth=3", "--jobs", "1",
+                "--timeout", "0.05", "--no-cache", "--json", report_path,
+                "--quiet"]
+        assert cli_main(argv) == 2
+        payload = json.load(open(report_path, encoding="utf-8"))
+        assert payload["summary"]["outcomes"]["timeout"] == 1
+
     def test_bad_grid_axis_is_rejected(self):
         with pytest.raises(SystemExit):
             cli_main(["campaign", "--grid", "bogus=1"])

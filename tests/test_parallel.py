@@ -183,6 +183,50 @@ class TestExchangeProtocol:
                               "memo batch={}".format(batch))
             assert sharded.exchange_stats["memo_hits"] > 0
 
+    def test_bounded_memo_keeps_hot_entries(self):
+        """A tight bound must not evict the entries that actually get hit.
+
+        The frequency/depth-aware eviction policy protects hit entries and
+        old (shallow) entries, so even a memo a fraction of the working
+        set's size retains most of the unbounded hit count -- where FIFO
+        eviction used to flush hot shallow states every level.  The graph
+        itself must stay bit-identical: the bound only affects hit rate.
+        """
+        compiled = CompiledNet.compile(
+            to_petri_net(token_ring(registers=5, tokens=2)))
+        sequential = explore_compiled(compiled)
+        for batch in (False, None):
+            ceiling = explore_sharded(
+                compiled, workers=3, batch=batch).exchange_stats["memo_hits"]
+            bounded = explore_sharded(compiled, workers=3, batch=batch,
+                                      memo_size=64)
+            _assert_identical(sequential, bounded,
+                              "bounded memo batch={}".format(batch))
+            hits = bounded.exchange_stats["memo_hits"]
+            assert hits > 0
+            assert hits >= ceiling // 2, \
+                "batch={}: {} of {} ceiling hits survive a 64-entry " \
+                "bound".format(batch, hits, ceiling)
+
+    def test_default_memo_bound_reaches_pipeline_ceiling(self):
+        """The stock 65536 bound must attain the family's analytic ceiling.
+
+        On the depth-3 pipeline at three workers the cross-shard working
+        set overflows the default bound (~191k states), and an unbounded
+        memo answers exactly 1216 re-references.  The eviction policy has
+        to deliver that same count under the bound -- and identically on
+        both worker backends.
+        """
+        dfs = build_pipeline_model(3, static_prefix=1)
+        compiled = CompiledNet.compile(to_petri_net(dfs))
+        hits = {}
+        for batch in (False, None):
+            sharded = explore_sharded(compiled, max_states=200000, workers=3,
+                                      batch=batch, memo_size=65536)
+            hits[batch] = sharded.exchange_stats["memo_hits"]
+        assert hits[False] == hits[None], hits
+        assert hits[False] >= 1200, hits
+
 
 # -- the supervised pool ------------------------------------------------------
 

@@ -1,0 +1,488 @@
+"""Tests of the serving stack (repro.service) and the scheduling core.
+
+The load-bearing contracts:
+
+* **single flight**: N concurrent submissions of one identical job execute
+  exactly once on the worker pool (counted via marker files written by the
+  model factory, keyed by pid so submit-side key builds in the parent are
+  distinguishable from pool executions in children);
+* **tenancy**: tenants resolve to disjoint cache namespaces and can never
+  observe each other's verdicts;
+* **admission control**: a full queue answers 429-shaped ``ServiceBusy``
+  and a noisy tenant exhausts only its own token bucket;
+* **the HTTP API**: submit -> poll -> stream -> report round-trips through
+  a real socket with the stdlib client, and the remote CLI path renders
+  the same report a local run would.
+"""
+
+import json
+import os
+import threading
+import uuid
+
+import pytest
+
+from repro.campaign.jobs import VerificationJob, register_factory
+from repro.campaign.scheduler import CampaignScheduler
+from repro.dfs.examples import conditional_comp_dfs
+from repro.exceptions import ConfigurationError
+from repro.parallel.context import start_method
+from repro.service import (
+    ClientBusy,
+    RateLimited,
+    ServiceBusy,
+    ServiceClient,
+    ServiceClientError,
+    ServiceDaemon,
+    TokenBucket,
+    VerificationService,
+    result_from_record,
+)
+from repro.workcraft.cli import main as cli_main
+
+needs_fork = pytest.mark.skipif(
+    start_method() != "fork",
+    reason="registry factories only reach workers under the fork start method")
+
+
+def _counting_factory(count_dir=None, **kwargs):
+    """Build the small conditional model, leaving one marker file per call.
+
+    Markers are named ``<pid>-<unique>`` so tests can tell submit-side key
+    builds (the parent process) apart from pool executions (children).
+    """
+    if count_dir:
+        path = os.path.join(
+            count_dir, "{}-{}".format(os.getpid(), uuid.uuid4().hex))
+        with open(path, "w", encoding="utf-8"):
+            pass
+    return conditional_comp_dfs()
+
+
+register_factory("_test_counting", _counting_factory)
+
+
+def _pool_executions(count_dir):
+    """Marker files written by processes other than this one."""
+    pid = str(os.getpid())
+    return [name for name in os.listdir(count_dir)
+            if not name.startswith(pid + "-")]
+
+
+def _counting_job(job_id, count_dir):
+    return VerificationJob(job_id, "_test_counting",
+                           kwargs={"count_dir": count_dir},
+                           properties=("safeness", "deadlock"))
+
+
+def _conditional_job(job_id="cond", stages=1):
+    return VerificationJob(job_id, "conditional",
+                           kwargs={"comp_stages": stages},
+                           properties=("safeness", "deadlock"))
+
+
+class _DaemonThread:
+    """Run a ServiceDaemon on an ephemeral port in a background thread."""
+
+    def __init__(self, service):
+        self.service = service
+        self.daemon = None
+        self._ready = threading.Event()
+        self._stop = None
+        self._loop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        import asyncio
+
+        async def main():
+            self.daemon = ServiceDaemon(self.service, port=0)
+            await self.daemon.start()
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self._ready.set()
+            await self._stop.wait()
+            await self.daemon.stop()
+
+        asyncio.run(main())
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(10), "daemon failed to start"
+        return self.daemon
+
+    def __exit__(self, *exc_info):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+        self.service.close()
+
+
+# -- the token bucket ---------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=lambda: clock[0])
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(0.5)  # 1 token at 2 tokens/s
+        clock[0] = 0.5
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+    def test_rejected_requests_spend_nothing(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=lambda: clock[0])
+        assert bucket.try_acquire() == 0.0
+        first = bucket.try_acquire()
+        second = bucket.try_acquire()
+        assert first == second == pytest.approx(1.0)
+
+    def test_bucket_never_exceeds_burst(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=lambda: clock[0])
+        clock[0] = 100.0
+        assert bucket.available == pytest.approx(3.0)
+
+    def test_rejects_non_positive_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=-1)
+
+
+# -- the wire protocol --------------------------------------------------------
+
+
+class TestWireForm:
+    def test_to_dict_from_dict_round_trip(self):
+        job = _conditional_job("wire", stages=2)
+        clone = VerificationJob.from_dict(job.to_dict())
+        assert clone.to_dict() == job.to_dict()
+        assert clone.job_id == "wire"
+        assert clone.kwargs == {"comp_stages": 2}
+
+    def test_missing_required_fields_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VerificationJob.from_dict({"factory": "conditional"})
+        with pytest.raises(ConfigurationError):
+            VerificationJob.from_dict({"job_id": "x"})
+
+    def test_unknown_fields_are_rejected_loudly(self):
+        payload = _conditional_job().to_dict()
+        payload["max_sates"] = 100  # the typo this guard exists for
+        with pytest.raises(ConfigurationError, match="unknown job field"):
+            VerificationJob.from_dict(payload)
+
+    def test_result_from_record_rebuilds_local_result(self):
+        job = _conditional_job()
+        record = {"status": "done",
+                  "result": {"status": "ok", "elapsed": 0.25,
+                             "cache": "hit", "model": "conditional",
+                             "verdict": {"properties": [
+                                 {"property": "safeness", "holds": True}]}}}
+        result = result_from_record(job, record)
+        assert result.status == "ok"
+        assert result.outcome == "pass"
+        assert result.cache_status == "hit"
+        assert result.payload["job_id"] == job.job_id
+
+    def test_result_from_record_tolerates_missing_result(self):
+        result = result_from_record(_conditional_job(), {"status": "queued"})
+        assert result.status == "error"
+        assert result.payload is None
+
+
+# -- the scheduling core ------------------------------------------------------
+
+
+class TestSchedulerTenancy:
+    def test_tenants_resolve_to_disjoint_namespaces(self, tmp_path):
+        scheduler = CampaignScheduler(parallelism=0,
+                                      cache_dir=str(tmp_path / "cache"))
+        root = scheduler.cache_for(None)
+        alice = scheduler.cache_for("alice")
+        bob = scheduler.cache_for("bob")
+        assert root.directory == str(tmp_path / "cache")
+        assert alice.directory != bob.directory != root.directory
+        assert alice.directory.startswith(root.directory)
+
+    def test_hostile_tenant_names_stay_under_the_cache_root(self, tmp_path):
+        scheduler = CampaignScheduler(parallelism=0,
+                                      cache_dir=str(tmp_path / "cache"))
+        evil = scheduler.cache_for("../../etc")
+        root = os.path.realpath(str(tmp_path / "cache"))
+        assert os.path.realpath(evil.directory).startswith(root)
+        assert scheduler.cache_for("a/b").directory != \
+            scheduler.cache_for("a-b").directory
+
+    def test_tenants_never_share_verdicts(self, tmp_path):
+        scheduler = CampaignScheduler(parallelism=0,
+                                      cache_dir=str(tmp_path / "cache"),
+                                      single_flight=True)
+        cold = scheduler.submit(_conditional_job("a1"), tenant="alice")
+        assert cold.wait(60).cache_status == "miss"
+        warm = scheduler.submit(_conditional_job("a2"), tenant="alice")
+        assert warm.wait(60).cache_status == "hit"
+        other = scheduler.submit(_conditional_job("b1"), tenant="bob")
+        assert other.wait(60).cache_status == "miss"
+        assert scheduler.stats()["cache_hits"] == 1
+
+    def test_warm_hit_ticket_is_done_at_submission(self, tmp_path):
+        scheduler = CampaignScheduler(parallelism=0,
+                                      cache_dir=str(tmp_path / "cache"),
+                                      single_flight=True)
+        scheduler.submit(_conditional_job("c1")).wait(60)
+        ticket = scheduler.submit(_conditional_job("c2"))
+        assert ticket.done
+        events = [entry["event"] for entry in ticket.events()]
+        assert events == ["job-queued", "cache-hit", "job-finished"]
+        assert ticket.result.verdict is not None
+
+
+class TestSchedulerSingleFlight:
+    @needs_fork
+    def test_concurrent_identical_submissions_execute_once(self, tmp_path):
+        count_dir = str(tmp_path / "count")
+        os.makedirs(count_dir)
+        scheduler = CampaignScheduler(parallelism=2,
+                                      cache_dir=str(tmp_path / "cache"),
+                                      single_flight=True)
+        try:
+            tickets = [None] * 8
+            def submit(index):
+                tickets[index] = scheduler.submit(
+                    _counting_job("stampede-{}".format(index), count_dir))
+            threads = [threading.Thread(target=submit, args=(index,))
+                       for index in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            results = [ticket.wait(60) for ticket in tickets]
+        finally:
+            scheduler.shutdown()
+        assert all(result.status == "ok" for result in results)
+        verdicts = [result.verdict for result in results]
+        assert all(verdict == verdicts[0] for verdict in verdicts)
+        # Exactly one submission reached the pool; every concurrent
+        # duplicate was coalesced onto it (or answered warm if it landed
+        # after the leader finished).
+        caches = sorted(result.cache_status for result in results)
+        assert caches.count("miss") == 1
+        assert set(caches) <= {"miss", "coalesced", "hit"}
+        assert len(_pool_executions(count_dir)) == 1
+
+    @needs_fork
+    def test_distinct_tenants_do_not_coalesce(self, tmp_path):
+        count_dir = str(tmp_path / "count")
+        os.makedirs(count_dir)
+        scheduler = CampaignScheduler(parallelism=2,
+                                      cache_dir=str(tmp_path / "cache"),
+                                      single_flight=True)
+        try:
+            one = scheduler.submit(_counting_job("t-a", count_dir),
+                                   tenant="alice")
+            two = scheduler.submit(_counting_job("t-b", count_dir),
+                                   tenant="bob")
+            assert one.wait(60).cache_status == "miss"
+            assert two.wait(60).cache_status == "miss"
+        finally:
+            scheduler.shutdown()
+        assert len(_pool_executions(count_dir)) == 2
+
+    def test_broken_factory_still_surfaces_the_worker_error(self, tmp_path):
+        scheduler = CampaignScheduler(parallelism=0,
+                                      cache_dir=str(tmp_path / "cache"),
+                                      single_flight=True)
+        ticket = scheduler.submit(
+            VerificationJob("bad", "no-such-factory"))
+        result = ticket.wait(60)
+        assert result.status == "error"
+        assert "unknown model factory" in result.error
+
+    def test_submission_after_shutdown_is_rejected(self, tmp_path):
+        scheduler = CampaignScheduler(parallelism=0)
+        scheduler.shutdown()
+        with pytest.raises(ConfigurationError):
+            scheduler.submit(_conditional_job())
+
+
+# -- service admission control ------------------------------------------------
+
+
+class TestAdmissionControl:
+    def test_full_queue_rejects_with_retry_hint(self, tmp_path):
+        service = VerificationService(parallelism=1, max_depth=0,
+                                      cache_dir=str(tmp_path / "cache"))
+        try:
+            with pytest.raises(ServiceBusy) as caught:
+                service.submit(_conditional_job().to_dict())
+            assert caught.value.retry_after > 0
+            assert service.stats()["rejected"]["busy"] == 1
+        finally:
+            service.close()
+
+    def test_rate_limit_is_per_tenant(self, tmp_path):
+        # burst=1 with a tiny rate: each tenant's first submission spends
+        # its only token (then hits the depth bound, proving the token was
+        # spent); the second submission is rate-limited.  A fresh tenant
+        # still has its own full bucket.
+        service = VerificationService(parallelism=1, max_depth=0,
+                                      rate=0.001, burst=1.0,
+                                      cache_dir=str(tmp_path / "cache"))
+        try:
+            with pytest.raises(ServiceBusy):
+                service.submit(_conditional_job().to_dict(), tenant="noisy")
+            with pytest.raises(RateLimited) as caught:
+                service.submit(_conditional_job().to_dict(), tenant="noisy")
+            assert caught.value.retry_after > 0
+            with pytest.raises(ServiceBusy) as other:
+                service.submit(_conditional_job().to_dict(), tenant="quiet")
+            assert not isinstance(other.value, RateLimited)
+            stats = service.stats()
+            assert stats["rejected"] == {"busy": 2, "rate": 1}
+            assert stats["tenants"] == 2
+        finally:
+            service.close()
+
+    def test_malformed_job_is_a_configuration_error(self, tmp_path):
+        service = VerificationService(parallelism=1,
+                                      cache_dir=str(tmp_path / "cache"))
+        try:
+            with pytest.raises(ConfigurationError):
+                service.submit({"factory": "conditional"})
+        finally:
+            service.close()
+
+
+# -- the HTTP API -------------------------------------------------------------
+
+
+class TestHttpApi:
+    def test_submit_poll_stream_report_round_trip(self, tmp_path):
+        service = VerificationService(parallelism=1,
+                                      cache_dir=str(tmp_path / "cache"))
+        with _DaemonThread(service) as daemon:
+            client = ServiceClient(daemon.address, tenant="ci")
+            health = client.healthz()
+            assert health["status"] == "ok"
+            assert health["parallelism"] == 1
+
+            ticket = client.submit(_conditional_job("http-1"))
+            assert ticket["job_id"] == "http-1"
+            assert ticket["tenant"] == "ci"
+            assert ticket["links"]["events"].endswith("/events")
+
+            record = client.wait(ticket["id"], timeout=120.0)
+            assert record["status"] == "done"
+            assert record["result"]["status"] == "ok"
+            assert record["result"]["cache"] == "miss"
+
+            events = list(client.events(ticket["id"]))
+            names = [event["event"] for event in events]
+            assert names[0] == "job-queued"
+            assert names[-1] == "job-finished"
+            assert "property-finished" in names
+            assert [event["seq"] for event in events] == \
+                list(range(len(events)))
+
+            report = client.report(ticket["id"])
+            assert report["summary"]["jobs"] == 1
+            assert report["summary"]["mismatched"] == 0
+            markdown = client.report(ticket["id"], fmt="markdown")
+            assert "| scenario |" in markdown
+
+            # A warm resubmission (same tenant) is answered at submit time.
+            warm = client.submit(_conditional_job("http-2"))
+            assert warm["status"] == "done"
+            assert warm["result"]["cache"] == "hit"
+            # A different tenant's cache is cold for the same content key.
+            other = ServiceClient(daemon.address, tenant="other")
+            cold = other.submit(_conditional_job("http-3"))
+            assert other.wait(cold["id"],
+                              timeout=120.0)["result"]["cache"] == "miss"
+
+            stats = client.stats()
+            assert stats["submitted"] == 3
+            assert stats["cache_hits"] == 1
+
+    def test_error_statuses(self, tmp_path):
+        service = VerificationService(parallelism=1,
+                                      cache_dir=str(tmp_path / "cache"))
+        with _DaemonThread(service) as daemon:
+            client = ServiceClient(daemon.address)
+            with pytest.raises(ServiceClientError) as missing:
+                client.job("no-such-ticket")
+            assert missing.value.status == 404
+            with pytest.raises(ServiceClientError) as missing:
+                client.report("no-such-ticket")
+            assert missing.value.status == 404
+
+            bad = _conditional_job().to_dict()
+            bad["max_sates"] = 7
+            with pytest.raises(ServiceClientError) as rejected:
+                client.submit(bad)
+            assert rejected.value.status == 400
+            assert "unknown job field" in str(rejected.value)
+
+            ticket = client.submit(_conditional_job("fmt"))
+            client.wait(ticket["id"], timeout=120.0)
+            with pytest.raises(ServiceClientError) as fmt:
+                client.report(ticket["id"], fmt="xml")
+            assert fmt.value.status == 400
+
+    def test_backpressure_maps_to_429_with_retry_after(self, tmp_path):
+        service = VerificationService(parallelism=1, max_depth=0,
+                                      cache_dir=str(tmp_path / "cache"))
+        with _DaemonThread(service) as daemon:
+            client = ServiceClient(daemon.address)
+            with pytest.raises(ClientBusy) as caught:
+                client.submit(_conditional_job())
+            assert caught.value.status == 429
+            assert caught.value.retry_after >= 1.0
+
+    @needs_fork
+    def test_http_stampede_executes_once(self, tmp_path):
+        count_dir = str(tmp_path / "count")
+        os.makedirs(count_dir)
+        service = VerificationService(parallelism=2,
+                                      cache_dir=str(tmp_path / "cache"))
+        with _DaemonThread(service) as daemon:
+            client = ServiceClient(daemon.address, tenant="ci")
+            tickets = [None] * 8
+            def submit(index):
+                tickets[index] = client.submit(
+                    _counting_job("http-stampede-{}".format(index),
+                                  count_dir))
+            threads = [threading.Thread(target=submit, args=(index,))
+                       for index in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            records = [client.wait(ticket["id"], timeout=120.0)
+                       for ticket in tickets]
+        caches = sorted(record["result"]["cache"] for record in records)
+        assert all(record["result"]["status"] == "ok" for record in records)
+        assert caches.count("miss") == 1
+        assert len(_pool_executions(count_dir)) == 1
+
+    def test_remote_campaign_cli_round_trip(self, tmp_path):
+        service = VerificationService(parallelism=1,
+                                      cache_dir=str(tmp_path / "cache"))
+        with _DaemonThread(service) as daemon:
+            report_path = str(tmp_path / "remote.json")
+            argv = ["campaign", "--grid", "depth=2", "--server",
+                    daemon.address, "--tenant", "ci", "--json", report_path,
+                    "--quiet"]
+            assert cli_main(argv) == 0
+            payload = json.load(open(report_path, encoding="utf-8"))
+            assert payload["summary"]["jobs"] == 1
+            assert payload["summary"]["mismatched"] == 0
+            # The daemon's cache served nothing cold the second time round.
+            assert cli_main(argv) == 0
+            warm = json.load(open(report_path, encoding="utf-8"))
+            assert warm["summary"]["cache_hits"] == 1

@@ -9,6 +9,7 @@ surviving truncated files by recomputing.
 
 import json
 import os
+import threading
 
 import pytest
 
@@ -20,7 +21,14 @@ from repro.petri.invariants import (
     compute_semiflows,
     compute_semiflows_cached,
 )
-from repro.utils.diskcache import JsonDiskCache, canonical_json, digest
+from repro.utils.diskcache import (
+    Flight,
+    JsonDiskCache,
+    SingleFlight,
+    canonical_json,
+    digest,
+    safe_segment,
+)
 
 
 def _hammer_writer(directory, key, payload, rounds):
@@ -130,3 +138,112 @@ class TestSemiflowCacheRecovery:
         with open(cache.path(cache.entry_key(net, 20000)), "wb") as handle:
             handle.write(b"\x93NUMPY not json")
         assert compute_semiflows_cached(net, cache=cache) == cold
+
+
+class TestNamespaces:
+    def test_clean_names_pass_through(self):
+        assert safe_segment("tenant-1") == "tenant-1"
+        assert safe_segment("a.b_c") == "a.b_c"
+
+    def test_hostile_names_are_sanitised_without_collisions(self):
+        hostile = ["../escape", "a/b", "a\\b", "", ".", "..", ".hidden",
+                   "sp ace", "uniçode"]
+        segments = [safe_segment(name) for name in hostile]
+        assert len(set(segments)) == len(segments)  # distinct names stay distinct
+        for segment in segments:
+            assert os.sep not in segment and "/" not in segment
+            assert not segment.startswith(".")
+        # Names that sanitise to the same characters must not collide.
+        assert safe_segment("a/b") != safe_segment("a-b") != safe_segment("a\\b")
+
+    def test_sanitisation_is_stable(self):
+        assert safe_segment("../x") == safe_segment("../x")
+
+    def test_namespaces_are_isolated_sub_caches(self, tmp_path):
+        cache = JsonDiskCache(str(tmp_path))
+        alice = cache.namespace("tenants", "alice")
+        bob = cache.namespace("tenants", "bob")
+        alice.put("k", {"who": "alice"})
+        assert bob.get("k") is None
+        assert cache.get("k") is None
+        assert alice.get("k") == {"who": "alice"}
+        assert alice.directory.startswith(cache.directory)
+        # Re-deriving the namespace reaches the same storage.
+        assert cache.namespace("tenants", "alice").get("k") == {"who": "alice"}
+
+    def test_namespace_keeps_the_cache_subclass(self, tmp_path):
+        class Sub(JsonDiskCache):
+            pass
+
+        assert isinstance(Sub(str(tmp_path)).namespace("x"), Sub)
+
+
+class TestSingleFlight:
+    def test_first_caller_leads_and_duplicates_attach(self):
+        flights = SingleFlight()
+        flight, leader = flights.acquire("key")
+        assert leader
+        again, follower_leads = flights.acquire("key")
+        assert again is flight and not follower_leads
+        assert len(flights) == 1
+        seen = []
+        again.subscribe(lambda fl: seen.append(fl.result))
+        flights.release("key")
+        flight.resolve(41)
+        assert seen == [41]
+        # After release+resolve a new acquisition starts a fresh flight.
+        fresh, leads = flights.acquire("key")
+        assert leads and fresh is not flight
+        assert flights.release("key") is fresh
+
+    def test_subscribe_after_resolution_fires_immediately(self):
+        flight = Flight("k")
+        flight.resolve("done")
+        seen = []
+        flight.subscribe(lambda fl: seen.append(fl.result))
+        assert seen == ["done"]
+
+    def test_wait_returns_result_and_raises_failures(self):
+        flight = Flight("k")
+        threading.Timer(0.01, flight.resolve, args=("value",)).start()
+        assert flight.wait(timeout=5.0) == "value"
+        failed = Flight("k2")
+        failed.fail(RuntimeError("leader died"))
+        with pytest.raises(RuntimeError, match="leader died"):
+            failed.wait(timeout=1.0)
+
+    def test_wait_times_out_on_an_unresolved_flight(self):
+        with pytest.raises(TimeoutError):
+            Flight("k").wait(timeout=0.01)
+
+    def test_double_resolution_is_a_loud_error(self):
+        flight = Flight("k")
+        flight.resolve(1)
+        with pytest.raises(RuntimeError):
+            flight.resolve(2)
+
+    def test_concurrent_acquires_elect_exactly_one_leader(self):
+        flights = SingleFlight()
+        outcomes = []
+        acquired = threading.Barrier(8)
+
+        def contend():
+            flight, leader = flights.acquire("hot")
+            # Hold every contender on the same flight: nobody resolves (and
+            # thus nobody can re-probe a fresh flight) until all acquired.
+            acquired.wait(timeout=10)
+            if leader:
+                flights.release("hot")
+                flight.resolve("computed")
+                outcomes.append(("led", "computed"))
+            else:
+                outcomes.append(("followed", flight.wait(timeout=5.0)))
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(outcomes) == 8
+        assert sum(1 for role, _ in outcomes if role == "led") == 1
+        assert all(value == "computed" for _, value in outcomes)
