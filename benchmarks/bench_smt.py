@@ -1,0 +1,170 @@
+"""SMT tier cost profile: unroll encoding, structural proofs, IC3 at scale.
+
+Three costs of the solver-backed proving stack, two of them solver-free so
+the bench (and its regression gates) runs on every CI machine:
+
+* **BMC unroll encoding** -- the pure-Python cost of producing the SMT-LIB
+  text for a *k*-step unrolling of the motivating conditional example.
+  The formula count is linear in *k*, so the depth-16/depth-4 seconds
+  ratio is a stable scaling signal gated by ``check_regression.py``.
+* **structural deadlock proof** -- the siphon/trap fallback of
+  :func:`repro.petri.invariants.siphon_trap_certificate` proving
+  deadlock-freedom *cold* (minimal-siphon enumeration included) against
+  the exhaustive engine exploring the same net.  This is the no-solver
+  answer of the proving tier, so its relative cost is gated too.
+* **IC3 beyond the horizon** (z3 only) -- the acceptance scenario:
+  a 2**21-state net whose exhaustive exploration is truncated three
+  orders of magnitude below its state count, proved unbounded by the
+  IC3 checker through the real solver.
+"""
+
+import time
+
+import pytest
+
+from repro.dfs.examples import conditional_comp_dfs, token_ring
+from repro.dfs.translation import to_petri_net
+from repro.petri.invariants import compute_semiflows, siphon_trap_certificate
+from repro.petri.net import PetriNet
+from repro.smt.encoder import SmtEncoder
+from repro.smt.solver import solver_available
+from repro.verification.checkers import (
+    CheckerContext,
+    DeadlockQuery,
+    ReachQuery,
+    create_checker,
+)
+
+from .conftest import print_table
+
+#: Unrolling depths of the encoding bench; the gate divides the last two.
+DEPTHS = (2, 4, 16)
+
+#: Timed encoding repetitions (the minimum is reported): the per-depth
+#: encoding cost is sub-millisecond, so single measurements are noise.
+REPEATS = 5
+
+
+def _unrolling(encoder, semiflows, depth):
+    """All SMT-LIB lines of a *depth*-step BMC unrolling."""
+    lines = list(encoder.declare_marking(0))
+    lines += encoder.marking_bounds(0)
+    lines.append(encoder.initial(0))
+    lines += encoder.invariants(semiflows, 0)
+    for step in range(depth):
+        lines += encoder.declare_marking(step + 1)
+        lines += encoder.declare_step(step)
+        lines += encoder.marking_bounds(step + 1)
+        lines += encoder.invariants(semiflows, step + 1)
+        lines += encoder.step_formulas(step)
+    return lines
+
+
+def wide_rings(count):
+    """*count* independent two-state cycles: 2**count reachable states."""
+    net = PetriNet("wide_rings_{}".format(count))
+    for i in range(count):
+        names = {k: k + str(i) for k in ("a", "na", "b", "nb")}
+        for key, tokens in (("a", 1), ("na", 0), ("b", 0), ("nb", 1)):
+            net.add_place(names[key], tokens=tokens)
+        ab, ba = "t_ab{}".format(i), "t_ba{}".format(i)
+        net.add_transition(ab)
+        net.add_transition(ba)
+        for src, dst in ((names["a"], ab), ((names["nb"]), ab),
+                         (ab, names["na"]), (ab, names["b"]),
+                         (names["b"], ba), (names["na"], ba),
+                         (ba, names["nb"]), (ba, names["a"])):
+            net.add_arc(src, dst)
+    return net
+
+
+def test_bmc_unroll_encoding_latency():
+    net = to_petri_net(conditional_comp_dfs(comp_stages=3))
+    encoder = SmtEncoder(net, safe=True)
+    semiflows = compute_semiflows(net)
+
+    rows = []
+    by_depth = {}
+    for depth in DEPTHS:
+        best = None
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            lines = _unrolling(encoder, semiflows, depth)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        by_depth[depth] = (best, lines)
+        rows.append({
+            "depth": "depth-{}".format(depth),
+            "formulas": len(lines),
+            "kchars": round(sum(len(line) for line in lines) / 1000, 1),
+            "seconds": best,
+        })
+    print_table(
+        "bmc unroll encoding ({} places, {} transitions)".format(
+            len(net.places), len(net.transitions)), rows)
+
+    # The encoding is linear in the depth: formula counts grow by a
+    # constant per step, and no depth is quadratically more expensive.
+    sizes = {depth: len(lines) for depth, (_, lines) in by_depth.items()}
+    per_step = (sizes[16] - sizes[4]) / 12
+    assert sizes[4] - sizes[2] == pytest.approx(2 * per_step)
+
+
+def test_structural_deadlock_proof_vs_exhaustive():
+    net = to_petri_net(token_ring(registers=6, tokens=1))
+
+    start = time.perf_counter()
+    certificate = siphon_trap_certificate(
+        net, semiflows=compute_semiflows(net))
+    structural = time.perf_counter() - start
+
+    start = time.perf_counter()
+    outcome = create_checker(
+        "exhaustive", CheckerContext(net)).check(DeadlockQuery())
+    exhaustive = time.perf_counter() - start
+
+    verdicts = {True: "holds", False: "violated", None: "inconclusive"}
+    print_table("structural deadlock proof (cold siphon/trap enumeration)", [
+        {"method": "exhaustive", "seconds": exhaustive,
+         "verdict": verdicts[outcome.holds], "scope": "explored states"},
+        {"method": "siphon-trap", "seconds": structural,
+         "verdict": verdicts[certificate["proved"] or None],
+         "scope": "unbounded ({} siphons)".format(
+             certificate.get("siphons", 0))},
+    ])
+
+    # Both conclude, and the structural proof covers *every* marking, not
+    # just the explored ones.
+    assert outcome.holds is True
+    assert certificate["proved"]
+    assert "(holds, unbounded)" in certificate["reason"]
+
+
+@pytest.mark.skipif(not solver_available(),
+                    reason="needs the z3 binary on PATH")
+def test_ic3_proves_beyond_the_exhaustive_horizon():
+    # 2**21 = 2,097,152 reachable states, explored with a 50k truncation
+    # bound: the exhaustive engine shrugs, IC3 proves.
+    net = wide_rings(21)
+    context = CheckerContext(net, max_states=50000)
+    query = ReachQuery('$"a0" & $"b0"')
+
+    start = time.perf_counter()
+    truncated = create_checker("exhaustive", context).check(query)
+    exhaustive = time.perf_counter() - start
+
+    start = time.perf_counter()
+    proved = create_checker("ic3", context).check(query)
+    ic3 = time.perf_counter() - start
+
+    verdicts = {True: "holds", False: "violated", None: "inconclusive"}
+    print_table("ic3 vs exhaustive beyond the horizon (2**21 states)", [
+        {"checker": "exhaustive", "seconds": exhaustive,
+         "verdict": verdicts[truncated.holds], "scope": "50k states"},
+        {"checker": "ic3", "seconds": ic3,
+         "verdict": verdicts[proved.holds], "scope": "unbounded"},
+    ])
+
+    assert truncated.holds is None
+    assert proved.holds is True
+    assert "holds, unbounded" in proved.details

@@ -94,6 +94,30 @@ GATES = [
         "tolerance": 3.00,
     },
     {
+        # The no-solver answer of the SMT proving tier: a cold
+        # minimal-siphon enumeration plus trap/semiflow witnesses, against
+        # the exhaustive engine exploring the same net in-process.  Both
+        # sides are tens of milliseconds, so the band is wide; the gate
+        # catches the enumeration regressing toward its exponential corner.
+        "table": "structural deadlock proof",
+        "key": "method",
+        "reference": "exhaustive",
+        "gated": "siphon-trap",
+        "label": "siphon/trap structural proof",
+        "tolerance": 3.00,
+    },
+    {
+        # The SMT-LIB unrolling must stay linear in the depth: the
+        # depth-16/depth-4 encoding-seconds ratio sits near 4 and doubling
+        # it means a superlinear encoder.
+        "table": "bmc unroll encoding",
+        "key": "depth",
+        "reference": "depth-4",
+        "gated": "depth-16",
+        "label": "bmc unroll encoding scaling",
+        "tolerance": 1.00,
+    },
+    {
         "table": "time slope vs voltage",
         "key": "voltage_V",
         "reference": "1.6",

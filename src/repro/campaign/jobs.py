@@ -27,6 +27,8 @@ from repro.exceptions import ConfigurationError
 from repro.pipelines.control import set_loop_value
 from repro.pipelines.generic import build_generic_pipeline
 from repro.silicon.voltage import VoltageModel
+from repro.smt.solver import solver_fingerprint
+from repro.verification.checkers import CHECKERS
 from repro.verification.verifier import CUSTOM_PROPERTIES, Verifier
 
 #: The default property battery of a campaign job.  Persistence is the
@@ -156,8 +158,14 @@ class VerificationJob:
         time), not just their names, so re-registering a name with a
         different expression can never be answered from a stale cached
         verdict.
+
+        For solver-backed checkers (and the portfolio, whose default order
+        contains them) the mapping also carries the **solver fingerprint**
+        (the z3 version line, or ``None`` when no solver is available):
+        verdicts that may depend on the solver must not be reused across a
+        solver upgrade or an install/uninstall.
         """
-        return {
+        options = {
             "properties": list(self.properties),
             "engine": self.engine,
             "max_states": self.max_states,
@@ -169,6 +177,10 @@ class VerificationJob:
             "simulate_steps": self.simulate_steps,
             "voltage": self.voltage,
         }
+        checker_cls = CHECKERS.get(self.checker)
+        if checker_cls is not None and checker_cls.uses_solver:
+            options["solver"] = solver_fingerprint()
+        return options
 
     def to_dict(self):
         """Describe the job itself (not its outcome) as a JSON-able dict."""
@@ -192,6 +204,9 @@ class VerificationJob:
         asked for).
         """
         payload = dict(payload)
+        # The solver fingerprint is derived locally (see :meth:`options`),
+        # never trusted from the wire: the daemon answers with *its* solver.
+        payload.pop("solver", None)
         try:
             job_id = payload.pop("job_id")
             factory = payload.pop("factory")

@@ -193,6 +193,206 @@ def proves_bound(semiflows, places, bound=1):
     return all(bounds.get(place, bound + 1) <= bound for place in places)
 
 
+# -- siphons and traps --------------------------------------------------------
+#
+# The structural no-solver route to unbounded deadlock-freedom proofs,
+# generalised to the read arcs of the DFS translations:
+#
+# * a **siphon** is a place set S such that every transition producing into
+#   S also consumes or reads from S -- once S is empty it stays empty
+#   forever (any refilling transition is disabled by the empty S);
+# * a **trap** is a place set Q such that every transition consuming from Q
+#   either produces into Q or reads a place of Q it does not consume --
+#   once Q is marked it stays marked forever.
+#
+# Commoner's argument then goes: at a dead marking of an *ordinary* net
+# (all consume weights 1; read arcs always test for a single token), the
+# empty places form a siphon, because every transition is disabled and so
+# needs a token from some empty place.  An initially marked trap inside a
+# siphon can therefore never empty, so if **every minimal siphon** contains
+# an initially marked trap (or a semiflow with positive value supported
+# inside the siphon -- an equally permanent token reserve), no dead marking
+# exists: the net is **deadlock-free, with no state bound at all**.  This
+# is one-sided -- a siphon without such a reserve proves nothing.
+
+
+def _needs(net, transition):
+    """Places *transition* needs tokens in to fire (consume + read)."""
+    needs = set(net.consumed_places(transition))
+    needs.update(net.read_places(transition))
+    return needs
+
+
+def is_siphon(net, places):
+    """Is *places* a (generalised) siphon of *net*?"""
+    places = set(places)
+    for transition in net.transitions:
+        if places.intersection(net.produced_places(transition)):
+            if not places.intersection(_needs(net, transition)):
+                return False
+    return True
+
+
+def is_trap(net, places):
+    """Is *places* a (generalised) trap of *net*?"""
+    places = set(places)
+    for transition in net.transitions:
+        consumed = places.intersection(net.consumed_places(transition))
+        if not consumed:
+            continue
+        if places.intersection(net.produced_places(transition)):
+            continue
+        surviving = (places.intersection(net.read_places(transition))
+                     - set(net.consumed_places(transition)))
+        if not surviving:
+            return False
+    return True
+
+
+def maximal_trap_within(net, places):
+    """The unique maximal trap contained in *places* (possibly empty).
+
+    Traps are closed under union, so the maximal one is well-defined; it is
+    computed by removing forced places to a fixpoint: a transition that
+    consumes from the candidate without producing into it (or reading a
+    surviving place of it) can unmark the candidate, so everything it
+    consumes must go.
+    """
+    candidate = set(places)
+    changed = True
+    while changed and candidate:
+        changed = False
+        for transition in net.transitions:
+            consumed_places = net.consumed_places(transition)
+            consumed = candidate.intersection(consumed_places)
+            if not consumed:
+                continue
+            if candidate.intersection(net.produced_places(transition)):
+                continue
+            surviving = (candidate.intersection(net.read_places(transition))
+                         - set(consumed_places))
+            if surviving:
+                continue
+            candidate -= consumed
+            changed = True
+    return candidate
+
+
+class SiphonBudgetExceeded(VerificationError):
+    """Raised when the minimal-siphon enumeration exceeds its node budget."""
+
+
+def minimal_siphons(net, max_nodes=100000):
+    """Enumerate **all** minimal (non-empty) siphons of *net*.
+
+    Branch-and-bound: grow a candidate from each seed place, and whenever
+    some transition produces into the candidate without needing from it,
+    branch over that transition's needed places (a correct siphon must
+    contain one of them).  Every minimal siphon survives this branching
+    from each of its seed places, so the enumeration is complete -- which
+    is what makes a "deadlock-free" verdict built on it sound.  The search
+    tree is cut off after *max_nodes* nodes with
+    :class:`SiphonBudgetExceeded` (enumeration is exponential in general).
+    """
+    transitions = sorted(net.transitions)
+    produces = {t: set(net.produced_places(t)) for t in transitions}
+    needs = {t: _needs(net, t) for t in transitions}
+    siphons = []
+    nodes = 0
+
+    def violated(candidate):
+        for transition in transitions:
+            if produces[transition] & candidate:
+                if not needs[transition] & candidate:
+                    return transition
+        return None
+
+    def covered(candidate):
+        return any(found <= candidate for found in siphons)
+
+    def grow(candidate):
+        nonlocal nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise SiphonBudgetExceeded(
+                "minimal-siphon enumeration of {!r} exceeds the {}-node "
+                "budget".format(net.name, max_nodes))
+        if covered(candidate):
+            return
+        transition = violated(candidate)
+        if transition is None:
+            siphons[:] = [found for found in siphons
+                          if not candidate <= found]
+            siphons.append(frozenset(candidate))
+            return
+        for place in sorted(needs[transition]):
+            grow(candidate | {place})
+
+    for seed in sorted(net.places):
+        grow({seed})
+    # The per-branch pruning keeps supersets out, but a smaller siphon
+    # found later can still shadow an earlier one -- filter once more.
+    return sorted(
+        (s for s in siphons
+         if not any(other < s for other in siphons)),
+        key=sorted)
+
+
+def siphon_trap_certificate(net, semiflows=(), max_nodes=100000):
+    """Prove deadlock-freedom structurally, or explain why not.
+
+    Returns ``{"proved": bool, "reason": str, ...}``.  A proved
+    certificate lists, per minimal siphon, the permanent token reserve
+    that keeps it marked: an initially marked trap or a positive-value
+    semiflow supported inside the siphon.  One-sided: ``proved=False``
+    means *inconclusive*, never "a deadlock exists".
+    """
+    transitions = sorted(net.transitions)
+    if not transitions:
+        return {"proved": False,
+                "reason": "the net has no transitions, so every marking "
+                          "is dead"}
+    initial = net.initial_marking()
+    for transition in transitions:
+        if not _needs(net, transition):
+            return {"proved": True, "siphons": 0, "witnesses": [],
+                    "reason": "transition {!r} needs no tokens and is "
+                              "enabled at every marking".format(transition)}
+    for transition in transitions:
+        if any(weight > 1
+               for weight in net.consumed_places(transition).values()):
+            return {"proved": False,
+                    "reason": "siphon/trap reasoning needs an ordinary net "
+                              "(transition {!r} has a consume weight > "
+                              "1)".format(transition)}
+    try:
+        siphons = minimal_siphons(net, max_nodes=max_nodes)
+    except SiphonBudgetExceeded as error:
+        return {"proved": False, "reason": str(error)}
+    witnesses = []
+    for siphon in siphons:
+        trap = maximal_trap_within(net, siphon)
+        if trap and any(initial[place] > 0 for place in trap):
+            witnesses.append({"siphon": sorted(siphon),
+                              "trap": sorted(trap)})
+            continue
+        reserve = next(
+            (semiflow for semiflow in semiflows
+             if semiflow.value > 0 and semiflow.support <= siphon), None)
+        if reserve is not None:
+            witnesses.append({"siphon": sorted(siphon),
+                              "semiflow": sorted(reserve.weights)})
+            continue
+        return {"proved": False,
+                "reason": "the minimal siphon {} contains no initially "
+                          "marked trap and no positive semiflow "
+                          "support".format(sorted(siphon))}
+    return {"proved": True, "siphons": len(siphons), "witnesses": witnesses,
+            "reason": "every minimal siphon ({}) holds a permanent token "
+                      "reserve, so no reachable marking is dead (holds, "
+                      "unbounded)".format(len(siphons))}
+
+
 class SemiflowCache(JsonDiskCache):
     """Disk memo of :func:`compute_semiflows`, keyed by net fingerprint.
 

@@ -1,0 +1,101 @@
+"""Bounded model checking by incremental unrolling.
+
+The classic SAT/SMT falsification loop: assert the initial marking, then
+for growing ``k`` ask the solver whether some execution of exactly ``k``
+steps ends in a bad marking.  The unrolling is **incremental** -- one
+solver process holds steps ``0..k`` permanently and the bad-state predicate
+is probed under a ``push``/``pop`` scope, so the solver's learned clauses
+carry across depths instead of being rebuilt per query.
+
+BMC is a complete falsifier (a violation at depth ``d`` is found once ``k``
+reaches ``d``) and never proves: exhausting ``max_depth`` without a model
+is an ``unknown`` outcome.  Place invariants are asserted at every step --
+sound, since a semiflow holds initially and is preserved by every firing --
+which prunes the search space the solver has to consider.
+
+A ``sat`` answer is turned into a trace of transition names read off the
+step selectors ``|t@0| .. |t@k-1|``; the checker layer replays the trace
+through the net before trusting it.
+"""
+
+from repro.exceptions import SolverError
+from repro.smt import proof
+from repro.smt.solver import PipeSolver
+
+
+def extend_unrolling(solver, encoder, semiflows, step):
+    """Declare marking *step + 1* and assert the step relation of *step*."""
+    solver.write(*encoder.declare_marking(step + 1))
+    solver.write(*encoder.declare_step(step))
+    for formula in encoder.marking_bounds(step + 1):
+        solver.write("(assert {})".format(formula))
+    for formula in encoder.invariants(semiflows, step + 1):
+        solver.write("(assert {})".format(formula))
+    for formula in encoder.step_formulas(step):
+        solver.write("(assert {})".format(formula))
+
+
+def read_trace(solver, encoder, steps):
+    """Read the fired-transition names of a satisfying unrolling.
+
+    Raises :class:`~repro.exceptions.SolverError` on out-of-range selector
+    values (a protocol violation, not a property verdict).
+    """
+    if steps <= 0:
+        return []
+    names = [encoder.selector(step) for step in range(steps)]
+    values = solver.get_values(names)
+    trace = []
+    for step in range(steps):
+        index = values.get("t@{}".format(step))
+        if index is None or not 0 <= index < len(encoder.transition_names):
+            raise SolverError(
+                "solver model has no valid transition selector for step "
+                "{} (got {!r})".format(step, index))
+        trace.append(encoder.transition_names[index])
+    return trace
+
+
+def run_bmc(encoder, bad, max_depth=64, semiflows=(), solver=None,
+            timeout=None):
+    """Search for a bad marking within *max_depth* steps.
+
+    *bad* is a callable mapping an unrolling step to a formula string over
+    that step's marking.  *solver* is an existing :class:`PipeSolver` (the
+    caller keeps ownership) or ``None`` to run one for the duration of the
+    search.  Returns a :class:`repro.smt.proof.ProofOutcome` -- ``violated``
+    with a replayable trace, or ``unknown``.
+    """
+    own_solver = solver is None
+    if own_solver:
+        solver = PipeSolver(timeout=timeout) if timeout else PipeSolver()
+    try:
+        solver.write(*encoder.declare_marking(0))
+        for formula in encoder.marking_bounds(0):
+            solver.write("(assert {})".format(formula))
+        for formula in encoder.invariants(semiflows, 0):
+            solver.write("(assert {})".format(formula))
+        solver.write("(assert {})".format(encoder.initial(0)))
+        for depth in range(max_depth + 1):
+            solver.push()
+            solver.write("(assert {})".format(bad(depth)))
+            status = solver.check_sat(timeout=timeout)
+            if status == "sat":
+                trace = read_trace(solver, encoder, depth)
+                solver.pop()
+                return proof.violated(
+                    "bounded model checking found a bad marking after "
+                    "{} step(s)".format(depth), trace, depth=depth)
+            solver.pop()
+            if status == "unknown":
+                return proof.unknown(
+                    "the solver answered unknown at unrolling depth "
+                    "{}".format(depth), depth=depth)
+            if depth < max_depth:
+                extend_unrolling(solver, encoder, semiflows, depth)
+        return proof.unknown(
+            "no counterexample within {} unrolling step(s); bounded model "
+            "checking cannot prove".format(max_depth), depth=max_depth)
+    finally:
+        if own_solver:
+            solver.close()

@@ -1,0 +1,103 @@
+"""k-induction: unbounded "holds" proofs by strengthened induction.
+
+Two cooperating solver sessions, as in SMPT's ``kinduction`` method:
+
+* the **base** session is a BMC unrolling rooted at the initial marking; at
+  iteration ``k`` it checks whether a bad marking is reachable in exactly
+  ``k - 1`` steps (so every violation is caught at its exact depth, with a
+  replayable trace);
+* the **step** session has *no* initial-marking constraint: it holds ``k``
+  arbitrary consecutive markings, each satisfying the place invariants and
+  bounds, with the first ``k - 1`` known good, and asks whether step ``k``
+  can still be bad.  An ``unsat`` answer is the induction step: together
+  with the base cases it proves **no reachable marking is ever bad, with no
+  state bound at all**.
+
+Two standard strengthenings keep the induction from being hopelessly weak:
+the net's semiflows are asserted at every step (sound: a semiflow holds
+initially and is preserved by every firing, so adding it only removes
+unreachable pseudo-states from the induction hypothesis), and the unrolled
+markings are constrained pairwise distinct (the *simple path* condition:
+if a bad marking is reachable at all, it is reachable along a loop-free
+path, so restricting the step case to loop-free paths is sound -- and it
+makes k-induction complete on finite state spaces).
+"""
+
+from repro.smt import proof
+from repro.smt.bmc import extend_unrolling, read_trace
+from repro.smt.solver import PipeSolver
+
+
+def run_kinduction(encoder, bad, max_depth=32, semiflows=(),
+                   simple_path=True, timeout=None, solver_factory=PipeSolver):
+    """Prove or refute "some reachable marking satisfies *bad*".
+
+    *bad* maps an unrolling step to a formula string.  Returns a
+    :class:`repro.smt.proof.ProofOutcome`: ``proved`` (unbounded),
+    ``violated`` with a replayable trace, or ``unknown`` when *max_depth*
+    inductions fail to close.
+    """
+    make = (lambda: solver_factory(timeout=timeout)) if timeout \
+        else solver_factory
+    base = make()
+    step = make()
+    try:
+        # Base session: bounds + invariants + the initial marking at step 0.
+        base.write(*encoder.declare_marking(0))
+        for formula in encoder.marking_bounds(0):
+            base.write("(assert {})".format(formula))
+        for formula in encoder.invariants(semiflows, 0):
+            base.write("(assert {})".format(formula))
+        base.write("(assert {})".format(encoder.initial(0)))
+        # Step session: the same, minus the initial marking.
+        step.write(*encoder.declare_marking(0))
+        for formula in encoder.marking_bounds(0):
+            step.write("(assert {})".format(formula))
+        for formula in encoder.invariants(semiflows, 0):
+            step.write("(assert {})".format(formula))
+
+        for k in range(1, max_depth + 1):
+            # Base case: is a bad marking reachable in exactly k - 1 steps?
+            base.push()
+            base.write("(assert {})".format(bad(k - 1)))
+            status = base.check_sat(timeout=timeout)
+            if status == "sat":
+                trace = read_trace(base, encoder, k - 1)
+                base.pop()
+                return proof.violated(
+                    "the base case found a bad marking after {} "
+                    "step(s)".format(k - 1), trace, depth=k - 1)
+            base.pop()
+            if status == "unknown":
+                return proof.unknown(
+                    "the solver answered unknown on the depth-{} base "
+                    "case".format(k - 1), depth=k - 1)
+            extend_unrolling(base, encoder, semiflows, k - 1)
+
+            # Induction step: k - 1 good steps, can step k be bad?  The
+            # negated base case just proved is asserted permanently -- that
+            # is what makes this *k*-induction rather than plain induction.
+            step.write("(assert (not {}))".format(bad(k - 1)))
+            extend_unrolling(step, encoder, semiflows, k - 1)
+            if simple_path:
+                for earlier in range(k):
+                    step.write("(assert {})".format(
+                        encoder.distinct_markings(earlier, k)))
+            step.push()
+            step.write("(assert {})".format(bad(k)))
+            status = step.check_sat(timeout=timeout)
+            step.pop()
+            if status == "unsat":
+                return proof.proved(
+                    "k-induction closed at k={}: no reachable marking is "
+                    "bad (holds, unbounded)".format(k), depth=k)
+            if status == "unknown":
+                return proof.unknown(
+                    "the solver answered unknown on the k={} induction "
+                    "step".format(k), depth=k)
+        return proof.unknown(
+            "k-induction did not close within {} step(s)".format(max_depth),
+            depth=max_depth)
+    finally:
+        base.close()
+        step.close()

@@ -1,0 +1,236 @@
+"""A minimal S-expression toolkit for the SMT-LIB pipe protocol.
+
+The solver interface of :mod:`repro.smt.solver` talks SMT-LIB 2 over a
+pipe: commands go down as text, answers come back as S-expressions
+(``sat``, ``((|p@0| 1) (|t@0| 3))``, ``(error "...")``).  This module is
+the small amount of machinery both directions share:
+
+* :func:`tokenize` / :func:`parse` / :func:`parse_all` -- turn a reply into
+  nested lists of atom strings (``|quoted symbols|`` and ``"strings"`` are
+  kept as single atoms);
+* :func:`serialize` -- the inverse, for diagnostics and tests;
+* :func:`balanced` -- is a partial reply complete yet?  The solver's reader
+  loop appends lines until the parentheses balance, which is what makes the
+  line-oriented protocol robust to multi-line ``get-value`` answers;
+* :func:`evaluate` -- a tiny QF-LIA term evaluator.  It gives the encoder a
+  solver-free differential oracle: every formula the encoder emits can be
+  checked against concrete markings of an explored graph without z3 being
+  installed, so the encoding itself is tested on every CI runner.
+"""
+
+import operator
+
+from repro.exceptions import SolverError
+
+_COMPARISONS = {"<": operator.lt, "<=": operator.le,
+                ">": operator.gt, ">=": operator.ge}
+
+_WHITESPACE = " \t\r\n"
+_DELIMITERS = _WHITESPACE + "()|;\""
+
+
+def tokenize(text):
+    """Split SMT-LIB *text* into parenthesis and atom tokens."""
+    tokens = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in _WHITESPACE:
+            i += 1
+        elif ch == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch in "()":
+            tokens.append(ch)
+            i += 1
+        elif ch == "|":
+            end = text.find("|", i + 1)
+            if end < 0:
+                raise SolverError(
+                    "unterminated |symbol| in solver output: {!r}".format(text))
+            tokens.append(text[i:end + 1])
+            i = end + 1
+        elif ch == '"':
+            j = i + 1
+            while j < n:
+                if text[j] == '"':
+                    if j + 1 < n and text[j + 1] == '"':
+                        j += 2  # SMT-LIB escapes a quote by doubling it
+                        continue
+                    break
+                j += 1
+            if j >= n:
+                raise SolverError(
+                    "unterminated string in solver output: {!r}".format(text))
+            tokens.append(text[i:j + 1])
+            i = j + 1
+        else:
+            j = i
+            while j < n and text[j] not in _DELIMITERS:
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens
+
+
+def parse_all(text):
+    """Parse *text* into a list of S-expressions (atoms are strings)."""
+    expressions = []
+    stack = [expressions]
+    for token in tokenize(text):
+        if token == "(":
+            nested = []
+            stack[-1].append(nested)
+            stack.append(nested)
+        elif token == ")":
+            if len(stack) == 1:
+                raise SolverError(
+                    "unbalanced ')' in solver output: {!r}".format(text))
+            stack.pop()
+        else:
+            stack[-1].append(token)
+    if len(stack) != 1:
+        raise SolverError(
+            "unbalanced '(' in solver output: {!r}".format(text))
+    return expressions
+
+
+def parse(text):
+    """Parse exactly one S-expression out of *text*."""
+    expressions = parse_all(text)
+    if len(expressions) != 1:
+        raise SolverError(
+            "expected one S-expression, found {}: {!r}".format(
+                len(expressions), text))
+    return expressions[0]
+
+
+def serialize(expression):
+    """Render a parsed S-expression back into SMT-LIB text."""
+    if isinstance(expression, str):
+        return expression
+    return "({})".format(" ".join(serialize(part) for part in expression))
+
+
+def balanced(text):
+    """``True`` when *text* closes every parenthesis it opens.
+
+    Respects ``|symbol|`` and ``"string"`` quoting, so a pipe-quoted ``(``
+    never miscounts.  Used by the solver's reader loop to decide whether an
+    answer needs more lines.
+    """
+    depth = 0
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "|":
+            end = text.find("|", i + 1)
+            if end < 0:
+                return False
+            i = end + 1
+        elif ch == '"':
+            j = i + 1
+            while j < n:
+                if text[j] == '"':
+                    if j + 1 < n and text[j + 1] == '"':
+                        j += 2
+                        continue
+                    break
+                j += 1
+            if j >= n:
+                return False
+            i = j + 1
+        else:
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth < 0:
+                    return True  # over-closed: let the parser complain
+            i += 1
+    return depth == 0
+
+
+def atom_name(atom):
+    """The bare name of a (possibly ``|``-quoted) symbol atom."""
+    if len(atom) >= 2 and atom.startswith("|") and atom.endswith("|"):
+        return atom[1:-1]
+    return atom
+
+
+def _as_int(value):
+    try:
+        return int(value)
+    except ValueError:
+        return None
+
+
+def evaluate(expression, env):
+    """Evaluate a parsed QF-LIA term under *env* (name -> int/bool).
+
+    Environment keys are bare names (without ``|`` quoting).  Supports the
+    connectives and arithmetic the encoder emits -- ``and or not => = distinct
+    < <= > >= + - * ite`` plus integer literals and ``true``/``false`` --
+    and raises :class:`~repro.exceptions.SolverError` on anything else, so a
+    test failure points at the construct, not at a silently wrong value.
+    """
+    if isinstance(expression, str):
+        if expression == "true":
+            return True
+        if expression == "false":
+            return False
+        literal = _as_int(expression)
+        if literal is not None:
+            return literal
+        name = atom_name(expression)
+        if name in env:
+            return env[name]
+        raise SolverError("unbound symbol {!r} in term".format(expression))
+    if not expression:
+        raise SolverError("cannot evaluate the empty term ()")
+    head = expression[0]
+    args = expression[1:]
+    if head == "ite":
+        if len(args) != 3:
+            raise SolverError("ite needs 3 arguments, got {}".format(len(args)))
+        condition = evaluate(args[0], env)
+        return evaluate(args[1] if condition else args[2], env)
+    values = [evaluate(argument, env) for argument in args]
+    if head == "and":
+        return all(values)
+    if head == "or":
+        return any(values)
+    if head == "not":
+        if len(values) != 1:
+            raise SolverError("not needs 1 argument, got {}".format(len(values)))
+        return not values[0]
+    if head == "=>":
+        result = values[-1]
+        for value in reversed(values[:-1]):
+            result = (not value) or result
+        return result
+    if head == "=":
+        return all(value == values[0] for value in values[1:])
+    if head == "distinct":
+        return len(set(values)) == len(values)
+    if head in _COMPARISONS:
+        compare = _COMPARISONS[head]
+        return all(compare(a, b) for a, b in zip(values, values[1:]))
+    if head == "+":
+        return sum(values)
+    if head == "*":
+        product = 1
+        for value in values:
+            product *= value
+        return product
+    if head == "-":
+        if len(values) == 1:
+            return -values[0]
+        result = values[0]
+        for value in values[1:]:
+            result -= value
+        return result
+    raise SolverError("cannot evaluate operator {!r}".format(head))

@@ -25,6 +25,8 @@ class ExhaustiveChecker(Checker):
     """Decide queries by exhaustive exploration of the state space."""
 
     name = "exhaustive"
+    summary = ("explicit/bitmask state-space exploration; conclusive both "
+               "ways up to max-states")
 
     def _from_report(self, report):
         return self.outcome(report.holds, witnesses=report.witnesses,

@@ -28,18 +28,31 @@ state space at all:
    the invariants certify 1-safety (always the case for DFS translations,
    where every variable is a complementary place pair).
 
+3. **Siphon/trap analysis for deadlock-freedom.**  Deadlock-as-a-cube
+   explodes (one cube per transition-disabling combination), so deadlock
+   queries take the structural route of
+   :func:`repro.petri.invariants.siphon_trap_certificate` instead: when
+   every minimal siphon of an ordinary net holds a permanent token reserve
+   (an initially marked trap, or a positive semiflow supported inside the
+   siphon), no reachable marking is dead -- an unbounded proof with no
+   solver and no exploration.  One-sided: a siphon without a reserve means
+   inconclusive, never "deadlocks".
+
 Budgets (``max_cubes`` processed cubes, optional ``max_depth`` induction
-depth) turn a blow-up into an inconclusive verdict instead of a hang.
-Deadlock and persistence queries are out of scope here: deadlock-as-a-cube
-explodes into one cube per transition-disabling combination, and
-persistence needs successor structure -- the exhaustive and random-walk
-checkers cover those.
+depth, ``max_siphon_nodes`` enumeration nodes) turn a blow-up into an
+inconclusive verdict instead of a hang.  Persistence queries stay out of
+scope: they need successor structure -- the exhaustive checker covers
+those.
 """
 
 from collections import deque
 
 from repro.exceptions import CompilationError
-from repro.petri.invariants import place_bounds, proves_bound
+from repro.petri.invariants import (
+    place_bounds,
+    proves_bound,
+    siphon_trap_certificate,
+)
 from repro.reach.cubes import to_cubes
 from repro.verification.checkers.base import Checker, register_checker
 
@@ -73,9 +86,11 @@ class InductiveChecker(Checker):
     """Prove (or refute) reach and safeness queries without exploring."""
 
     name = "inductive"
+    summary = ("place invariants, siphon/trap analysis and backward "
+               "induction; proves with no state bound")
 
     def __init__(self, context, max_cubes=4096, max_depth=None, dnf_limit=256,
-                 max_work=2000000):
+                 max_work=2000000, max_siphon_nodes=100000):
         super().__init__(context)
         self.max_cubes = int(max_cubes)
         self.max_depth = max_depth if max_depth is None else int(max_depth)
@@ -84,6 +99,26 @@ class InductiveChecker(Checker):
         # Bounds the wall-clock cost of an eventual "inconclusive (budget)"
         # answer, which matters when a portfolio runs this checker first.
         self.max_work = int(max_work)
+        self.max_siphon_nodes = int(max_siphon_nodes)
+
+    # -- deadlock ------------------------------------------------------------
+
+    def check_deadlock(self, query, max_witnesses=5):
+        net = self.context.net
+        initial = net.initial_marking()
+        if not net.enabled_transitions(initial):
+            # Not a proof obligation: the initial marking itself is dead.
+            return self.outcome(
+                False, witnesses=[{"marking": initial, "trace": []}],
+                details="the initial marking has no enabled transition")
+        certificate = siphon_trap_certificate(
+            net, semiflows=self.context.semiflows,
+            max_nodes=self.max_siphon_nodes)
+        if certificate["proved"]:
+            return self.outcome(True, details=certificate["reason"])
+        return self.outcome(
+            None, details="siphon/trap analysis is inconclusive: "
+            + certificate["reason"])
 
     # -- safeness ------------------------------------------------------------
 

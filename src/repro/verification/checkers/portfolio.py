@@ -54,8 +54,10 @@ from repro.verification.checkers.base import (
     register_checker,
 )
 
-#: Default race order: prove structurally, falsify cheaply, then explore.
-DEFAULT_ORDER = ("inductive", "walk", "exhaustive")
+#: Default order: prove structurally, falsify cheaply, then bring in the
+#: SMT engines (no-ops without a solver), then explore exhaustively.
+DEFAULT_ORDER = ("inductive", "walk", "bmc", "kinduction", "ic3",
+                 "exhaustive")
 
 
 def _race_member(net, max_states, engine, workers, semiflow_cache, name,
@@ -77,6 +79,11 @@ class PortfolioChecker(Checker):
     """First conclusive verdict from a race of complementary checkers."""
 
     name = "portfolio"
+    summary = ("rotation or race over the other checkers; first conclusive "
+               "verdict wins")
+    #: The default order contains solver-backed members, so portfolio
+    #: verdicts can depend on the solver (campaign digests must notice).
+    uses_solver = True
 
     def __init__(self, context, order=DEFAULT_ORDER, race=False,
                  race_timeout=None, **member_options):

@@ -43,6 +43,8 @@ class RandomWalkChecker(Checker):
     """Falsify queries with guided random walks on the compiled net."""
 
     name = "walk"
+    summary = ("LFSR-seeded guided random walks; a fast falsifier, never "
+               "proves")
 
     def __init__(self, context, walks=8, steps=256, seed=0xACE1,
                  guidance=0.5, dnf_limit=64, restarts=4):

@@ -58,10 +58,16 @@ class Verifier:
 
     * ``"exhaustive"`` (default) -- explore the state space up to
       ``max_states`` and scan it; conclusive both ways within the bound.
-    * ``"inductive"`` -- place-invariant and backward-induction proofs over
-      the compiled transition relation; concludes "holds" (and finds some
-      violations) with no state bound at all.
+    * ``"inductive"`` -- place-invariant, siphon/trap and
+      backward-induction proofs over the compiled transition relation;
+      concludes "holds" (and finds some violations) with no state bound at
+      all, and no solver.
     * ``"walk"`` -- LFSR-seeded guided random walks; a pure falsifier.
+    * ``"bmc"`` / ``"kinduction"`` / ``"ic3"`` -- SMT-backed engines of
+      :mod:`repro.smt` (bounded model checking, k-induction, IC3/PDR).
+      BMC falsifies at any depth; k-induction and IC3 prove **unbounded**
+      ("holds" with no state bound).  They need the optional z3 binary:
+      without one every query is inconclusive, with a message naming it.
     * ``"portfolio"`` -- races the above, first conclusive verdict wins.
 
     *engine* selects the state-space engine used by the exhaustive path:

@@ -84,12 +84,27 @@ def _command_validate(args):
     return 1 if has_errors(issues) else 0
 
 
+def _checker_help(default="exhaustive"):
+    """The ``--checker`` help text, generated from the registry.
+
+    Hand-maintained checker lists rot the moment a checker is registered;
+    this renders every entry's one-line ``summary`` instead.
+    """
+    entries = ("{}: {}".format(name, CHECKERS[name].summary or "no summary")
+               for name in sorted(CHECKERS))
+    return "verification engine (default {}) -- {}".format(
+        default, "; ".join(entries))
+
+
 def _resolve_checker(args):
     """The effective (checker, checker_options) of ``--checker``/``--race``.
 
     ``--race`` turns the portfolio's budgeted rotation into a true process
     race; it implies ``--checker portfolio`` when no checker was named and
-    rejects any other explicit choice.
+    rejects any other explicit choice.  A checker that cannot work without
+    the SMT solver fails here, up front, with the install hint and exit
+    code 2 (infrastructure, not a verdict) instead of a per-property
+    inconclusive crawl.
     """
     checker = args.checker
     options = {}
@@ -100,7 +115,18 @@ def _resolve_checker(args):
                 "with --checker {}".format(checker))
         checker = "portfolio"
         options["portfolio"] = {"race": True}
-    return checker or "exhaustive", options
+    checker = checker or "exhaustive"
+    cls = CHECKERS.get(checker)
+    if cls is not None and cls.requires_solver:
+        from repro.exceptions import SolverUnavailableError
+        from repro.smt.solver import require_solver
+        try:
+            require_solver()
+        except SolverUnavailableError as exc:
+            print("error: --checker {} needs an SMT solver: {}".format(
+                checker, exc), file=sys.stderr)
+            raise SystemExit(2)
+    return checker, options
 
 
 def _command_verify(args):
@@ -330,9 +356,7 @@ def build_parser():
     _add_model_arguments(verify)
     verify.add_argument("--max-states", type=int, default=200000)
     verify.add_argument("--checker", choices=sorted(CHECKERS), default=None,
-                        help="verification engine: exhaustive exploration, "
-                             "inductive proving, random-walk falsification, "
-                             "or a portfolio race (default exhaustive)")
+                        help=_checker_help())
     verify.add_argument("--engine",
                         choices=("auto", "batch", "compiled", "explicit"),
                         default="auto",
@@ -384,7 +408,7 @@ def build_parser():
                           default="auto")
     campaign.add_argument("--checker", choices=sorted(CHECKERS),
                           default=None,
-                          help="verification engine per job (default exhaustive)")
+                          help="per job: " + _checker_help())
     campaign.add_argument("--race", action="store_true",
                           help="race the portfolio members per job (implies "
                                "--checker portfolio; effective with --jobs 0, "
