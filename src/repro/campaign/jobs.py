@@ -106,7 +106,8 @@ class VerificationJob:
                  engine="auto", max_states=200000, max_witnesses=2,
                  checker="exhaustive", checker_options=None,
                  custom_properties=None, lfsr_seed=None, simulate_steps=0,
-                 voltage=None, expect="pass", metadata=None, workers=0):
+                 voltage=None, expect="pass", metadata=None, workers=0,
+                 spill_dir=None, spill_bytes=None):
         self.job_id = str(job_id)
         self.factory = str(factory)
         self.kwargs = dict(kwargs or {})
@@ -123,6 +124,12 @@ class VerificationJob:
         #: verdict -- and therefore the cache identity -- cannot depend on
         #: it.
         self.workers = int(workers or 0)
+        #: Out-of-core exploration knobs (see :mod:`repro.petri.storage`).
+        #: Like ``workers``, spilling moves the graph's arrays between RAM
+        #: and disk without changing a single bit of their content, so
+        #: these are excluded from :meth:`options` and the cache digest.
+        self.spill_dir = spill_dir
+        self.spill_bytes = spill_bytes
         self.checker = str(checker)
         self.checker_options = dict(checker_options or {})
         self.custom_properties = {
@@ -189,6 +196,10 @@ class VerificationJob:
         description.update(self.options())
         if self.workers:
             description["workers"] = self.workers  # descriptive, not digested
+        if self.spill_dir is not None:
+            description["spill_dir"] = self.spill_dir  # descriptive too
+        if self.spill_bytes is not None:
+            description["spill_bytes"] = self.spill_bytes
         if self.metadata:
             description["metadata"] = dict(self.metadata)
         return description
@@ -216,7 +227,8 @@ class VerificationJob:
         allowed = {"kwargs", "properties", "engine", "max_states",
                    "max_witnesses", "checker", "checker_options",
                    "custom_properties", "lfsr_seed", "simulate_steps",
-                   "voltage", "expect", "metadata", "workers"}
+                   "voltage", "expect", "metadata", "workers",
+                   "spill_dir", "spill_bytes"}
         unknown = sorted(set(payload) - allowed)
         if unknown:
             raise ConfigurationError(
@@ -234,8 +246,11 @@ class VerificationJob:
         """Build, verify (or answer from *cache*) and return a result dict.
 
         The returned dict has a deterministic ``"verdict"`` (the part the
-        cache stores) plus per-run bookkeeping (``"cache"`` status and
-        ``"elapsed"`` seconds).  *cache* is a
+        cache stores) plus per-run bookkeeping (``"cache"`` status,
+        ``"elapsed"`` seconds, and -- on cache misses with a columnar
+        engine -- the ``"exploration"`` stats of the state-space build;
+        timings and spill byte counts are run facts, not verdict facts, so
+        they never enter the cache).  *cache* is a
         :class:`~repro.campaign.cache.ResultCache`, a cache directory path,
         or ``None`` to disable caching.  *progress* is forwarded to
         :meth:`~repro.verification.verifier.Verifier.verify_properties` on
@@ -250,6 +265,7 @@ class VerificationJob:
         fingerprint = net_fingerprint(net)
         cache_status, key = "off", None
         verdict = None
+        exploration = None
         semiflow_cache = None
         if cache is not None:
             key = cache.key(fingerprint, options_digest(self.options()))
@@ -260,14 +276,14 @@ class VerificationJob:
             # every checker) that verifies the same translation.
             semiflow_cache = os.path.join(cache.directory, "semiflows")
         if verdict is None:
-            verdict = self._compute_verdict(dfs, net, semiflow_cache,
-                                            progress=progress)
+            verdict, exploration = self._compute_verdict(
+                dfs, net, semiflow_cache, progress=progress)
             # A round-trip through JSON makes the cold verdict bit-identical
             # to what a warm run will read back from disk.
             verdict = json.loads(json.dumps(verdict, sort_keys=True))
             if cache is not None:
                 cache.put(key, verdict)
-        return {
+        result = {
             "job_id": self.job_id,
             "model": dfs.name,
             "factory": self.factory,
@@ -277,6 +293,9 @@ class VerificationJob:
             "elapsed": time.perf_counter() - started,
             "verdict": verdict,
         }
+        if exploration is not None:
+            result["exploration"] = exploration
+        return result
 
     def effective_checker_options(self):
         """Checker options with the scenario's LFSR seed threaded in.
@@ -294,11 +313,20 @@ class VerificationJob:
         return options
 
     def _compute_verdict(self, dfs, net, semiflow_cache=None, progress=None):
+        """Return ``(verdict, exploration)``.
+
+        The verdict is the deterministic, cacheable half; the exploration
+        stats (per-phase seconds, spill bytes) vary run to run and are
+        returned separately so they can ride the result payload without
+        polluting the cache.
+        """
         verifier = Verifier(dfs, max_states=self.max_states, engine=self.engine,
                             net=net, checker=self.checker,
                             checker_options=self.effective_checker_options(),
                             workers=self.workers,
-                            semiflow_cache=semiflow_cache)
+                            semiflow_cache=semiflow_cache,
+                            spill_dir=self.spill_dir,
+                            spill_bytes=self.spill_bytes)
         summary = verifier.verify_properties(
             self.properties, max_witnesses=self.max_witnesses,
             custom=self.custom_properties or None, progress=progress)
@@ -315,7 +343,7 @@ class VerificationJob:
             verdict["simulation"] = simulation
         if self.voltage is not None:
             verdict["voltage"] = self._voltage_record()
-        return verdict
+        return verdict, summary.exploration
 
     @staticmethod
     def _property_record(key, result):

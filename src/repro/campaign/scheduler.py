@@ -277,6 +277,10 @@ class CampaignScheduler:
         self._tickets = {}
         self._counters = {"submitted": 0, "completed": 0, "cache_hits": 0,
                           "coalesced": 0}
+        #: Aggregated out-of-core traffic of completed jobs (fed by the
+        #: per-run ``"exploration"`` payload stats; see ``stats()``).
+        self._spill_totals = {"write_bytes": 0, "read_bytes": 0,
+                              "spilled_jobs": 0}
         self._outcome_counts = {}
         self._closed = False
         self._pool = None
@@ -344,6 +348,7 @@ class CampaignScheduler:
             stats = dict(self._counters)
             stats["outcomes"] = dict(self._outcome_counts)
             stats["tickets"] = len(self._tickets)
+            stats["spill"] = dict(self._spill_totals)
         stats["queued"] = self._pool.queued if self._pool is not None else 0
         stats["running"] = self._pool.running if self._pool is not None else 0
         stats["flights"] = len(self._flights)
@@ -475,10 +480,17 @@ class CampaignScheduler:
                      "terminated".format(ticket.timeout))
         result = CampaignResult(ticket.job, status, payload=payload,
                                 error=error, elapsed=elapsed)
+        spill = ((payload or {}).get("exploration") or {}).get("spill") or {}
         with self._lock:
             self._counters["completed"] += 1
             self._outcome_counts[status] = (
                 self._outcome_counts.get(status, 0) + 1)
+            if spill.get("spilled"):
+                self._spill_totals["spilled_jobs"] += 1
+            self._spill_totals["write_bytes"] += int(
+                spill.get("write_bytes") or 0)
+            self._spill_totals["read_bytes"] += int(
+                spill.get("read_bytes") or 0)
         ticket._finish(result)
         return result
 

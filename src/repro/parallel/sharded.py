@@ -966,20 +966,29 @@ class _Sender:
 
 
 def explore_sharded(compiled, marking=None, max_states=200000, workers=None,
-                    memo_size=None, chunk_states=None, batch=None):
+                    memo_size=None, chunk_states=None, batch=None,
+                    spill=None):
     """Breadth-first exploration sharded across worker processes.
 
-    Returns a :class:`~repro.petri.compiled.CompiledReachabilityGraph`
-    bit-identical to ``explore_compiled(compiled, marking, max_states)`` --
-    see the module docstring for how.  *workers* defaults to the CPU count.
-    *memo_size* bounds the per-worker requester-side resolution memo
-    (default 65536 entries; 0 disables it), *chunk_states* sets the
-    intra-level streaming chunk (default 2048 expanded states per flush,
-    overridable with ``REPRO_SHARD_CHUNK``), and *batch* selects the worker
-    backend: ``None`` (default) uses the vectorised NumPy backend whenever
-    the extra is importable in the workers, ``False`` forces the pure-int
+    Returns a graph bit-identical to ``explore_compiled(compiled, marking,
+    max_states)`` -- see the module docstring for how.  With the NumPy
+    extra importable the coordinator merges the workers' report streams
+    **directly into columnar arrays** (a
+    :class:`~repro.petri.batch.ColumnarReachabilityGraph`, spillable to
+    disk through *spill* -- a :class:`~repro.petri.storage.SpillConfig`,
+    or ``None`` to consult ``REPRO_SPILL_DIR`` / ``REPRO_SPILL_BYTES``);
+    without NumPy it accumulates the Python-list
+    :class:`~repro.petri.compiled.CompiledReachabilityGraph` exactly as
+    before.  *workers* defaults to the CPU count.  *memo_size* bounds the
+    per-worker requester-side resolution memo (default 65536 entries; 0
+    disables it), *chunk_states* sets the intra-level streaming chunk
+    (default 2048 expanded states per flush, overridable with
+    ``REPRO_SHARD_CHUNK``), and *batch* selects the worker backend:
+    ``None`` (default) uses the vectorised NumPy backend whenever the
+    extra is importable in the workers, ``False`` forces the pure-int
     backend.  Exchange/memo counters are attached to the result as
-    ``graph.exchange_stats``.
+    ``graph.exchange_stats``; per-phase timings and spill counters as
+    ``graph.exploration_stats``.
     """
     if not isinstance(compiled, CompiledNet):
         compiled = CompiledNet.compile(compiled)
@@ -1018,7 +1027,7 @@ def explore_sharded(compiled, marking=None, max_states=200000, workers=None,
     completed = False
     try:
         graph = _drive(compiled, initial_state, max_states, workers,
-                       connections, sender, memo_size)
+                       connections, sender, memo_size, spill)
         completed = True
         return graph
     finally:
@@ -1053,91 +1062,36 @@ def _recv(connections, worker):
             "sharded exploration worker {} died mid-level".format(worker))
 
 
-def _drive(compiled, initial_state, max_states, workers, connections, sender,
-           memo_size):
-    from time import perf_counter
+class _ListMerger:
+    """Coordinator admission/merge state on Python lists (no NumPy).
 
-    #: Per-phase second counters, printed when REPRO_SHARD_TIMING is set:
-    #: wait (receiving/relaying), admit (phase 2), merge (phase 3).
-    timing = {"wait": 0.0, "admit": 0.0, "merge": 0.0}
+    Accumulates the classic :class:`CompiledReachabilityGraph` one edge
+    list at a time, exactly as the pre-columnar coordinator did -- the
+    fallback when the NumPy extra is unavailable.
+    """
 
-    place_names = compiled.place_names
-    transition_names = compiled.transition_names
-    row_width = _state_row_width(len(place_names))
-    from_bytes = int.from_bytes
+    def __init__(self, compiled, initial_state, max_states, workers,
+                 memo_size, spill=None):
+        self.workers = workers
+        self.max_states = max_states
+        self.memo_size = memo_size
+        self.row_width = _state_row_width(len(compiled.place_names))
+        self.graph = CompiledReachabilityGraph(compiled, initial_state)
+        self.truncated = False
+        # The initial state's edge list is not pre-created: edge lists are
+        # appended by the merge phase in discovery order, starting with the
+        # initial state itself when level 0's expansion is merged.
+        self.graph._mask_states.append(initial_state)
+        self.graph._parents.append(None)
+        self.owner_seq = []
+        self.next_owner_seq = []
+        self.assignments = []
 
-    graph = CompiledReachabilityGraph(compiled, initial_state)
-    states = graph._mask_states
-    edges = graph._mask_edges
-    parents = graph._parents
-    frontier = graph._frontier_indices
-    truncated = False
-    exchange_stats = {"memo_hits": 0, "foreign_refs": 0, "levels": 0,
-                      "chunk_messages": 0}
+    def seed(self, owner):
+        self.owner_seq = [owner]
 
-    # The initial state's edge list is not pre-created: edge lists are
-    # appended by the merge phase in discovery order, starting with the
-    # initial state itself when level 0's expansion is merged.
-    states.append(initial_state)
-    parents.append(None)
-
-    # Level 0: seed the owning shard; everyone else gets empty assignments.
-    owner_seq = [shard_of(initial_state, workers)]
-    sender.send(owner_seq[0], bytes([_MSG_SEED])
-                + initial_state.to_bytes(row_width, "little"))
-    for worker in range(workers):
-        if worker != owner_seq[0]:
-            sender.send(worker, bytes([_MSG_ASSIGN]))
-
-    states_append = states.append
-    edges_append = edges.append
-    parents_append = parents.append
-    frontier_add = frontier.add
-
-    while owner_seq:
-        exchange_stats["levels"] += 1
-        # Phase 1: collect successor chunks as workers expand, relaying
-        # each chunk to the shard that owns its states as soon as it
-        # arrives (the workers resolve them while still expanding).
-        phase_started = perf_counter()
-        waiting = set(range(workers))
-        reports = {}
-        while waiting:
-            for connection in connection_wait(
-                    [connections[w] for w in waiting], timeout=1.0):
-                worker = connections.index(connection)
-                message = _recv(connections, worker)
-                kind = message[0]
-                if kind == _MSG_OVERFLOW:
-                    raise SafenessOverflowError(
-                        transition_names[message[1] | (message[2] << 8)],
-                        place_names[message[3] | (message[4] << 8)])
-                if kind == _MSG_CHUNK:
-                    exchange_stats["chunk_messages"] += 1
-                    final = message[1]
-                    batches = _unpack_sections(memoryview(message), 2)
-                    for destination in range(workers):
-                        if destination == worker:
-                            continue
-                        payload = batches[destination]
-                        # Empty non-final chunks carry no information; the
-                        # final marker must reach every peer regardless.
-                        if final or len(payload):
-                            sender.send(destination,
-                                        bytes([_MSG_RELAY, worker, final])
-                                        + bytes(payload))
-                elif kind == _MSG_REPORT:
-                    reports[worker] = _unpack_sections(memoryview(message), 1)
-                    waiting.discard(worker)
-                else:
-                    raise VerificationError(
-                        "coordinator received unexpected message {!r}".format(
-                            kind))
-            if sender.error is not None:
-                raise VerificationError(
-                    "sharded exploration dispatch failed: {}".format(
-                        sender.error))
-
+    def load_reports(self, reports):
+        workers = self.workers
         counts = {}
         edge_streams = {}
         resolution_streams = {}
@@ -1159,30 +1113,36 @@ def _drive(compiled, initial_state, max_states, workers, connections, sender,
             pending_counts[worker] = len(provenance)
             for pending_id, value in enumerate(provenance):
                 candidates.append((value, worker, pending_id))
-            report_stats = array("Q")
-            report_stats.frombytes(sections[4 + workers])
-            exchange_stats["memo_hits"] += report_stats[0]
-            exchange_stats["foreign_refs"] += report_stats[1]
-        candidate_states = {worker: reports[worker][3 + workers]
-                            for worker in reports}
+        self.counts = counts
+        self.edge_streams = edge_streams
+        self.resolution_streams = resolution_streams
+        self.candidates = candidates
+        self.pending_counts = pending_counts
+        self.candidate_states = {worker: reports[worker][3 + workers]
+                                 for worker in reports}
 
-        timing["wait"] += perf_counter() - phase_started
-        phase_started = perf_counter()
-
-        # Phase 2: admission.  Sorting by provenance reproduces the exact
-        # order the sequential BFS first reaches each new state, so indices,
-        # parents and the truncation cut-off all match bit for bit.  The
-        # provenance int *is* the packed parent pointer the graph stores.
+    def admit(self):
+        # Sorting by provenance reproduces the exact order the sequential
+        # BFS first reaches each new state, so indices, parents and the
+        # truncation cut-off all match bit for bit.  The provenance int
+        # *is* the packed parent pointer the graph stores.
+        states = self.graph._mask_states
+        states_append = states.append
+        parents_append = self.graph._parents.append
+        from_bytes = int.from_bytes
+        row_width = self.row_width
+        candidate_states = self.candidate_states
+        candidates = self.candidates
         candidates.sort()
         rejected = array("q", [-1])
-        assignments = [rejected * pending_counts[worker]
-                       for worker in range(workers)]
+        assignments = [rejected * self.pending_counts[worker]
+                       for worker in range(self.workers)]
         next_owner_seq = []
         next_owner_append = next_owner_seq.append
         index = len(states)
         for provenance, worker, pending_id in candidates:
-            if index >= max_states:
-                truncated = True
+            if index >= self.max_states:
+                self.truncated = True
                 break
             assignments[worker][pending_id] = index
             index += 1
@@ -1192,39 +1152,41 @@ def _drive(compiled, initial_state, max_states, workers, connections, sender,
                         (pending_id + 1) * row_width], "little"))
             parents_append(provenance)
             next_owner_append(worker)
+        self.assignments = assignments
+        self.next_owner_seq = next_owner_seq
+        return len(next_owner_seq)
 
-        timing["admit"] += perf_counter() - phase_started
+    def assignment_payload(self, worker):
+        return self.assignments[worker].tobytes()
 
-        # Phase 3: broadcast the assignments immediately -- the workers
-        # start expanding the next level while the coordinator is still
-        # merging this level's edge streams below.  When nothing was
-        # admitted the exploration is over; the workers are left waiting
-        # for assignments and the caller's shutdown message is the next
-        # thing they see (the final merge below still runs).
-        finished = not next_owner_seq
-        if not finished:
-            for worker in range(workers):
-                sender.send(worker, bytes([_MSG_ASSIGN])
-                            + assignments[worker].tobytes())
-        phase_started = perf_counter()
-
-        # Phase 4: merge the edge streams in global discovery order,
-        # consuming each shard's resolution streams to finalise references.
-        # Edge lists are created here, not at admission: states are merged
-        # in exactly the order they were admitted, so plain appends keep
-        # ``edges`` aligned with ``states``.  While consuming foreign
-        # references the coordinator records their final resolutions per
-        # requester -- the memo feedback sent to the workers afterwards.
-        positions = {worker: 0 for worker in reports}
-        edge_cursors = {worker: 0 for worker in reports}
+    def merge(self):
+        # Merge the edge streams in global discovery order, consuming each
+        # shard's resolution streams to finalise references.  Edge lists
+        # are created here, not at admission: states are merged in exactly
+        # the order they were admitted, so plain appends keep ``edges``
+        # aligned with ``states``.  While consuming foreign references the
+        # coordinator records their final resolutions per requester -- the
+        # memo feedback returned to the caller (one payload per worker;
+        # empty payloads are not sent).
+        workers = self.workers
+        graph = self.graph
+        edges = graph._mask_edges
+        edges_append = edges.append
+        frontier_add = graph._frontier_indices.add
+        counts = self.counts
+        edge_streams = self.edge_streams
+        resolution_streams = self.resolution_streams
+        assignments = self.assignments
+        positions = {worker: 0 for worker in counts}
+        edge_cursors = {worker: 0 for worker in counts}
         requester_cursors = [[0] * workers for _ in range(workers)]
         requester_streams = [
             [resolution_streams[owner][worker] for owner in range(workers)]
             for worker in range(workers)
         ]
         feedback = ([array("q") for _ in range(workers)]
-                    if memo_size else None)
-        for worker in owner_seq:
+                    if self.memo_size else None)
+        for worker in self.owner_seq:
             position = positions[worker]
             edge_count = counts[worker][position]
             positions[worker] = position + 1
@@ -1259,25 +1221,448 @@ def _drive(compiled, initial_state, max_states, workers, connections, sender,
             if not complete:
                 frontier_add(len(edges))
             edges_append(current_edges)
+        if feedback is None:
+            return None
+        return [payload.tobytes() for payload in feedback]
 
-        # The memo feedback pairs positionally with each worker's shipped
-        # list; workers only push a shipped list when it is non-empty, so
-        # empty feedback is not sent (and none is after the final level).
-        if feedback is not None and not finished:
-            for worker in range(workers):
-                if len(feedback[worker]):
-                    sender.send(worker, bytes([_MSG_MEMO])
-                                + feedback[worker].tobytes())
+    def advance(self):
+        self.owner_seq = self.next_owner_seq
 
-        timing["merge"] += perf_counter() - phase_started
-        if finished:
-            break
-        owner_seq = next_owner_seq
+    def finish(self, exchange_stats, timing):
+        graph = self.graph
+        graph.truncated = self.truncated
+        graph.exchange_stats = exchange_stats
+        graph.exploration_stats = {
+            "engine": "sharded",
+            "levels": exchange_stats["levels"],
+            "states": len(graph._mask_states),
+            "edges": sum(len(edge_list) for edge_list in graph._mask_edges),
+            "phases": dict(timing),
+            "spill": {"enabled": False, "spilled": False,
+                      "budget_bytes": None, "directory": None,
+                      "write_bytes": 0, "read_bytes": 0, "files": 0},
+        }
+        return graph
 
-    if os.environ.get("REPRO_SHARD_TIMING"):
-        import sys
-        print("sharded coordinator: wait {wait:.2f}s admit {admit:.2f}s "
-              "merge {merge:.2f}s".format(**timing), file=sys.stderr)
-    graph.truncated = truncated
-    graph.exchange_stats = exchange_stats
-    return graph
+    def abort(self):
+        pass
+
+
+class _ColumnarMerger:
+    """Coordinator admission/merge directly into columnar spillable arrays.
+
+    Builds the same :class:`~repro.petri.batch.ColumnarReachabilityGraph`
+    as ``explore_batch`` straight out of the workers' report streams,
+    instead of accumulating Python lists: admission is one provenance
+    argsort (bit-identical to the sequential discovery order -- each
+    candidate's provenance is its packed first-discovery edge, unique
+    within a level), and the per-state merge becomes one vectorised
+    resolve + scatter per reporting worker.  Every array lives in an
+    :class:`~repro.petri.storage.ArrayStore` behind one
+    :class:`~repro.petri.storage.SpillPool`, so sharded graphs larger
+    than the spill budget stream onto disk exactly like batch ones.
+    """
+
+    def __init__(self, compiled, initial_state, max_states, workers,
+                 memo_size, spill=None):
+        import numpy
+        from repro.petri.batch import (
+            ColumnarReachabilityGraph,
+            WordTables,
+            _group_arange,
+        )
+        from repro.petri.storage import ArrayStore, SpillConfig, SpillPool
+        self._np = numpy
+        self._group_arange = _group_arange
+        self._array_store = ArrayStore
+        self.workers = workers
+        self.max_states = max_states
+        self.memo_size = memo_size
+        self.tables = WordTables(compiled)
+        self.word_count = self.tables.words
+        self.graph = ColumnarReachabilityGraph(compiled, self.tables,
+                                               initial_state)
+        if spill is None:
+            spill = SpillConfig.resolve()
+        self.pool = SpillPool(spill, label="sharded")
+        self.words = ArrayStore(self.pool, "words", numpy.uint64,
+                                columns=self.word_count)
+        self.parents = ArrayStore(self.pool, "parents", numpy.int64)
+        self.edges = ArrayStore(self.pool, "edges", numpy.int64)
+        self.counts_store = ArrayStore(self.pool, "counts", numpy.int64)
+        self.frontier = ArrayStore(self.pool, "frontier", numpy.int64)
+        self.truncated = False
+        self.total = 1
+        self.words.append(self.tables.encode_rows([initial_state]))
+        self.parents.append(numpy.full(1, -1, dtype=numpy.int64))
+        self.owner_seq = numpy.empty(0, dtype=numpy.int64)
+        self.next_owner_seq = self.owner_seq
+        #: Global index of the first state of ``owner_seq``'s level.
+        self.merge_base = 0
+        self.next_merge_base = 1
+        self.assignments = []
+
+    def seed(self, owner):
+        self.owner_seq = self._np.full(1, owner, dtype=self._np.int64)
+        self.merge_base = 0
+
+    def load_reports(self, reports):
+        np = self._np
+        workers = self.workers
+        self.counts = {}
+        self.edge_streams = {}
+        self.resolution_streams = {}
+        self.cand_provenance = {}
+        self.cand_rows = {}
+        for worker, sections in reports.items():
+            self.counts[worker] = np.frombuffer(
+                bytes(sections[0]), dtype="<u2").astype(np.int64)
+            self.edge_streams[worker] = np.frombuffer(
+                bytes(sections[1]), dtype="<i8")
+            self.resolution_streams[worker] = [
+                np.frombuffer(bytes(sections[2 + requester]), dtype="<i8")
+                for requester in range(workers)]
+            # Provenance fits in int64 (parent index << 16 | transition),
+            # and sorting signed matches unsigned on non-negative values.
+            self.cand_provenance[worker] = np.frombuffer(
+                bytes(sections[2 + workers]), dtype="<u8").astype(np.int64)
+            self.cand_rows[worker] = np.frombuffer(
+                bytes(sections[3 + workers]),
+                dtype="<u8").reshape(-1, self.word_count).astype(np.uint64)
+
+    def admit(self):
+        np = self._np
+        base = self.total
+        parts_provenance = []
+        parts_worker = []
+        parts_pending = []
+        for worker in range(self.workers):
+            provenance = self.cand_provenance.get(worker)
+            if provenance is None or not len(provenance):
+                continue
+            parts_provenance.append(provenance)
+            parts_worker.append(np.full(len(provenance), worker,
+                                        dtype=np.int64))
+            parts_pending.append(np.arange(len(provenance), dtype=np.int64))
+        if not parts_provenance:
+            self.assignments = [np.empty(0, dtype=np.int64)
+                                for _ in range(self.workers)]
+            self.next_owner_seq = np.empty(0, dtype=np.int64)
+            self.next_merge_base = base
+            return 0
+        provenance_all = np.concatenate(parts_provenance)
+        worker_all = np.concatenate(parts_worker)
+        pending_all = np.concatenate(parts_pending)
+        # Provenance values are unique across the level (one candidate per
+        # first-discovery edge), so this argsort reproduces both the
+        # sequential BFS discovery order and the list merger's
+        # (provenance, worker, pending) tuple sort; ``stable`` keeps the
+        # tuple tie-break exact even if a duplicate ever slipped through.
+        order = np.argsort(provenance_all, kind="stable")
+        capacity = max(0, self.max_states - base)
+        if len(order) > capacity:
+            self.truncated = True
+            order = order[:capacity]
+        admitted_worker = worker_all[order]
+        admitted_pending = pending_all[order]
+        self.parents.append(provenance_all[order])
+        rows = np.empty((len(order), self.word_count), dtype=np.uint64)
+        global_index = base + np.arange(len(order), dtype=np.int64)
+        assignments = []
+        for worker in range(self.workers):
+            pending_count = len(self.cand_provenance.get(worker, ()))
+            assignment = np.full(pending_count, -1, dtype=np.int64)
+            mine = np.flatnonzero(admitted_worker == worker)
+            if len(mine):
+                assignment[admitted_pending[mine]] = global_index[mine]
+                rows[mine] = self.cand_rows[worker][admitted_pending[mine]]
+            assignments.append(assignment)
+        self.words.append(rows)
+        self.total = base + len(order)
+        self.assignments = assignments
+        self.next_owner_seq = admitted_worker
+        self.next_merge_base = base
+        return int(len(order))
+
+    def assignment_payload(self, worker):
+        return self.assignments[worker].tobytes()
+
+    def merge(self):
+        # The vectorised phase-4: per reporting worker, resolve its
+        # negative references through the owners' resolution streams
+        # (consumed strictly front-to-back -- the FIFO pipes and in-order
+        # expansion guarantee stream order matches reference order), drop
+        # rejected edges (their sources join the frontier), then scatter
+        # each worker's kept edges into the level's global discovery-order
+        # slots in one fancy-indexed assignment.
+        np = self._np
+        owner_arr = self.owner_seq
+        level_size = len(owner_arr)
+        level_counts = np.zeros(level_size, dtype=np.int64)
+        worker_positions = {}
+        worker_edges = {}
+        feedback = [b""] * self.workers if self.memo_size else None
+        frontier_parts = []
+        for worker, stream in self.edge_streams.items():
+            positions = np.flatnonzero(owner_arr == worker)
+            if not len(positions):
+                continue
+            counts = self.counts[worker]
+            negatives = np.flatnonzero(stream < 0)
+            if len(negatives):
+                keys = -stream[negatives] - 1
+                ref_owner = keys >> 16
+                resolved = np.empty(len(keys), dtype=np.int64)
+                for owner in np.unique(ref_owner).tolist():
+                    refs = ref_owner == owner
+                    ref_count = int(refs.sum())
+                    stream_o = self.resolution_streams[owner][worker]
+                    if ref_count > len(stream_o):
+                        raise VerificationError(
+                            "sharded exploration shard {} resolved fewer "
+                            "references than worker {} issued".format(
+                                owner, worker))
+                    values = stream_o[:ref_count].astype(np.int64)
+                    pending = values < 0
+                    if pending.any():
+                        values[pending] = self.assignments[owner][
+                            -values[pending] - 1]
+                    resolved[refs] = values
+                if feedback is not None:
+                    foreign = ref_owner != worker
+                    if foreign.any():
+                        feedback[worker] = resolved[foreign].tobytes()
+                filled = stream.astype(np.int64)  # writable copy
+                filled[negatives] = (keys & 0xFFFF) | (resolved << 16)
+                rejected = resolved < 0
+                if rejected.any():
+                    keep = np.ones(len(stream), dtype=bool)
+                    keep[negatives[rejected]] = False
+                    segment = np.repeat(
+                        np.arange(len(counts), dtype=np.int64), counts)
+                    dropped = np.bincount(segment[negatives[rejected]],
+                                          minlength=len(counts))
+                    counts = counts - dropped
+                    frontier_parts.append(
+                        self.merge_base + positions[np.flatnonzero(dropped)])
+                    filled = filled[keep]
+            else:
+                filled = stream
+            level_counts[positions] = counts
+            worker_positions[worker] = (positions, counts)
+            worker_edges[worker] = filled
+        level_offsets = np.zeros(level_size + 1, dtype=np.int64)
+        np.cumsum(level_counts, out=level_offsets[1:])
+        level_edges = np.empty(int(level_offsets[-1]), dtype=np.int64)
+        for worker, (positions, counts) in worker_positions.items():
+            source = worker_edges[worker]
+            if not len(source):
+                continue
+            destination = (np.repeat(level_offsets[positions], counts)
+                           + self._group_arange(counts))
+            level_edges[destination] = source
+        self.edges.append(level_edges)
+        self.counts_store.append(level_counts)
+        if frontier_parts:
+            self.frontier.append(np.sort(np.concatenate(frontier_parts)))
+        return feedback
+
+    def advance(self):
+        self.owner_seq = self.next_owner_seq
+        self.merge_base = self.next_merge_base
+        # Stream the merged level out of memory (see SpillPool.drop_resident).
+        self.pool.drop_resident()
+
+    def finish(self, exchange_stats, timing):
+        np = self._np
+        graph = self.graph
+        pool = self.pool
+        total = self.total
+        graph._words = self.words.trim()
+        graph._parents_arr = self.parents.trim()
+        graph._edge_data = self.edges.trim()
+        # Every admitted state is merged by the following level's merge
+        # (the final, empty-admission level included), so the counts store
+        # covers all states; the CSR offsets are one cumulative sum.
+        counted = len(self.counts_store)
+        offsets = self._array_store(pool, "offsets", np.int64)
+        offsets.set_length(total + 1)
+        offsets_view = offsets.data
+        offsets_view[0] = 0
+        if counted:
+            np.cumsum(self.counts_store.data, out=offsets_view[1:counted + 1])
+        if counted < total:
+            offsets_view[counted + 1:] = offsets_view[counted]
+        self.counts_store.release()
+        graph._edge_offsets = offsets.trim()
+        graph._frontier_arr = self.frontier.trim()
+        # The hash index only accelerates lookups (it is not part of the
+        # bit-identical contract), so it is built once here rather than
+        # merged level by level: hash every stored row in chunks, then one
+        # argsort.  The argsort's O(states) temporaries are the only
+        # above-frontier RAM this path allocates.
+        keys_store = self._array_store(pool, "hash-keys", np.uint64)
+        keys_store.set_length(total)
+        keys_view = keys_store.data
+        chunk = 1 << 16
+        words_view = graph._words
+        for start in range(0, total, chunk):
+            stop = min(start + chunk, total)
+            keys_view[start:stop] = self.tables.hash_rows(
+                words_view[start:stop])
+        order = np.argsort(keys_view, kind="stable").astype(np.int64)
+        keys_view[:] = keys_view[order]
+        idx_store = self._array_store(pool, "hash-idx", np.int64)
+        idx_store.append(order)
+        graph._hash_keys = keys_store.trim()
+        graph._hash_idx = idx_store.trim()
+        graph.truncated = self.truncated
+        graph._spill_pool = pool
+        graph.exchange_stats = exchange_stats
+        graph.exploration_stats = {
+            "engine": "sharded",
+            "levels": exchange_stats["levels"],
+            "states": total,
+            "edges": int(len(graph._edge_data)),
+            "phases": dict(timing),
+            "spill": pool.stats(),
+        }
+        return graph
+
+    def abort(self):
+        self.pool.close()
+
+
+def _drive(compiled, initial_state, max_states, workers, connections, sender,
+           memo_size, spill=None):
+    from time import perf_counter
+
+    #: Per-phase second counters, attached as ``exploration_stats``
+    #: ``phases`` and printed when REPRO_SHARD_TIMING is set: wait
+    #: (receiving/relaying), admit (phase 2), merge (phase 4).
+    timing = {"wait": 0.0, "admit": 0.0, "merge": 0.0}
+
+    place_names = compiled.place_names
+    transition_names = compiled.transition_names
+    row_width = _state_row_width(len(place_names))
+
+    merger_class = _ListMerger
+    try:
+        from repro.petri.batch import numpy_available
+        if numpy_available():
+            merger_class = _ColumnarMerger
+    except ImportError:  # pragma: no cover - batch always importable
+        pass
+    merger = merger_class(compiled, initial_state, max_states, workers,
+                          memo_size, spill)
+    exchange_stats = {"memo_hits": 0, "foreign_refs": 0, "levels": 0,
+                      "chunk_messages": 0}
+
+    try:
+        # Level 0: seed the owning shard; everyone else gets empty
+        # assignments.
+        owner = shard_of(initial_state, workers)
+        merger.seed(owner)
+        sender.send(owner, bytes([_MSG_SEED])
+                    + initial_state.to_bytes(row_width, "little"))
+        for worker in range(workers):
+            if worker != owner:
+                sender.send(worker, bytes([_MSG_ASSIGN]))
+
+        while True:
+            exchange_stats["levels"] += 1
+            # Phase 1: collect successor chunks as workers expand, relaying
+            # each chunk to the shard that owns its states as soon as it
+            # arrives (the workers resolve them while still expanding).
+            phase_started = perf_counter()
+            waiting = set(range(workers))
+            reports = {}
+            while waiting:
+                for connection in connection_wait(
+                        [connections[w] for w in waiting], timeout=1.0):
+                    worker = connections.index(connection)
+                    message = _recv(connections, worker)
+                    kind = message[0]
+                    if kind == _MSG_OVERFLOW:
+                        raise SafenessOverflowError(
+                            transition_names[message[1] | (message[2] << 8)],
+                            place_names[message[3] | (message[4] << 8)])
+                    if kind == _MSG_CHUNK:
+                        exchange_stats["chunk_messages"] += 1
+                        final = message[1]
+                        batches = _unpack_sections(memoryview(message), 2)
+                        for destination in range(workers):
+                            if destination == worker:
+                                continue
+                            payload = batches[destination]
+                            # Empty non-final chunks carry no information;
+                            # the final marker must reach every peer
+                            # regardless.
+                            if final or len(payload):
+                                sender.send(destination,
+                                            bytes([_MSG_RELAY, worker, final])
+                                            + bytes(payload))
+                    elif kind == _MSG_REPORT:
+                        reports[worker] = _unpack_sections(
+                            memoryview(message), 1)
+                        waiting.discard(worker)
+                    else:
+                        raise VerificationError(
+                            "coordinator received unexpected message "
+                            "{!r}".format(kind))
+                if sender.error is not None:
+                    raise VerificationError(
+                        "sharded exploration dispatch failed: {}".format(
+                            sender.error))
+            for worker, sections in reports.items():
+                report_stats = array("Q")
+                report_stats.frombytes(sections[4 + workers])
+                exchange_stats["memo_hits"] += report_stats[0]
+                exchange_stats["foreign_refs"] += report_stats[1]
+            merger.load_reports(reports)
+            timing["wait"] += perf_counter() - phase_started
+            phase_started = perf_counter()
+
+            # Phase 2: admission (provenance-sorted; see the mergers).
+            admitted = merger.admit()
+            timing["admit"] += perf_counter() - phase_started
+
+            # Phase 3: broadcast the assignments immediately -- the workers
+            # start expanding the next level while the coordinator is still
+            # merging this level's edge streams below.  When nothing was
+            # admitted the exploration is over; the workers are left
+            # waiting for assignments and the caller's shutdown message is
+            # the next thing they see (the final merge below still runs).
+            finished = not admitted
+            if not finished:
+                for worker in range(workers):
+                    sender.send(worker, bytes([_MSG_ASSIGN])
+                                + merger.assignment_payload(worker))
+            phase_started = perf_counter()
+
+            # Phase 4: merge the level's edge streams into the graph.  The
+            # memo feedback pairs positionally with each worker's shipped
+            # list; workers only push a shipped list when it is non-empty,
+            # so empty feedback is not sent (and none is after the final
+            # level).
+            feedback = merger.merge()
+            if feedback is not None and not finished:
+                for worker in range(workers):
+                    payload = feedback[worker]
+                    if len(payload):
+                        sender.send(worker, bytes([_MSG_MEMO]) + payload)
+            timing["merge"] += perf_counter() - phase_started
+            if finished:
+                break
+            merger.advance()
+
+        if os.environ.get("REPRO_SHARD_TIMING"):
+            import sys
+            print("sharded coordinator: wait {wait:.2f}s admit {admit:.2f}s "
+                  "merge {merge:.2f}s".format(**timing), file=sys.stderr)
+        return merger.finish(exchange_stats, timing)
+    except BaseException:
+        # Exploration died mid-level: release the merger's stores (and
+        # spill-file handles) now instead of waiting for collection.
+        merger.abort()
+        raise

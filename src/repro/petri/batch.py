@@ -38,7 +38,11 @@ try:
 except ImportError:  # pragma: no cover - exercised by the no-NumPy CI job
     _np = None
 
-from repro.exceptions import CompilationError, SafenessOverflowError
+from repro.exceptions import (
+    CompilationError,
+    ConfigurationError,
+    SafenessOverflowError,
+)
 from repro.petri.compiled import (
     CompiledNet,
     CompiledReachabilityGraph,
@@ -431,6 +435,13 @@ class ColumnarReachabilityGraph(CompiledReachabilityGraph):
 
     one_safe = True
 
+    #: Cap (in entries) on the lazily materialised Python list mirrors.
+    #: The mirrors exist for differential tests and mixed-engine callers;
+    #: past the cap they would clone a multi-million-row (possibly
+    #: disk-backed) columnar table into Python objects, so crossing it
+    #: raises an actionable error instead.  Set to ``None`` to opt in.
+    mirror_limit = 1 << 22
+
     def __init__(self, compiled, tables, initial_state):
         ReachabilityGraph.__init__(self, compiled.net,
                                    compiled.decode(initial_state))
@@ -447,17 +458,47 @@ class ColumnarReachabilityGraph(CompiledReachabilityGraph):
         self._frontier_arr = None
         self._hash_keys = None      # sorted row hashes of every state
         self._hash_idx = None       # state index per sorted hash
+        #: The spill pool backing the arrays (``None`` for plain RAM
+        #: arrays); kept alive so unlinked memmap files outlive the graph.
+        self._spill_pool = None
+        #: Structured per-phase counters of the exploration that built this
+        #: graph (see :func:`explore_batch` / ``explore_sharded``).
+        self.exploration_stats = None
         # Lazy list-based mirrors of the arrays.
         self._list_states = None
         self._list_edges = None
         self._list_parents = None
         self._frontier_set = None
 
+    def close(self):
+        """Release spill-file handles early (safe at any time).
+
+        Spill files are unlinked at creation, so this only drops file
+        descriptors -- arrays already mapped stay valid, and the disk
+        space is reclaimed once they are garbage collected.
+        """
+        if self._spill_pool is not None:
+            self._spill_pool.close()
+
     # -- list-based mirrors (lazy; differential tests, explicit fallbacks) ----
+
+    def _check_mirror(self, kind, entries):
+        if self.mirror_limit is not None and entries > self.mirror_limit:
+            raise ConfigurationError(
+                "materialising the {} list mirror would create {:,} Python "
+                "objects from the columnar graph{}; use the vectorised "
+                "array API (graph._words / _edge_data / matching_rows) or "
+                "set graph.mirror_limit = None to opt in (current cap: "
+                "{:,} entries)".format(
+                    kind, entries,
+                    " (disk-backed)" if self._spill_pool is not None
+                    and self._spill_pool.spilled else "",
+                    self.mirror_limit))
 
     @property
     def _mask_states(self):
         if self._list_states is None:
+            self._check_mirror("state", len(self))
             ints = _np.zeros(len(self), dtype=object)
             for w in range(self.tables.words):
                 ints |= self._words[:, w].astype(object) << (64 * w)
@@ -467,6 +508,7 @@ class ColumnarReachabilityGraph(CompiledReachabilityGraph):
     @property
     def _mask_edges(self):
         if self._list_edges is None:
+            self._check_mirror("edge", int(len(self._edge_data)))
             data = self._edge_data.tolist()
             offsets = self._edge_offsets.tolist()
             self._list_edges = [data[offsets[i]:offsets[i + 1]]
@@ -476,6 +518,7 @@ class ColumnarReachabilityGraph(CompiledReachabilityGraph):
     @property
     def _parents(self):
         if self._list_parents is None:
+            self._check_mirror("parent", len(self))
             self._list_parents = [None if parent < 0 else parent
                                   for parent in self._parents_arr.tolist()]
         return self._list_parents
@@ -781,7 +824,7 @@ def _probe_rows(hash_keys, hash_idx, words_buffer, rows, hashes, word_count):
     return targets
 
 
-def explore_batch(compiled, marking=None, max_states=200000):
+def explore_batch(compiled, marking=None, max_states=200000, spill=None):
     """Whole-frontier breadth-first exploration on NumPy arrays.
 
     Returns a :class:`ColumnarReachabilityGraph` bit-identical to
@@ -791,11 +834,25 @@ def explore_batch(compiled, marking=None, max_states=200000):
     of a level is propagated incrementally from the parents (only the
     watch-listed transitions of the discovering firing are recomputed, the
     vectorised analogue of the sequential engine's incremental masks).
-    Raises :class:`~repro.exceptions.CompilationError` when NumPy is
+
+    Every array is built in a :class:`~repro.petri.storage.ArrayStore`:
+    in RAM they grow geometrically (an uninitialised buffer plus a copy of
+    the used rows, never a ``np.concatenate`` of zeroed capacity); once
+    the *spill* budget (a :class:`~repro.petri.storage.SpillConfig`, or
+    ``None`` to consult ``REPRO_SPILL_DIR`` / ``REPRO_SPILL_BYTES``) is
+    exceeded, they move onto unlinked ``np.memmap`` files and the RAM
+    working set stays frontier-sized.  Raises
+    :class:`~repro.exceptions.CompilationError` when NumPy is
     unavailable, so ``engine="auto"`` callers fall through to the pure-int
     engines.
     """
     _require_numpy()
+    from repro.petri.storage import (
+        ArrayStore,
+        SortedIndexStore,
+        SpillConfig,
+        SpillPool,
+    )
     if not isinstance(compiled, CompiledNet):
         compiled = CompiledNet.compile(compiled)
     tables = WordTables(compiled)
@@ -815,145 +872,163 @@ def explore_batch(compiled, marking=None, max_states=200000):
     timing = {"fire": 0.0, "dedup": 0.0, "probe": 0.0, "admit": 0.0,
               "edges": 0.0}
 
+    if spill is None:
+        spill = SpillConfig.resolve()
+    pool = SpillPool(spill, label="batch")
     level = tables.encode_rows([initial_state])
     level_enabled = tables.enabled_matrix(level)
-    parent_chunks = [_np.full(1, -1, dtype=_np.int64)]
-    edge_chunks = []
-    count_chunks = []
-    frontier_chunks = []
-    # The state table doubles as the exact-match side of the hash probe, so
-    # it is kept in an amortised-growth buffer instead of per-level chunks.
-    words_buffer = _np.zeros((256, word_count), dtype=_np.uint64)
-    words_buffer[0] = level[0]
-    hash_keys = tables.hash_rows(level)
-    hash_idx = _np.zeros(1, dtype=_np.int64)
+    # The graph's columnar arrays, behind the spill pool.  The state table
+    # doubles as the exact-match side of the hash probe.
+    words = ArrayStore(pool, "words", _np.uint64, columns=word_count)
+    parents = ArrayStore(pool, "parents", _np.int64)
+    edges = ArrayStore(pool, "edges", _np.int64)
+    counts = ArrayStore(pool, "counts", _np.int64)
+    frontier = ArrayStore(pool, "frontier", _np.int64)
+    index = SortedIndexStore(pool, "hash", _np.uint64, _np.int64)
     total = 1
     truncated = False
+    levels = 0
 
-    while len(level):
-        level_start = total - len(level)
-        phase_started = perf_counter()
-        flat = _np.flatnonzero(level_enabled)
-        if not len(flat):
-            break
-        try:
-            source_local, transition, successor = fire_enabled(tables, level,
-                                                               flat)
-        except SafenessOverflowError as overflow:
-            # Report the first offender in expansion order, exactly as the
-            # sequential engine would have -- by name at this level.
-            raise SafenessOverflowError(
-                transition_names[overflow.transition],
-                place_names[overflow.place]) from None
-        source = source_local + level_start
-        hashes = tables.hash_rows(successor)
-        provenance = (source << 16) | transition
-        timing["fire"] += perf_counter() - phase_started
-        phase_started = perf_counter()
+    try:
+        words.append(level)
+        parents.append(_np.full(1, -1, dtype=_np.int64))
+        index.merge(tables.hash_rows(level), _np.zeros(1, dtype=_np.int64))
 
-        # Intra-level dedup of *all* successors first, so the (more
-        # expensive) probe against the global state table only runs once per
-        # distinct successor.  A sort on the row hashes makes equal rows
-        # adjacent; each group's provenance is the minimum over its members
-        # -- the edge over which the sequential BFS first discovers that
-        # state.
-        (order, group_of_sorted, group_rows, group_hashes,
-         group_provenance) = dedup_rows(successor, hashes, provenance,
-                                        word_count)
-        timing["dedup"] += perf_counter() - phase_started
-        phase_started = perf_counter()
+        while len(level):
+            levels += 1
+            level_start = total - len(level)
+            phase_started = perf_counter()
+            flat = _np.flatnonzero(level_enabled)
+            if not len(flat):
+                break
+            try:
+                source_local, transition, successor = fire_enabled(
+                    tables, level, flat)
+            except SafenessOverflowError as overflow:
+                # Report the first offender in expansion order, exactly as
+                # the sequential engine would have -- by name at this level.
+                raise SafenessOverflowError(
+                    transition_names[overflow.transition],
+                    place_names[overflow.place]) from None
+            source = source_local + level_start
+            hashes = tables.hash_rows(successor)
+            provenance = (source << 16) | transition
+            timing["fire"] += perf_counter() - phase_started
+            phase_started = perf_counter()
 
-        # Resolve the distinct successors against the globally known states
-        # (exact, hash-accelerated), then admit the unknown ones in
-        # provenance order up to the state budget.
-        group_target = _probe_rows(hash_keys, hash_idx, words_buffer,
-                                   group_rows, group_hashes, word_count)
-        fresh_groups = _np.where(group_target < 0)[0]
-        timing["probe"] += perf_counter() - phase_started
-        phase_started = perf_counter()
-        admitted_rows = None
-        admitted_enabled = None
-        if len(fresh_groups):
-            admission = _np.argsort(group_provenance[fresh_groups])
-            capacity = max(0, max_states - total)
-            admitted = fresh_groups[admission[:capacity]]
-            if len(admitted) < len(fresh_groups):
-                truncated = True
-            group_target[admitted] = total + _np.arange(len(admitted))
-            admitted_provenance = group_provenance[admitted]
-            admitted_rows = group_rows[admitted]
-            parent_chunks.append(admitted_provenance)
-            # Grow the state buffer and append the admitted rows.
-            while total + len(admitted) > len(words_buffer):
-                words_buffer = _np.concatenate(
-                    [words_buffer, _np.zeros_like(words_buffer)])
-            words_buffer[total:total + len(admitted)] = admitted_rows
-            # Incremental enabledness: inherit the parent's enabled row,
-            # recompute only the transitions watching a place the
-            # discovering firing touched.
-            if len(admitted):
-                parent_local = (admitted_provenance >> 16) - level_start
-                admitted_enabled = level_enabled[parent_local]
-                fired = admitted_provenance & 0xFFFF
-                refresh_enabled(tables, admitted_enabled, admitted_rows,
-                                fired)
-            total += len(admitted)
-            # Merge the admitted hashes into the sorted hash index (one
-            # fused pass instead of two np.insert copies).
-            if len(admitted):
-                hash_keys, hash_idx = merge_sorted_index(
-                    hash_keys, hash_idx,
-                    group_hashes[admitted], group_target[admitted])
+            # Intra-level dedup of *all* successors first, so the (more
+            # expensive) probe against the global state table only runs once
+            # per distinct successor.  A sort on the row hashes makes equal
+            # rows adjacent; each group's provenance is the minimum over its
+            # members -- the edge over which the sequential BFS first
+            # discovers that state.
+            (order, group_of_sorted, group_rows, group_hashes,
+             group_provenance) = dedup_rows(successor, hashes, provenance,
+                                            word_count)
+            timing["dedup"] += perf_counter() - phase_started
+            phase_started = perf_counter()
 
-        timing["admit"] += perf_counter() - phase_started
-        phase_started = perf_counter()
-        # Resolve every edge through its dedup group.
-        targets = _np.empty(len(order), dtype=_np.int64)
-        targets[order] = group_target[group_of_sorted]
-        if (group_target >= 0).all():
-            # Nothing was rejected: every edge survives (the common case).
-            edge_chunks.append(transition | (targets << 16))
-            count_chunks.append(_np.bincount(source_local,
-                                             minlength=len(level)))
-        else:
-            kept = targets >= 0
-            edge_chunks.append(transition[kept] | (targets[kept] << 16))
-            count_chunks.append(_np.bincount(source_local[kept],
-                                             minlength=len(level)))
-            frontier_chunks.append(_np.unique(source[~kept]))
-        timing["edges"] += perf_counter() - phase_started
-        if admitted_rows is not None and len(admitted_rows):
-            level = admitted_rows
-            level_enabled = admitted_enabled
-        else:
-            level = _np.empty((0, word_count), dtype=_np.uint64)
+            # Resolve the distinct successors against the globally known
+            # states (exact, hash-accelerated), then admit the unknown ones
+            # in provenance order up to the state budget.
+            group_target = _probe_rows(index.keys, index.idx, words.data,
+                                       group_rows, group_hashes, word_count)
+            pool.note_read(len(group_rows) * word_count * 8)
+            fresh_groups = _np.where(group_target < 0)[0]
+            timing["probe"] += perf_counter() - phase_started
+            phase_started = perf_counter()
+            admitted_rows = None
+            admitted_enabled = None
+            if len(fresh_groups):
+                admission = _np.argsort(group_provenance[fresh_groups])
+                capacity = max(0, max_states - total)
+                admitted = fresh_groups[admission[:capacity]]
+                if len(admitted) < len(fresh_groups):
+                    truncated = True
+                group_target[admitted] = total + _np.arange(len(admitted))
+                admitted_provenance = group_provenance[admitted]
+                admitted_rows = group_rows[admitted]
+                parents.append(admitted_provenance)
+                words.append(admitted_rows)
+                # Incremental enabledness: inherit the parent's enabled row,
+                # recompute only the transitions watching a place the
+                # discovering firing touched.
+                if len(admitted):
+                    parent_local = (admitted_provenance >> 16) - level_start
+                    admitted_enabled = level_enabled[parent_local]
+                    fired = admitted_provenance & 0xFFFF
+                    refresh_enabled(tables, admitted_enabled, admitted_rows,
+                                    fired)
+                total += len(admitted)
+                # Merge the admitted hashes into the sorted hash index (one
+                # fused placement pass into the index's spare buffer).
+                if len(admitted):
+                    index.merge(group_hashes[admitted],
+                                group_target[admitted])
 
-    import os
-    if os.environ.get("REPRO_BATCH_TIMING"):
-        import sys
-        print("batch explorer: fire {fire:.2f}s dedup {dedup:.2f}s "
-              "probe {probe:.2f}s admit {admit:.2f}s edges {edges:.2f}s"
-              .format(**timing), file=sys.stderr)
-    graph._words = words_buffer[:total].copy()
-    graph._parents_arr = _np.concatenate(parent_chunks)
-    if edge_chunks:
-        graph._edge_data = _np.concatenate(edge_chunks)
-        counts = _np.concatenate(count_chunks)
-    else:
-        graph._edge_data = _np.empty(0, dtype=_np.int64)
-        counts = _np.zeros(total, dtype=_np.int64)
-    if len(counts) < total:
-        # States admitted on the last level expand to nothing enabled; their
-        # (empty) count rows are still owed to the CSR offsets.
-        counts = _np.concatenate(
-            [counts, _np.zeros(total - len(counts), dtype=_np.int64)])
-    offsets = _np.zeros(total + 1, dtype=_np.int64)
-    _np.cumsum(counts, out=offsets[1:])
-    graph._edge_offsets = offsets
-    graph._frontier_arr = (_np.concatenate(frontier_chunks)
-                           if frontier_chunks
-                           else _np.empty(0, dtype=_np.int64))
-    graph._hash_keys = hash_keys
-    graph._hash_idx = hash_idx
+            timing["admit"] += perf_counter() - phase_started
+            phase_started = perf_counter()
+            # Resolve every edge through its dedup group.
+            targets = _np.empty(len(order), dtype=_np.int64)
+            targets[order] = group_target[group_of_sorted]
+            if (group_target >= 0).all():
+                # Nothing was rejected: every edge survives (common case).
+                edges.append(transition | (targets << 16))
+                counts.append(_np.bincount(source_local,
+                                           minlength=len(level)))
+            else:
+                kept = targets >= 0
+                edges.append(transition[kept] | (targets[kept] << 16))
+                counts.append(_np.bincount(source_local[kept],
+                                           minlength=len(level)))
+                frontier.append(_np.unique(source[~kept]))
+            timing["edges"] += perf_counter() - phase_started
+            # Stream the completed level out of memory: spilled stores drop
+            # their resident pages, so RSS tracks the frontier, not the graph.
+            pool.drop_resident()
+            if admitted_rows is not None and len(admitted_rows):
+                level = admitted_rows
+                level_enabled = admitted_enabled
+            else:
+                level = _np.empty((0, word_count), dtype=_np.uint64)
+
+        import os
+        if os.environ.get("REPRO_BATCH_TIMING"):
+            import sys
+            print("batch explorer: fire {fire:.2f}s dedup {dedup:.2f}s "
+                  "probe {probe:.2f}s admit {admit:.2f}s edges {edges:.2f}s"
+                  .format(**timing), file=sys.stderr)
+        graph._words = words.trim()
+        graph._parents_arr = parents.trim()
+        graph._edge_data = edges.trim()
+        # States admitted on the last level expand to nothing enabled;
+        # their (empty) count rows are still owed to the CSR offsets.
+        counted = len(counts)
+        offsets = ArrayStore(pool, "offsets", _np.int64)
+        offsets.set_length(total + 1)
+        offsets_view = offsets.data
+        offsets_view[0] = 0
+        if counted:
+            _np.cumsum(counts.data, out=offsets_view[1:counted + 1])
+        if counted < total:
+            offsets_view[counted + 1:] = offsets_view[counted]
+        counts.release()
+        graph._edge_offsets = offsets.trim()
+        graph._frontier_arr = frontier.trim()
+        graph._hash_keys, graph._hash_idx = index.finalize()
+    except BaseException:
+        # Exploration died mid-flight: release every store (and spill-file
+        # handle) now instead of waiting for garbage collection.
+        pool.close()
+        raise
     graph.truncated = truncated
+    graph._spill_pool = pool
+    graph.exploration_stats = {
+        "engine": "batch",
+        "levels": levels,
+        "states": total,
+        "edges": int(len(graph._edge_data)),
+        "phases": dict(timing),
+        "spill": pool.stats(),
+    }
     return graph

@@ -188,7 +188,7 @@ def explore(net, marking=None, max_states=200000):
 
 
 def build_reachability_graph(net, marking=None, max_states=200000, engine="auto",
-                             workers=0):
+                             workers=0, spill_dir=None, spill_bytes=None):
     """Build the reachability graph of *net* with the best available engine.
 
     Parameters
@@ -214,6 +214,14 @@ def build_reachability_graph(net, marking=None, max_states=200000, engine="auto"
         bit-identical to the single-process one.  Ignored on the explicit
         path, and inside daemonic workers (which cannot spawn children --
         campaign jobs fall back to the sequential engine transparently).
+    spill_dir, spill_bytes:
+        Out-of-core knobs for the columnar engines (see
+        :mod:`repro.petri.storage`): once the graph's arrays exceed
+        *spill_bytes* of RAM they move onto ``np.memmap`` files under
+        *spill_dir*.  ``None`` consults ``REPRO_SPILL_DIR`` /
+        ``REPRO_SPILL_BYTES``; both unset disables spilling.  Like
+        *workers*, spilling never changes the graph -- only where it
+        lives -- and is ignored by the pure-int and explicit engines.
 
     All engines explore states in the same order and implement the same
     truncation semantics, so the resulting graphs are interchangeable --
@@ -228,7 +236,9 @@ def build_reachability_graph(net, marking=None, max_states=200000, engine="auto"
     from repro.exceptions import CompilationError
     from repro.petri.batch import explore_batch, numpy_available
     from repro.petri.compiled import CompiledNet, explore_compiled
+    from repro.petri.storage import SpillConfig
 
+    spill = SpillConfig.resolve(spill_dir, spill_bytes)
     try:
         if engine == "batch" and not numpy_available():
             raise CompilationError(
@@ -247,9 +257,10 @@ def build_reachability_graph(net, marking=None, max_states=200000, engine="auto"
                 return explore_sharded(compiled, marking,
                                        max_states=max_states, workers=workers,
                                        batch=None if engine == "auto"
-                                       else use_batch)
+                                       else use_batch, spill=spill)
         if use_batch:
-            return explore_batch(compiled, marking, max_states=max_states)
+            return explore_batch(compiled, marking, max_states=max_states,
+                                 spill=spill)
         return explore_compiled(compiled, marking, max_states=max_states)
     except CompilationError:
         if engine == "compiled" or engine == "batch":

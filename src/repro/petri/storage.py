@@ -1,0 +1,487 @@
+"""Spillable array storage: RAM-budgeted, memmap-backed columnar arrays.
+
+The batch and sharded exploration engines build
+:class:`~repro.petri.batch.ColumnarReachabilityGraph` objects out of a
+handful of growable arrays (state words, CSR edges, packed parents, the
+sorted hash index).  This module provides the storage layer underneath
+them:
+
+* :class:`ArrayStore` -- a growable 1-D/2-D NumPy array with geometric
+  (power-of-two) resizing.  In RAM it grows by allocating a fresh
+  uninitialised buffer and copying only the *used* rows (unlike
+  ``np.concatenate([buf, np.zeros_like(buf)])``, which both zeroes and
+  copies the full capacity).  Once its pool spills, the backing becomes an
+  ``np.memmap`` and growth is an ``ftruncate`` + remap -- no copy at all.
+* :class:`SpillPool` -- the shared accountant for one graph's stores.  It
+  tracks the RAM bytes held by all registered stores and, the first time a
+  growth request would push the total past the configured budget, converts
+  *every* store to disk at once (so the RAM working set drops to the
+  frontier-sized temporaries of the exploration loop).
+* :class:`SpillConfig` -- where the knobs live: ``spill_bytes=`` /
+  ``spill_dir=`` keyword arguments, or the ``REPRO_SPILL_BYTES`` /
+  ``REPRO_SPILL_DIR`` environment variables.
+
+Spill files are **unlinked immediately after creation** (open ->
+``os.unlink`` -> ``ftruncate`` -> ``mmap``): the kernel keeps the inode
+alive while the file descriptor / mapping exists and reclaims the space
+the moment the process lets go -- on success, on an exception, and even
+when a supervised worker is SIGKILLed mid-exploration.  On filesystems
+that refuse unlinked mappings the store falls back to named files removed
+by :meth:`SpillPool.close` and an interpreter-exit finalizer.
+"""
+
+import mmap
+import os
+import tempfile
+import weakref
+
+from repro.exceptions import ConfigurationError
+
+try:  # NumPy is an optional dependency (see repro.petri.batch)
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by REPRO_NO_NUMPY CI
+    _np = None
+if os.environ.get("REPRO_NO_NUMPY"):
+    _np = None
+
+#: Environment knobs (read by :meth:`SpillConfig.resolve`).
+SPILL_DIR_ENV = "REPRO_SPILL_DIR"
+SPILL_BYTES_ENV = "REPRO_SPILL_BYTES"
+
+
+def _require_numpy():
+    if _np is None:
+        raise ConfigurationError(
+            "spillable array storage requires NumPy (unset REPRO_NO_NUMPY "
+            "or install the numpy extra)")
+
+
+class SpillConfig:
+    """Where and when a graph's arrays spill to disk.
+
+    *budget_bytes* is the RAM ceiling for the graph's store backings: the
+    first growth that would exceed it moves every store onto disk.  A
+    budget of ``0`` spills immediately (every array is disk-backed from
+    the first row) -- the mode the ``tests-spill`` CI job runs the whole
+    differential suite under.
+    """
+
+    def __init__(self, directory=None, budget_bytes=0):
+        self.directory = directory if directory is not None else tempfile.gettempdir()
+        self.budget_bytes = max(0, int(budget_bytes))
+
+    @classmethod
+    def resolve(cls, spill_dir=None, spill_bytes=None):
+        """Build a config from explicit settings, falling back to the env.
+
+        Returns ``None`` when spilling is disabled (no directory, no
+        budget, and neither ``REPRO_SPILL_DIR`` nor ``REPRO_SPILL_BYTES``
+        set).  A directory alone means "spill from the start" (budget 0);
+        a budget alone spills into the system temp directory.
+        """
+        if spill_dir is None:
+            spill_dir = os.environ.get(SPILL_DIR_ENV) or None
+        if spill_bytes is None:
+            raw = os.environ.get(SPILL_BYTES_ENV)
+            if raw:
+                try:
+                    spill_bytes = int(raw)
+                except ValueError:
+                    raise ConfigurationError(
+                        "{}={!r} is not a byte count".format(SPILL_BYTES_ENV, raw))
+        if spill_dir is None and spill_bytes is None:
+            return None
+        return cls(directory=spill_dir, budget_bytes=spill_bytes or 0)
+
+    def to_dict(self):
+        return {"directory": self.directory, "budget_bytes": self.budget_bytes}
+
+    def __repr__(self):
+        return "SpillConfig(directory={!r}, budget_bytes={})".format(
+            self.directory, self.budget_bytes)
+
+
+def _remove_paths(paths):
+    """Interpreter-exit fallback for named (non-unlinkable) spill files."""
+    for path in paths:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+
+class SpillPool:
+    """Shared RAM accountant and spill-file factory for one graph's stores.
+
+    The pool exists even when spilling is disabled (*config* ``None``):
+    the stores always route growth decisions through it, so the in-RAM
+    and spilled code paths are the same code path, and
+    :meth:`stats` is always available for ``graph.exploration_stats``.
+    """
+
+    def __init__(self, config=None, label="graph"):
+        self.config = config
+        self.label = label
+        self.spilled = False
+        self.write_bytes = 0
+        self.read_bytes = 0
+        self.file_count = 0
+        self.closed = False
+        self._stores = []
+        self._ram_bytes = 0
+        self._serial = 0
+        self._named_paths = []
+        self._finalizer = weakref.finalize(self, _remove_paths, self._named_paths)
+
+    # -- accounting ----------------------------------------------------------
+
+    def _register(self, store):
+        self._stores.append(store)
+        if self.spilled:
+            store._to_disk()
+        else:
+            self._ram_bytes += store._backing_nbytes()
+            self._check_budget()
+
+    def _unregister(self, store):
+        try:
+            self._stores.remove(store)
+        except ValueError:
+            return
+        if store._handle is None:
+            self._ram_bytes -= store._backing_nbytes()
+
+    def _approve_growth(self, extra_ram_bytes):
+        """Account a RAM growth of *extra_ram_bytes*; maybe spill first.
+
+        Returns ``True`` when the caller should grow in RAM, ``False``
+        when the pool spilled (the caller's store is now disk-backed and
+        must grow on disk instead).
+        """
+        if self.spilled:
+            return False
+        if (self.config is not None
+                and self._ram_bytes + extra_ram_bytes > self.config.budget_bytes):
+            self._spill_all()
+            return False
+        self._ram_bytes += extra_ram_bytes
+        return True
+
+    def _check_budget(self):
+        if (not self.spilled and self.config is not None
+                and self._ram_bytes > self.config.budget_bytes):
+            self._spill_all()
+
+    def _spill_all(self):
+        self.spilled = True
+        for store in self._stores:
+            store._to_disk()
+        self._ram_bytes = 0
+
+    def drop_resident(self):
+        """Stream completed work out of memory: drop spilled stores' pages.
+
+        ``madvise(MADV_DONTNEED)`` on a shared file mapping releases the
+        process's resident pages without touching the data (dirty pages
+        stay in the page cache and are written back normally; later reads
+        refault them on demand).  The exploration loops call this at each
+        BFS level boundary, so the resident set tracks the current level's
+        working set instead of the whole graph.  A no-op until the pool
+        has spilled, and on platforms without ``madvise``.
+        """
+        if not self.spilled:
+            return
+        for store in self._stores:
+            store.drop_resident()
+
+    def note_read(self, nbytes):
+        """Attribute *nbytes* of gather traffic to spill reads (if spilled)."""
+        if self.spilled:
+            self.read_bytes += int(nbytes)
+
+    def note_write(self, nbytes):
+        if self.spilled:
+            self.write_bytes += int(nbytes)
+
+    # -- spill files ---------------------------------------------------------
+
+    def open_spill_file(self, name):
+        """Create (and immediately unlink) a spill file; return its handle."""
+        if self.config is None:
+            raise ConfigurationError(
+                "BUG: pool {!r} spilled without a spill configuration".format(
+                    self.label))
+        directory = self.config.directory
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, "repro-spill-{}-{}-{}.bin".format(
+            os.getpid(), self._serial, name))
+        self._serial += 1
+        handle = open(path, "w+b")
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - non-POSIX fallback
+            self._named_paths.append(path)
+        self.file_count += 1
+        return handle
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stats(self):
+        """JSON-able spill counters for ``graph.exploration_stats``."""
+        return {
+            "enabled": self.config is not None,
+            "spilled": self.spilled,
+            "budget_bytes": (self.config.budget_bytes
+                             if self.config is not None else None),
+            "directory": (self.config.directory
+                          if self.config is not None else None),
+            "write_bytes": self.write_bytes,
+            "read_bytes": self.read_bytes,
+            "files": self.file_count,
+        }
+
+    def close(self):
+        """Release every store's backing and remove named fallback files.
+
+        Safe to call at any time: unlinked mappings survive their file
+        descriptor, so arrays still referencing the data stay valid while
+        the disk space is reclaimed as soon as they are garbage collected.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        for store in list(self._stores):
+            store.release()
+        self._stores = []
+        self._ram_bytes = 0
+        if self._named_paths:
+            _remove_paths(list(self._named_paths))
+            del self._named_paths[:]
+        self._finalizer.detach()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        # Keep the pool alive on success (the graph owns the memmaps);
+        # tear it down when the exploration died mid-flight.
+        if exc_type is not None:
+            self.close()
+        return False
+
+
+class ArrayStore:
+    """A growable 1-D or 2-D array, RAM-backed until its pool spills.
+
+    *columns* ``0`` makes a 1-D store of dtype *dtype*; otherwise rows are
+    ``(columns,)`` vectors.  :attr:`data` is always a view of exactly the
+    rows written so far; :meth:`append` grows geometrically through the
+    pool's budget accounting.
+    """
+
+    def __init__(self, pool, name, dtype, columns=0, capacity=256):
+        _require_numpy()
+        self.pool = pool
+        self.name = name
+        self.dtype = _np.dtype(dtype)
+        self.columns = int(columns)
+        self._row_nbytes = self.dtype.itemsize * max(1, self.columns)
+        self._length = 0
+        self._handle = None
+        capacity = max(1, int(capacity))
+        self._backing = _np.empty(self._shape(capacity), dtype=self.dtype)
+        pool._register(self)
+
+    # -- geometry ------------------------------------------------------------
+
+    def _shape(self, rows):
+        if self.columns:
+            return (rows, self.columns)
+        return (rows,)
+
+    def _backing_nbytes(self):
+        return len(self._backing) * self._row_nbytes
+
+    @property
+    def spilled(self):
+        return self._handle is not None
+
+    def __len__(self):
+        return self._length
+
+    @property
+    def data(self):
+        """View of the rows written so far (a memmap view once spilled)."""
+        return self._backing[:self._length]
+
+    # -- growth --------------------------------------------------------------
+
+    def reserve(self, rows):
+        """Ensure capacity for *rows* total rows (geometric growth)."""
+        capacity = len(self._backing)
+        if rows <= capacity:
+            return
+        new_capacity = max(capacity, 1)
+        while new_capacity < rows:
+            new_capacity *= 2
+        if self._handle is not None:
+            self._grow_disk(new_capacity)
+            return
+        extra = (new_capacity - capacity) * self._row_nbytes
+        if self.pool._approve_growth(extra):
+            fresh = _np.empty(self._shape(new_capacity), dtype=self.dtype)
+            fresh[:self._length] = self._backing[:self._length]
+            self._backing = fresh
+        else:
+            # The pool spilled (converting this store at its old capacity);
+            # finish the growth on disk.
+            self._grow_disk(new_capacity)
+
+    def _to_disk(self):
+        """Move the backing onto an (unlinked) memmap at current capacity."""
+        if self._handle is not None:
+            return
+        handle = self.pool.open_spill_file(self.name)
+        capacity = max(1, len(self._backing))
+        os.ftruncate(handle.fileno(), capacity * self._row_nbytes)
+        mapped = _np.memmap(handle, dtype=self.dtype, mode="r+",
+                            shape=self._shape(capacity))
+        if self._length:
+            mapped[:self._length] = self._backing[:self._length]
+        self._backing = mapped
+        self._handle = handle
+        self.pool.write_bytes += self._length * self._row_nbytes
+
+    def _grow_disk(self, new_capacity):
+        os.ftruncate(self._handle.fileno(), new_capacity * self._row_nbytes)
+        # Remapping the same descriptor sees the pages the old mapping
+        # wrote (MAP_SHARED); no copy happens on disk growth.
+        self._backing = _np.memmap(self._handle, dtype=self.dtype, mode="r+",
+                                   shape=self._shape(new_capacity))
+
+    # -- writes --------------------------------------------------------------
+
+    def append(self, values):
+        """Append *values* (rows of this store's shape); return nothing."""
+        values = _np.asarray(values, dtype=self.dtype)
+        count = len(values)
+        if not count:
+            return
+        self.reserve(self._length + count)
+        self._backing[self._length:self._length + count] = values
+        self._length += count
+        self.pool.note_write(count * self._row_nbytes)
+
+    def set_length(self, rows):
+        """Reserve and expose *rows* rows; new rows are uninitialised."""
+        self.reserve(rows)
+        if rows > self._length:
+            self.pool.note_write((rows - self._length) * self._row_nbytes)
+        self._length = int(rows)
+
+    # -- finalisation --------------------------------------------------------
+
+    def trim(self):
+        """The final exact-length array.
+
+        In RAM this copies down to the exact size (releasing the geometric
+        slack); on disk it narrows the view -- the file is never truncated
+        downward, so stale larger mappings can never fault.
+        """
+        if self._handle is None:
+            if len(self._backing) != self._length:
+                exact = _np.empty(self._shape(self._length), dtype=self.dtype)
+                exact[:] = self._backing[:self._length]
+                slack = (len(self._backing) - self._length) * self._row_nbytes
+                self._backing = exact
+                self.pool._ram_bytes -= slack
+            return self._backing
+        return self._backing[:self._length]
+
+    def drop_resident(self):
+        """Release this store's resident pages (see ``SpillPool.drop_resident``)."""
+        if self._handle is None:
+            return
+        mapping = getattr(self._backing, "_mmap", None)
+        advice = getattr(mmap, "MADV_DONTNEED", None)
+        if mapping is None or advice is None or not hasattr(mapping, "madvise"):
+            return  # pragma: no cover - pre-3.8 or exotic mmap backend
+        try:
+            mapping.madvise(advice)
+        except (OSError, ValueError):  # pragma: no cover - platform quirk
+            pass
+
+    def release(self):
+        """Drop the backing and close the spill handle (if any)."""
+        self.pool._unregister(self)
+        self._backing = _np.empty(self._shape(0), dtype=self.dtype)
+        self._length = 0
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._handle = None
+
+    def __repr__(self):
+        return "ArrayStore({!r}, rows={}, {})".format(
+            self.name, self._length, "disk" if self.spilled else "ram")
+
+
+class SortedIndexStore:
+    """The graph's sorted hash index as a pair of double-buffered stores.
+
+    Keeps ``(keys, idx)`` sorted by key.  :meth:`merge` re-implements
+    :func:`repro.petri.batch.merge_sorted_index`'s fused placement, but
+    writes the merged output into the *spare* buffer pair and swaps --
+    so the merge is an append-bandwidth operation on disk instead of a
+    fresh RAM allocation per BFS level.
+    """
+
+    def __init__(self, pool, name, key_dtype, idx_dtype):
+        self._keys = (ArrayStore(pool, name + "-keys-a", key_dtype),
+                      ArrayStore(pool, name + "-keys-b", key_dtype))
+        self._idx = (ArrayStore(pool, name + "-idx-a", idx_dtype),
+                     ArrayStore(pool, name + "-idx-b", idx_dtype))
+        self._front = 0
+
+    @property
+    def keys(self):
+        return self._keys[self._front].data
+
+    @property
+    def idx(self):
+        return self._idx[self._front].data
+
+    def merge(self, new_keys, new_idx):
+        """Merge sorted-by-key *new* entries into the index (stable placement)."""
+        order = _np.argsort(new_keys)
+        new_keys = new_keys[order]
+        new_idx = new_idx[order]
+        front, back = self._front, 1 - self._front
+        keys = self._keys[front].data
+        idx = self._idx[front].data
+        merged_size = len(keys) + len(new_keys)
+        key_store, idx_store = self._keys[back], self._idx[back]
+        key_store.set_length(merged_size)
+        idx_store.set_length(merged_size)
+        merged_keys = key_store.data
+        merged_idx = idx_store.data
+        positions = _np.searchsorted(keys, new_keys, side="left")
+        new_slots = positions + _np.arange(len(new_keys), dtype=positions.dtype)
+        old_slots = _np.ones(merged_size, dtype=bool)
+        old_slots[new_slots] = False
+        merged_keys[new_slots] = new_keys
+        merged_idx[new_slots] = new_idx
+        merged_keys[old_slots] = keys
+        merged_idx[old_slots] = idx
+        self._front = back
+
+    def finalize(self):
+        """Return ``(keys, idx)`` exact arrays and release the spare pair."""
+        front, back = self._front, 1 - self._front
+        keys = self._keys[front].trim()
+        idx = self._idx[front].trim()
+        self._keys[back].release()
+        self._idx[back].release()
+        return keys, idx

@@ -156,7 +156,7 @@ class CheckerContext:
     """
 
     def __init__(self, net, max_states=200000, engine="auto", workers=0,
-                 semiflow_cache=None):
+                 semiflow_cache=None, spill_dir=None, spill_bytes=None):
         self.net = net
         self.max_states = max_states
         self.engine = engine
@@ -164,6 +164,11 @@ class CheckerContext:
         #: sequential).  The sharded graph is bit-identical to the
         #: sequential one, so verdicts are unaffected by this knob.
         self.workers = int(workers or 0)
+        #: Out-of-core knobs (see :mod:`repro.petri.storage`): like
+        #: *workers*, spilling changes where the graph lives, never what
+        #: it contains, so verdicts are unaffected.
+        self.spill_dir = spill_dir
+        self.spill_bytes = spill_bytes
         #: Optional :class:`~repro.petri.invariants.SemiflowCache` (or cache
         #: directory) memoising the place-invariant derivation on disk.
         self.semiflow_cache = semiflow_cache
@@ -177,7 +182,8 @@ class CheckerContext:
         if self._graph is None:
             self._graph = build_reachability_graph(
                 self.net, max_states=self.max_states, engine=self.engine,
-                workers=self.workers)
+                workers=self.workers, spill_dir=self.spill_dir,
+                spill_bytes=self.spill_bytes)
         return self._graph
 
     @property
@@ -219,6 +225,18 @@ class CheckerContext:
     @property
     def truncated(self):
         return bool(self._graph is not None and self._graph.truncated)
+
+    @property
+    def exploration(self):
+        """Structured exploration stats, or ``None`` (no graph / old engine).
+
+        The columnar engines attach per-phase timings and spill counters
+        to the graph (``graph.exploration_stats``); this surfaces them to
+        summaries, campaign payloads and the service ``/stats``.
+        """
+        if self._graph is None:
+            return None
+        return getattr(self._graph, "exploration_stats", None)
 
 
 # -- checker base ------------------------------------------------------------

@@ -61,11 +61,16 @@ class VerificationResult:
 class VerificationSummary:
     """Aggregated outcome of a batch of property checks."""
 
-    def __init__(self, model_name, results=None, state_count=0, truncated=False):
+    def __init__(self, model_name, results=None, state_count=0, truncated=False,
+                 exploration=None):
         self.model_name = model_name
         self.results = list(results or [])
         self.state_count = state_count
         self.truncated = truncated
+        #: Structured exploration stats of the state-space build (engine,
+        #: levels, per-phase seconds, spill read/write bytes) when a
+        #: columnar engine produced the graph; ``None`` otherwise.
+        self.exploration = exploration
 
     def add(self, result):
         self.results.append(result)

@@ -108,7 +108,8 @@ class Verifier:
 
     def __init__(self, dfs, max_states=200000, engine="auto", net=None,
                  checker="exhaustive", checker_options=None,
-                 checker_overrides=None, workers=0, semiflow_cache=None):
+                 checker_overrides=None, workers=0, semiflow_cache=None,
+                 spill_dir=None, spill_bytes=None):
         self.dfs = dfs
         self.max_states = max_states
         self.engine = engine
@@ -116,6 +117,11 @@ class Verifier:
         #: The sharded graph is bit-identical to the sequential one, so this
         #: changes wall-clock, never verdicts.
         self.workers = int(workers or 0)
+        #: Out-of-core knobs (see :mod:`repro.petri.storage`): past
+        #: *spill_bytes* of RAM the graph's arrays move onto memmap files
+        #: under *spill_dir*.  Like *workers*, never affects verdicts.
+        self.spill_dir = spill_dir
+        self.spill_bytes = spill_bytes
         #: Optional on-disk memo of the place-invariant derivation (a
         #: :class:`~repro.petri.invariants.SemiflowCache` or directory).
         self.semiflow_cache = semiflow_cache
@@ -159,7 +165,8 @@ class Verifier:
         if self._context is None:
             self._context = CheckerContext(
                 self.net, max_states=self.max_states, engine=self.engine,
-                workers=self.workers, semiflow_cache=self.semiflow_cache)
+                workers=self.workers, semiflow_cache=self.semiflow_cache,
+                spill_dir=self.spill_dir, spill_bytes=self.spill_bytes)
         return self._context
 
     @property
@@ -318,6 +325,7 @@ class Verifier:
             self.dfs.name,
             state_count=self.context.state_count,
             truncated=self.context.truncated,
+            exploration=self.context.exploration,
         )
         for result in results:
             summary.add(result)

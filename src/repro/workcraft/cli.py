@@ -134,7 +134,8 @@ def _command_verify(args):
     checker, checker_options = _resolve_checker(args)
     verifier = Verifier(dfs, max_states=args.max_states, engine=args.engine,
                         checker=checker, checker_options=checker_options,
-                        workers=args.workers)
+                        workers=args.workers, spill_dir=args.spill_dir,
+                        spill_bytes=args.spill_bytes)
     summary = verifier.verify_all(include_persistence=not args.no_persistence)
     print(summary.report())
     return 0 if summary.passed else 1
@@ -259,6 +260,8 @@ def _command_campaign(args):
         custom_properties=custom,
         simulate_steps=args.simulate_steps,
         workers=args.workers,
+        spill_dir=args.spill_dir,
+        spill_bytes=args.spill_bytes,
     )
     jobs, skipped = generate_scenarios(spec)
     # Fail on unwritable report locations *before* spending the campaign.
@@ -367,6 +370,14 @@ def build_parser():
                         help="worker processes for sharded state-space "
                              "exploration (default 0: sequential; the "
                              "sharded graph is bit-identical)")
+    verify.add_argument("--spill-dir", default=None, metavar="DIR",
+                        help="directory for out-of-core exploration spill "
+                             "files (default: REPRO_SPILL_DIR, else the "
+                             "system temp dir when --spill-bytes is set)")
+    verify.add_argument("--spill-bytes", type=int, default=None, metavar="N",
+                        help="RAM budget in bytes for columnar state-space "
+                             "arrays; above it they move to disk-backed "
+                             "memmaps (default: REPRO_SPILL_BYTES)")
     verify.add_argument("--race", action="store_true",
                         help="race the portfolio members in separate "
                              "processes, first conclusive verdict wins "
@@ -417,6 +428,13 @@ def build_parser():
                           help="sharded-exploration workers per job "
                                "(effective with --jobs 0; pool workers fall "
                                "back to sequential exploration)")
+    campaign.add_argument("--spill-dir", default=None, metavar="DIR",
+                          help="per-job out-of-core spill directory "
+                               "(default: REPRO_SPILL_DIR)")
+    campaign.add_argument("--spill-bytes", type=int, default=None, metavar="N",
+                          help="per-job RAM budget in bytes before columnar "
+                               "state-space arrays spill to disk "
+                               "(default: REPRO_SPILL_BYTES)")
     campaign.add_argument("--custom", action="append", metavar="NAME=EXPR",
                           help="define a named custom Reach property "
                                "(repeatable); reference it in --properties")

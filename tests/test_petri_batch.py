@@ -218,7 +218,8 @@ class TestEngineSelection:
         vectorised ones; either way the graph is the sequential one."""
         calls = {}
 
-        def fake_sharded(compiled, marking, max_states, workers, batch):
+        def fake_sharded(compiled, marking, max_states, workers, batch,
+                         spill=None):
             calls["batch"] = batch
             from repro.petri.compiled import explore_compiled
             return explore_compiled(compiled, marking, max_states=max_states)

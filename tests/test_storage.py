@@ -1,0 +1,459 @@
+"""Tests for the out-of-core storage layer (repro.petri.storage).
+
+Two contracts matter here.  First, the storage primitives: an
+:class:`ArrayStore` must hold exactly the rows written to it whether the
+backing lives in RAM or on an unlinked memmap, the pool must convert every
+store at once the moment the budget is crossed, and spill files must never
+outlive the exploration -- on success, on an exception, and when a
+supervised worker is killed mid-flight.  Second, the engine contract:
+a disk-backed exploration is the *same* exploration, bit for bit --
+states, edges, parents, frontier and truncation all identical to the
+in-RAM graph, on both the batch and the sharded backends.
+"""
+
+import glob
+import os
+import time
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.petri.batch import numpy_available as _numpy_available
+
+pytestmark = pytest.mark.skipif(
+    not _numpy_available(), reason="batch engine disabled (REPRO_NO_NUMPY)")
+
+from repro.campaign.jobs import VerificationJob, build_pipeline_model
+from repro.campaign.runner import run_campaign
+from repro.campaign.scenario import ScenarioSpec, generate_scenarios
+from repro.dfs.examples import conditional_comp_dfs, linear_pipeline, token_ring
+from repro.dfs.translation import to_petri_net
+from repro.exceptions import ConfigurationError, SafenessOverflowError
+from repro.parallel.sharded import explore_sharded
+from repro.parallel.supervisor import run_supervised
+from repro.petri.batch import ColumnarReachabilityGraph, explore_batch
+from repro.petri.compiled import CompiledNet, explore_compiled
+from repro.petri.net import PetriNet
+from repro.petri.reachability import build_reachability_graph
+from repro.petri.storage import (
+    ArrayStore,
+    SortedIndexStore,
+    SpillConfig,
+    SpillPool,
+)
+from repro.verification.verifier import Verifier
+
+
+def _spill_files(directory):
+    return sorted(glob.glob(os.path.join(str(directory), "repro-spill-*")))
+
+
+def _assert_identical(reference, other, tag):
+    assert other._mask_states == reference._mask_states, tag
+    assert other._mask_edges == reference._mask_edges, tag
+    assert other._parents == reference._parents, tag
+    assert other._frontier_indices == reference._frontier_indices, tag
+    assert other.truncated == reference.truncated, tag
+
+
+# -- configuration resolution -------------------------------------------------
+
+
+class TestSpillConfig:
+    def test_disabled_when_nothing_is_set(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SPILL_DIR", raising=False)
+        monkeypatch.delenv("REPRO_SPILL_BYTES", raising=False)
+        assert SpillConfig.resolve() is None
+
+    def test_directory_alone_means_spill_from_the_start(self, monkeypatch,
+                                                        tmp_path):
+        monkeypatch.delenv("REPRO_SPILL_BYTES", raising=False)
+        config = SpillConfig.resolve(spill_dir=str(tmp_path))
+        assert config.directory == str(tmp_path)
+        assert config.budget_bytes == 0
+
+    def test_budget_alone_uses_the_system_temp_dir(self, monkeypatch):
+        import tempfile
+        monkeypatch.delenv("REPRO_SPILL_DIR", raising=False)
+        config = SpillConfig.resolve(spill_bytes=1 << 20)
+        assert config.budget_bytes == 1 << 20
+        assert config.directory == tempfile.gettempdir()
+
+    def test_environment_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_SPILL_BYTES", "4096")
+        config = SpillConfig.resolve()
+        assert config.directory == str(tmp_path)
+        assert config.budget_bytes == 4096
+
+    def test_explicit_settings_win_over_the_environment(self, monkeypatch,
+                                                        tmp_path):
+        monkeypatch.setenv("REPRO_SPILL_DIR", "/nonexistent-env-dir")
+        monkeypatch.setenv("REPRO_SPILL_BYTES", "1")
+        config = SpillConfig.resolve(spill_dir=str(tmp_path), spill_bytes=99)
+        assert config.directory == str(tmp_path)
+        assert config.budget_bytes == 99
+
+    def test_garbage_byte_count_is_rejected_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPILL_BYTES", "lots")
+        with pytest.raises(ConfigurationError):
+            SpillConfig.resolve()
+
+
+# -- the storage primitives ---------------------------------------------------
+
+
+class TestArrayStore:
+    def test_ram_append_and_geometric_growth(self):
+        pool = SpillPool()
+        store = ArrayStore(pool, "t", np.int64, capacity=2)
+        for chunk in range(10):
+            store.append(np.arange(chunk * 7, chunk * 7 + 7, dtype=np.int64))
+        assert len(store) == 70
+        assert not store.spilled
+        np.testing.assert_array_equal(store.data, np.arange(70))
+        # Geometric: capacity is a power-of-two multiple of the start, and
+        # trim() releases the slack down to the exact length.
+        assert len(store._backing) >= 70
+        trimmed = store.trim()
+        assert len(trimmed) == 70
+        np.testing.assert_array_equal(trimmed, np.arange(70))
+
+    def test_two_dimensional_rows(self):
+        pool = SpillPool()
+        store = ArrayStore(pool, "w", np.uint64, columns=3, capacity=1)
+        rows = np.arange(30, dtype=np.uint64).reshape(10, 3)
+        store.append(rows)
+        assert store.data.shape == (10, 3)
+        np.testing.assert_array_equal(store.data, rows)
+
+    def test_budget_zero_spills_from_the_first_row(self, tmp_path):
+        pool = SpillPool(SpillConfig(str(tmp_path), 0))
+        store = ArrayStore(pool, "t", np.int64, capacity=4)
+        assert pool.spilled and store.spilled
+        store.append(np.arange(100, dtype=np.int64))
+        np.testing.assert_array_equal(store.data, np.arange(100))
+        assert isinstance(store._backing, np.memmap)
+
+    def test_crossing_the_budget_converts_every_store_at_once(self, tmp_path):
+        budget = 8 * 64  # room for the initial capacities, not for growth
+        pool = SpillPool(SpillConfig(str(tmp_path), budget))
+        a = ArrayStore(pool, "a", np.int64, capacity=4)
+        b = ArrayStore(pool, "b", np.int64, capacity=4)
+        a.append(np.arange(4, dtype=np.int64))
+        b.append(np.arange(4, dtype=np.int64))
+        assert not pool.spilled
+        a.append(np.arange(4, 4096, dtype=np.int64))  # blows the budget
+        assert pool.spilled and a.spilled and b.spilled
+        np.testing.assert_array_equal(a.data, np.arange(4096))
+        np.testing.assert_array_equal(b.data, np.arange(4))
+        # A store registered after the spill is born disk-backed.
+        c = ArrayStore(pool, "c", np.int64)
+        assert c.spilled
+
+    def test_spill_files_are_unlinked_immediately(self, tmp_path):
+        pool = SpillPool(SpillConfig(str(tmp_path), 0))
+        store = ArrayStore(pool, "t", np.int64)
+        store.append(np.arange(1000, dtype=np.int64))
+        assert pool.file_count >= 1
+        assert _spill_files(tmp_path) == []
+        pool.close()
+        assert _spill_files(tmp_path) == []
+
+    def test_traffic_counters_only_tick_once_spilled(self, tmp_path):
+        ram = SpillPool()
+        store = ArrayStore(ram, "t", np.int64)
+        store.append(np.arange(10, dtype=np.int64))
+        assert ram.stats()["write_bytes"] == 0
+        assert ram.stats() == {
+            "enabled": False, "spilled": False, "budget_bytes": None,
+            "directory": None, "write_bytes": 0, "read_bytes": 0, "files": 0}
+        disk = SpillPool(SpillConfig(str(tmp_path), 0))
+        spilled = ArrayStore(disk, "t", np.int64)
+        spilled.append(np.arange(10, dtype=np.int64))
+        disk.note_read(spilled.data.nbytes)
+        stats = disk.stats()
+        assert stats["enabled"] and stats["spilled"]
+        assert stats["write_bytes"] == 80 and stats["read_bytes"] == 80
+        assert stats["files"] >= 1
+
+    def test_set_length_exposes_uninitialised_rows(self):
+        pool = SpillPool()
+        store = ArrayStore(pool, "t", np.int64, capacity=2)
+        store.set_length(50)
+        store.data[:] = 7
+        assert len(store) == 50
+        assert int(store.data.sum()) == 350
+
+    def test_disk_trim_never_truncates_the_file(self, tmp_path):
+        pool = SpillPool(SpillConfig(str(tmp_path), 0))
+        store = ArrayStore(pool, "t", np.int64, capacity=2)
+        store.append(np.arange(5, dtype=np.int64))
+        trimmed = store.trim()
+        assert len(trimmed) == 5
+        # The over-allocated mapping is still valid (no downward ftruncate,
+        # so touching the old view cannot SIGBUS).
+        assert len(store._backing) >= 5
+        np.testing.assert_array_equal(trimmed, np.arange(5))
+
+    def test_pool_context_manager_closes_on_error_only(self, tmp_path):
+        with SpillPool(SpillConfig(str(tmp_path), 0)) as pool:
+            ArrayStore(pool, "t", np.int64).append(np.arange(3, dtype=np.int64))
+        assert not pool.closed  # success: the graph owns the arrays now
+        with pytest.raises(RuntimeError):
+            with SpillPool(SpillConfig(str(tmp_path), 0)) as doomed:
+                ArrayStore(doomed, "t", np.int64)
+                raise RuntimeError("mid-exploration failure")
+        assert doomed.closed
+        assert _spill_files(tmp_path) == []
+
+
+class TestSortedIndexStore:
+    @pytest.mark.parametrize("budget", [None, 0])
+    def test_merge_matches_a_global_sort(self, tmp_path, budget):
+        config = None if budget is None else SpillConfig(str(tmp_path), budget)
+        pool = SpillPool(config)
+        index = SortedIndexStore(pool, "hash", np.uint64, np.int64)
+        rng_keys = (np.arange(300, dtype=np.uint64) * 2654435761) % 1013
+        all_keys = np.empty(0, dtype=np.uint64)
+        all_idx = np.empty(0, dtype=np.int64)
+        for start in range(0, 300, 50):
+            keys = rng_keys[start:start + 50]
+            idx = np.arange(start, start + 50, dtype=np.int64)
+            index.merge(keys, idx)
+            all_keys = np.concatenate([all_keys, keys])
+            all_idx = np.concatenate([all_idx, idx])
+        keys, idx = index.finalize()
+        order = np.argsort(all_keys, kind="stable")
+        np.testing.assert_array_equal(keys, all_keys[order])
+        assert sorted(idx.tolist()) == sorted(all_idx.tolist())
+        # Every (key, idx) pair survives the merges intact.
+        assert (set(zip(keys.tolist(), idx.tolist()))
+                == set(zip(all_keys.tolist(), all_idx.tolist())))
+
+
+# -- disk-backed exploration is the same exploration --------------------------
+
+
+def _example_models():
+    return [
+        ("conditional", conditional_comp_dfs()),
+        ("ring", token_ring()),
+        ("linear", linear_pipeline()),
+        ("ope2", build_pipeline_model(2, static_prefix=1)),
+        ("ope3-hole2", build_pipeline_model(3, static_prefix=1, holes=[2])),
+    ]
+
+
+class TestSpilledGraphIdentity:
+    def test_batch_disk_backed_is_bit_identical(self, tmp_path):
+        for name, dfs in _example_models():
+            compiled = CompiledNet.compile(to_petri_net(dfs))
+            for max_states in (1, 7, 200000):
+                reference = explore_compiled(compiled, max_states=max_states)
+                spilled = explore_batch(
+                    compiled, max_states=max_states,
+                    spill=SpillConfig(str(tmp_path), 0))
+                _assert_identical(reference, spilled,
+                                  "{} max_states={}".format(name, max_states))
+                stats = spilled.exploration_stats["spill"]
+                assert stats["spilled"] and stats["write_bytes"] > 0
+                spilled.close()
+        assert _spill_files(tmp_path) == []
+
+    def test_sharded_disk_backed_is_bit_identical(self, tmp_path):
+        for name, dfs in _example_models():
+            compiled = CompiledNet.compile(to_petri_net(dfs))
+            for max_states in (7, 200000):
+                reference = explore_compiled(compiled, max_states=max_states)
+                for workers in (2, 3):
+                    spilled = explore_sharded(
+                        compiled, max_states=max_states, workers=workers,
+                        spill=SpillConfig(str(tmp_path), 0))
+                    assert isinstance(spilled, ColumnarReachabilityGraph)
+                    _assert_identical(
+                        reference, spilled,
+                        "{} max_states={} workers={}".format(
+                            name, max_states, workers))
+                    assert spilled.exploration_stats["spill"]["spilled"]
+                    assert spilled.exchange_stats is not None
+                    spilled.close()
+        assert _spill_files(tmp_path) == []
+
+    def test_mid_run_budget_crossing_is_bit_identical(self, tmp_path):
+        """A graph that *starts* in RAM and spills partway stays identical."""
+        dfs = build_pipeline_model(3, static_prefix=1, holes=[2])
+        compiled = CompiledNet.compile(to_petri_net(dfs))
+        reference = explore_compiled(compiled)
+        spilled = explore_batch(compiled,
+                                spill=SpillConfig(str(tmp_path), 1 << 12))
+        _assert_identical(reference, spilled, "mid-run spill")
+        assert spilled.exploration_stats["spill"]["spilled"]
+
+    def test_spawn_workers_with_spill(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START_METHOD", "spawn")
+        compiled = CompiledNet.compile(to_petri_net(token_ring()))
+        reference = explore_compiled(compiled)
+        spilled = explore_sharded(compiled, workers=2,
+                                  spill=SpillConfig(str(tmp_path), 0))
+        _assert_identical(reference, spilled, "spawn+spill")
+        assert _spill_files(tmp_path) == []
+
+    def test_build_reachability_graph_env_knobs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_SPILL_BYTES", "1024")
+        net = to_petri_net(token_ring())
+        reference = explore_compiled(CompiledNet.compile(net))
+        spilled = build_reachability_graph(net)
+        _assert_identical(reference, spilled, "env knobs")
+        assert spilled.exploration_stats["spill"]["spilled"]
+        assert spilled.exploration_stats["spill"]["directory"] == str(tmp_path)
+
+
+# -- lifecycle: caps, exceptions, kills ---------------------------------------
+
+
+class TestSpillLifecycle:
+    def test_mirror_cap_raises_an_actionable_error(self):
+        net = to_petri_net(token_ring())
+        graph = build_reachability_graph(net, engine="batch")
+        graph.mirror_limit = 3  # the ring has more states than that
+        with pytest.raises(ConfigurationError) as excinfo:
+            graph._mask_states
+        message = str(excinfo.value)
+        assert "mirror" in message and "mirror_limit" in message
+        with pytest.raises(ConfigurationError):
+            graph._mask_edges
+        graph.mirror_limit = None  # the documented opt-in
+        reference = build_reachability_graph(net, engine="compiled")
+        assert graph._mask_states == reference._mask_states
+
+    def test_exception_mid_exploration_leaves_no_files(self, tmp_path):
+        # An unsafe net blows up *during* batch exploration -- after the
+        # spill pool has already opened disk backings.
+        net = PetriNet("unsafe")
+        net.add_place("src", tokens=1)
+        net.add_place("mid", tokens=1)
+        net.add_place("sink")
+        net.add_transition("a")
+        net.add_arc("src", "a")
+        net.add_arc("a", "sink")
+        net.add_transition("b")
+        net.add_arc("mid", "b")
+        net.add_arc("b", "sink")
+        compiled = CompiledNet.compile(net)
+        with pytest.raises(SafenessOverflowError):
+            explore_batch(compiled, spill=SpillConfig(str(tmp_path), 0))
+        assert _spill_files(tmp_path) == []
+
+    def test_supervised_kill_leaves_no_files(self, tmp_path):
+        """A worker SIGKILLed mid-exploration reclaims its spill space.
+
+        The spill files are unlinked at creation, so even a hard kill --
+        no atexit, no finally -- cannot leak disk space into the spill
+        directory."""
+        outcomes = run_supervised(
+            [("doomed", _spill_then_hang, (str(tmp_path),))],
+            parallelism=1, timeout=3.0)
+        assert outcomes[0].status == "timeout"
+        assert _spill_files(tmp_path) == []
+
+
+def _spill_then_hang(spill_dir):
+    """Supervised task: build a disk-backed graph, then outlive the deadline."""
+    net = to_petri_net(build_pipeline_model(3, static_prefix=1))
+    graph = build_reachability_graph(net, engine="batch",
+                                     spill_dir=spill_dir, spill_bytes=0)
+    assert graph.exploration_stats["spill"]["spilled"]
+    time.sleep(60)
+
+
+# -- stats plumbing: jobs, campaigns, schedulers ------------------------------
+
+
+class TestExplorationStatsPlumbing:
+    def test_batch_and_sharded_stats_shape(self, monkeypatch, tmp_path):
+        # An ambient spill budget (the tests-spill CI job sets one) must
+        # not leak into this in-RAM baseline check.
+        monkeypatch.delenv("REPRO_SPILL_DIR", raising=False)
+        monkeypatch.delenv("REPRO_SPILL_BYTES", raising=False)
+        compiled = CompiledNet.compile(to_petri_net(token_ring()))
+        batch = explore_batch(compiled)
+        assert batch.exploration_stats["engine"] == "batch"
+        sharded = explore_sharded(compiled, workers=2)
+        assert sharded.exploration_stats["engine"] == "sharded"
+        for stats in (batch.exploration_stats, sharded.exploration_stats):
+            assert set(stats) == {"engine", "levels", "states", "edges",
+                                  "phases", "spill"}
+            assert stats["states"] == len(batch)
+            assert isinstance(stats["phases"], dict)
+            assert stats["spill"]["spilled"] is False
+
+    def test_verifier_surfaces_exploration_stats(self):
+        dfs = build_pipeline_model(2, static_prefix=1)
+        summary = Verifier(dfs, engine="batch").verify_all()
+        assert summary.exploration is not None
+        assert summary.exploration["engine"] == "batch"
+
+    def test_job_attaches_stats_on_cold_runs_only(self, tmp_path):
+        job = VerificationJob("j1", "pipeline",
+                              kwargs={"stages": 2, "static_prefix": 1},
+                              engine="batch", spill_dir=str(tmp_path),
+                              spill_bytes=0)
+        cold = job.run(cache=str(tmp_path / "cache"))
+        assert cold["cache"] == "miss"
+        assert cold["exploration"]["spill"]["spilled"]
+        assert cold["exploration"]["spill"]["write_bytes"] > 0
+        warm = job.run(cache=str(tmp_path / "cache"))
+        assert warm["cache"] == "hit"
+        assert "exploration" not in warm
+        assert warm["verdict"] == cold["verdict"]
+
+    def test_spill_knobs_stay_out_of_the_verdict_digest(self):
+        base = dict(factory="pipeline",
+                    kwargs={"stages": 2, "static_prefix": 1})
+        plain = VerificationJob("a", **base)
+        spilly = VerificationJob("a", spill_dir="/tmp/x", spill_bytes=123,
+                                 **base)
+        assert plain.options() == spilly.options()
+        description = spilly.to_dict()
+        assert description["spill_dir"] == "/tmp/x"
+        assert description["spill_bytes"] == 123
+        rebuilt = VerificationJob.from_dict(description)
+        assert rebuilt.spill_dir == "/tmp/x" and rebuilt.spill_bytes == 123
+
+    def test_scenario_spec_threads_the_spill_knobs(self):
+        spec = ScenarioSpec(depths=(2,), spill_dir="/tmp/x", spill_bytes=42)
+        jobs, _ = generate_scenarios(spec)
+        assert jobs and all(job.spill_dir == "/tmp/x" for job in jobs)
+        assert all(job.spill_bytes == 42 for job in jobs)
+
+    def test_scheduler_aggregates_spill_totals_for_the_service(self, tmp_path):
+        from repro.campaign.scheduler import CampaignScheduler
+        scheduler = CampaignScheduler(parallelism=0)
+        try:
+            assert scheduler.stats()["spill"] == {
+                "write_bytes": 0, "read_bytes": 0, "spilled_jobs": 0}
+            job = VerificationJob("s1", "pipeline",
+                                  kwargs={"stages": 2, "static_prefix": 1},
+                                  engine="batch", spill_dir=str(tmp_path),
+                                  spill_bytes=0)
+            scheduler.submit(job).wait(60)
+            totals = scheduler.stats()["spill"]
+            assert totals["spilled_jobs"] == 1
+            assert totals["write_bytes"] > 0
+        finally:
+            scheduler.shutdown()
+
+    def test_campaign_report_aggregates_spill_totals(self, tmp_path):
+        spec = ScenarioSpec(depths=(2,), engine="batch",
+                            spill_dir=str(tmp_path), spill_bytes=0)
+        jobs, skipped = generate_scenarios(spec)
+        report = run_campaign(jobs, parallelism=0, cache_dir=None,
+                              spec=spec, skipped=skipped)
+        totals = report.spill_totals
+        assert totals["spilled_jobs"] == len(jobs)
+        assert totals["write_bytes"] > 0
+        assert report.summary()["spill"] == totals
+        assert _spill_files(tmp_path) == []
