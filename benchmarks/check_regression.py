@@ -100,6 +100,20 @@ GATES = [
         "tolerance": 0.30,
     },
     {
+        # The vectorised walk swarm: per-kstep firing cost of the 8k-row
+        # swarm over the in-process scalar walker.  The bench itself pins
+        # the absolute acceptance floor (>=5x); this gate catches the
+        # *ratio* eroding -- e.g. a per-pass Python detour creeping into
+        # the hot loop -- against the committed baseline (~13x).
+        "table": "vectorised walk throughput",
+        "key": "backend",
+        "reference": "scalar",
+        "gated": "swarm-8k",
+        "label": "vectorised walk throughput",
+        "value": "seconds_per_kstep",
+        "tolerance": 0.60,
+    },
+    {
         "table": "semiflow cache",
         "key": "mode",
         "reference": "cold",

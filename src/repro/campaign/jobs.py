@@ -29,6 +29,7 @@ from repro.pipelines.generic import build_generic_pipeline
 from repro.silicon.voltage import VoltageModel
 from repro.smt.solver import solver_fingerprint
 from repro.verification.checkers import CHECKERS
+from repro.verification.checkers.walk import resolve_walk_backend
 from repro.verification.verifier import CUSTOM_PROPERTIES, Verifier
 
 #: The default property battery of a campaign job.  Persistence is the
@@ -170,7 +171,11 @@ class VerificationJob:
         contains them) the mapping also carries the **solver fingerprint**
         (the z3 version line, or ``None`` when no solver is available):
         verdicts that may depend on the solver must not be reused across a
-        solver upgrade or an install/uninstall.
+        solver upgrade or an install/uninstall.  Walk-driven jobs carry the
+        **resolved walk backend** the same way: a vectorised-swarm verdict
+        and a scalar-walker verdict hunt different trajectories for the
+        same seed, so they must never answer from each other's cache
+        entries (the swarm width rides in ``checker_options`` when tuned).
         """
         options = {
             "properties": list(self.properties),
@@ -187,6 +192,13 @@ class VerificationJob:
         checker_cls = CHECKERS.get(self.checker)
         if checker_cls is not None and checker_cls.uses_solver:
             options["solver"] = solver_fingerprint()
+        if self.checker in ("walk", "portfolio"):
+            requested = dict(self.checker_options.get("walk") or {})
+            if self.checker == "portfolio":
+                nested = self.checker_options.get("portfolio") or {}
+                requested.update(nested.get("walk") or {})
+            options["walk_backend"] = resolve_walk_backend(
+                requested.get("backend", "auto"))
         return options
 
     def to_dict(self):
@@ -215,9 +227,11 @@ class VerificationJob:
         asked for).
         """
         payload = dict(payload)
-        # The solver fingerprint is derived locally (see :meth:`options`),
-        # never trusted from the wire: the daemon answers with *its* solver.
+        # The solver fingerprint and the resolved walk backend are derived
+        # locally (see :meth:`options`), never trusted from the wire: the
+        # daemon answers with *its* solver and *its* walk engine.
         payload.pop("solver", None)
+        payload.pop("walk_backend", None)
         try:
             job_id = payload.pop("job_id")
             factory = payload.pop("factory")

@@ -208,6 +208,38 @@ def _group_arange(counts):
     return _np.arange(total, dtype=_np.int64) - _np.repeat(starts, counts)
 
 
+def fire_enabled_flags(tables, rows, flat):
+    """Fire every enabled (state, transition) pair; report overflows.
+
+    The non-raising core of :func:`fire_enabled`: returns ``(source_local,
+    transition, successor, overflowed)`` where *overflowed* is a bool
+    vector marking the pairs whose firing would put a second token into a
+    place (their *successor* rows hold the over-merged words and must not
+    be used as states).  The walk swarm consumes the flags directly -- an
+    overflow retires one walk, or answers the safeness query, instead of
+    aborting the whole batch.
+    """
+    word_count = tables.words
+    transition_count = len(tables.need)
+    source_local = flat // transition_count
+    transition = flat - source_local * transition_count
+    gathered = tables.fire_tab[transition]
+    remainder = rows[source_local] & gathered[:, :word_count]
+    produced = gathered[:, word_count:]
+    overflowed = remainder[:, 0] & produced[:, 0]
+    for w in range(1, word_count):
+        overflowed = overflowed | (remainder[:, w] & produced[:, w])
+    return source_local, transition, remainder | produced, overflowed != 0
+
+
+def overflow_place(tables, rows, source_local, transition, position):
+    """The place index spilled by overflowing pair *position* (re-derived)."""
+    gathered = tables.fire_tab[int(transition[position])]
+    remainder = rows[int(source_local[position])] & gathered[:tables.words]
+    produced = gathered[tables.words:]
+    return next(iter_bits(words_to_int(remainder & produced)))
+
+
 def fire_enabled(tables, rows, flat):
     """Fire every enabled (state, transition) pair of a frontier slice.
 
@@ -220,22 +252,14 @@ def fire_enabled(tables, rows, flat):
     by :func:`explore_batch` and the sharded batch workers so the firing
     and overflow semantics cannot diverge.
     """
-    word_count = tables.words
-    transition_count = len(tables.need)
-    source_local = flat // transition_count
-    transition = flat - source_local * transition_count
-    gathered = tables.fire_tab[transition]
-    remainder = rows[source_local] & gathered[:, :word_count]
-    produced = gathered[:, word_count:]
-    overflowed = remainder[:, 0] & produced[:, 0]
-    for w in range(1, word_count):
-        overflowed = overflowed | (remainder[:, w] & produced[:, w])
+    source_local, transition, successor, overflowed = fire_enabled_flags(
+        tables, rows, flat)
     if overflowed.any():
-        position = int(_np.argmax(overflowed != 0))
-        spill = words_to_int(remainder[position] & produced[position])
-        raise SafenessOverflowError(int(transition[position]),
-                                    next(iter_bits(spill)))
-    return source_local, transition, remainder | produced
+        position = int(_np.argmax(overflowed))
+        raise SafenessOverflowError(
+            int(transition[position]),
+            overflow_place(tables, rows, source_local, transition, position))
+    return source_local, transition, successor
 
 
 def refresh_enabled(tables, enabled, rows, fired):

@@ -1,22 +1,22 @@
-"""The random-walk checker: an LFSR-seeded falsifier.
+"""The random-walk checker: a counter-seeded falsifier with two engines.
 
 Exhaustive exploration visits states breadth-first, so a bug 30 firings deep
 may sit far beyond a feasible ``max_states`` bound.  A random walk goes
-*deep* instead of *wide*: it fires one enabled transition at a time on the
-compiled bitmask net, testing the bad-state predicate at every visited
-marking, and restarts when it runs out of steps.  The walker can only ever
-answer ``False`` (with the fired sequence as a ready-made counterexample
-trace) or ``None`` -- absence of a bug on a few thousand random paths proves
-nothing -- which is exactly the right shape for the falsification half of a
-portfolio.
+*deep* instead of *wide*: it fires one enabled transition at a time, testing
+the bad-state predicate at every visited marking, and restarts when it runs
+out of steps.  The walker can only ever answer ``False`` (with the fired
+sequence as a ready-made counterexample trace) or ``None`` -- absence of a
+bug on a few thousand random paths proves nothing -- which is exactly the
+right shape for the falsification half of a portfolio.
 
-Randomness comes from the same Galois LFSR that drives the evaluation
-chip's stimulus generator (:mod:`repro.chip.lfsr`), so walks are
-deterministic per seed and campaign scenarios can sweep seeds the way the
-paper's E5 experiment sweeps stimulus.  Walks are *guided*: a configurable
-fraction of the steps picks the successor that minimises the number of
-enabled transitions (when hunting deadlocks -- corners of the state space)
-or maximises satisfied bad-cube literals (when hunting Reach violations),
+Randomness is **counter-based** (:mod:`repro.verification.checkers
+.walk_core`): every draw is a pure function of ``(seed, walk, step)``, so a
+given seed replays the identical walk whether it runs alone or as one row
+of a swarm, and campaign scenarios can sweep seeds the way the paper's E5
+experiment sweeps stimulus.  Walks are *guided*: a configurable fraction of
+the steps picks the successor that minimises the number of enabled
+transitions (when hunting deadlocks -- corners of the state space) or
+maximises satisfied bad-cube literals (when hunting Reach violations),
 which in practice finds injected-hole deadlocks orders of magnitude faster
 than uniform wandering.
 
@@ -26,28 +26,94 @@ prefix trace that reached them) and restarts every other walk from one of
 them instead of from the initial marking.  A walk that got close to a bad
 cube -- or into a sparsely-enabled corner, for deadlock hunts -- thereby
 becomes the launch pad of the next walk, which deepens falsification
-coverage well beyond the per-walk step budget while staying fully
-deterministic per seed.
+coverage well beyond the per-walk step budget.
+
+Two backends share these semantics (same RNG, same guidance ranks, same
+restart pool -- all from :mod:`~repro.verification.checkers.walk_core`):
+
+* ``scalar`` -- the pure-int walker below, one transition per step;
+* ``batch`` -- the vectorised swarm of
+  :mod:`~repro.verification.checkers.walk_batch`: thousands of walks as
+  rows of one uint64 matrix, advanced one step per pass on the batch
+  firing primitive.  Swarm witnesses are **replayed on the net** before
+  being trusted, like SMT counterexamples.
+
+The default ``backend="auto"`` prefers the swarm whenever the optional
+NumPy extra is available and falls back to the scalar walker otherwise
+(``REPRO_NO_NUMPY`` forces the fallback, as everywhere).
+
+Determinism contract: the scalar path reproduces the same verdict *and the
+same witness trace* for the same seed.  The swarm is deterministic per
+``(seed, walks, swarm)``: each walk's RNG stream is width-independent, but
+restart-pool contents fill in retirement order, so the configured swarm
+width is part of the identity (campaign digests include the resolved
+backend via :func:`resolve_walk_backend`).
 """
 
-from repro.chip.lfsr import Lfsr
-from repro.exceptions import CompilationError, SafenessOverflowError
+from repro.exceptions import (
+    CompilationError,
+    ConfigurationError,
+    SafenessOverflowError,
+)
+from repro.petri.batch import (
+    WordTables,
+    compile_row_predicate,
+    numpy_available,
+)
 from repro.petri.compiled import iter_bits
 from repro.reach.cubes import to_cubes
-from repro.reach.evaluator import compile_mask_predicate
+from repro.reach.evaluator import compile_mask_predicate, marking_predicate
+from repro.verification.checkers import walk_batch
 from repro.verification.checkers.base import Checker, register_checker
+from repro.verification.checkers.walk_core import (
+    NearMissPool,
+    cube_mask_table,
+    cube_rank,
+    fewest_enabled_rank,
+    replay_witness,
+    walk_draw,
+)
+
+#: The accepted ``backend`` options of the walk checker.
+WALK_BACKENDS = ("auto", "batch", "scalar")
+
+#: Sentinel: the swarm cannot run this query; use the scalar walker.
+_SCALAR_FALLBACK = object()
+
+
+def resolve_walk_backend(requested="auto"):
+    """The walk backend *requested* resolves to on this host.
+
+    ``"scalar"`` always resolves to itself; ``"auto"`` resolves to
+    ``"batch"`` when the optional NumPy extra is available (and
+    ``REPRO_NO_NUMPY`` is unset) and to ``"scalar"`` otherwise; a forced
+    ``"batch"`` without NumPy resolves to ``"batch-unavailable"`` (the
+    checker answers inconclusive).  Campaign digests fold this resolved
+    value into walk/portfolio cache keys -- like the solver fingerprint,
+    it keeps verdicts from being reused across an engine swap.
+    """
+    if requested not in WALK_BACKENDS:
+        raise ConfigurationError(
+            "unknown walk backend {!r} (known: {})".format(
+                requested, ", ".join(WALK_BACKENDS)))
+    if requested == "scalar":
+        return "scalar"
+    if numpy_available():
+        return "batch"
+    return "batch-unavailable" if requested == "batch" else "scalar"
 
 
 @register_checker
 class RandomWalkChecker(Checker):
-    """Falsify queries with guided random walks on the compiled net."""
+    """Falsify queries with guided random walks (scalar or swarm backend)."""
 
     name = "walk"
-    summary = ("LFSR-seeded guided random walks; a fast falsifier, never "
-               "proves")
+    summary = ("counter-seeded guided random walks, vectorised swarms when "
+               "NumPy is available; a fast falsifier, never proves")
 
     def __init__(self, context, walks=8, steps=256, seed=0xACE1,
-                 guidance=0.5, dnf_limit=64, restarts=4):
+                 guidance=0.5, dnf_limit=64, restarts=4, backend="auto",
+                 swarm=1024):
         super().__init__(context)
         self.walks = int(walks)
         self.steps = int(steps)
@@ -58,13 +124,26 @@ class RandomWalkChecker(Checker):
         #: (``0`` disables restarting: every walk starts at the initial
         #: marking, the pre-restart behaviour).
         self.restarts = int(restarts)
+        #: Engine selection: see :func:`resolve_walk_backend`.
+        self.backend = str(backend)
+        if self.backend not in WALK_BACKENDS:
+            raise ConfigurationError(
+                "unknown walk backend {!r} (known: {})".format(
+                    backend, ", ".join(WALK_BACKENDS)))
+        #: Row width of the vectorised swarm (``min(walks, swarm)`` walks
+        #: advance concurrently; retired rows are reseeded in place).
+        self.swarm = int(swarm)
+        #: Work counters of the most recent hunt (``backend``, ``walks``
+        #: launched, ``steps`` committed, ``expanded`` candidate firings);
+        #: bench material, never part of a verdict.
+        self.last_hunt_stats = None
+        self._tables = None
 
     # -- queries -------------------------------------------------------------
 
     def check_deadlock(self, query, max_witnesses=5):
-        found = self._hunt(predicate=None, score=self._fewest_enabled,
-                           stop_in_deadlock=True,
-                           max_witnesses=max_witnesses)
+        found = self._hunt("deadlock", max_witnesses, score_kind="fewest",
+                           stop_in_deadlock=True)
         if found is None:
             return self._budget_outcome("deadlock")
         if isinstance(found, CheckerOutcomeProxy):
@@ -80,8 +159,7 @@ class RandomWalkChecker(Checker):
             return self.outcome(
                 None, details="random walks only detect 1-safeness "
                 "violations (token overflow)")
-        found = self._hunt(predicate=None, score=None, stop_in_deadlock=False,
-                           max_witnesses=max_witnesses,
+        found = self._hunt("overflow", max_witnesses,
                            overflow_conclusive=True)
         if isinstance(found, CheckerOutcomeProxy):
             return found.outcome
@@ -98,9 +176,10 @@ class RandomWalkChecker(Checker):
                 None, details="expression does not compile to a bitmask "
                 "predicate; random-walk falsification unavailable")
         cubes = to_cubes(query.expression, max_cubes=self.dnf_limit)
-        score = self._cube_score(compiled, cubes) if cubes else None
-        found = self._hunt(predicate=predicate, score=score,
-                           stop_in_deadlock=False, max_witnesses=max_witnesses)
+        cube_masks = cube_mask_table(compiled.mask_of, cubes) if cubes else None
+        found = self._hunt("reach", max_witnesses, predicate=predicate,
+                           expression=query.expression, cube_masks=cube_masks,
+                           score_kind="cube" if cube_masks else None)
         if found is None:
             return self._budget_outcome("bad state")
         if isinstance(found, CheckerOutcomeProxy):
@@ -122,20 +201,18 @@ class RandomWalkChecker(Checker):
             None, details="net has no bitmask representation; random-walk "
             "falsification unavailable")
 
-    # -- the walk engine -----------------------------------------------------
+    # -- backend dispatch ----------------------------------------------------
 
-    def _hunt(self, predicate, score, stop_in_deadlock, max_witnesses,
+    def _hunt(self, kind, max_witnesses, predicate=None, expression=None,
+              cube_masks=None, score_kind=None, stop_in_deadlock=False,
               overflow_conclusive=False):
         """Run the walk budget; return witnesses, a proxy, or ``None``.
 
-        *predicate* is the bad-state test over raw ``int`` states (``None``
-        hunts deadlocks or overflows only); *score* ranks candidate
-        successor states (lower is better) for the guided steps.  A
-        :class:`SafenessOverflowError` during firing is a conclusive
-        counterexample only for the safeness query itself
-        (*overflow_conclusive*); for any other query it merely ends the
-        current walk -- the overflow state witnesses a different property
-        than the one being asked about.
+        Routes to the vectorised swarm or the scalar walker per the
+        resolved backend; both hunt with the same RNG, guidance ranks and
+        restart-pool semantics (:mod:`~repro.verification.checkers
+        .walk_core`), so a backend swap changes throughput, never the
+        meaning of a conclusive verdict.
         """
         compiled = self.context.compiled
         if compiled is None:
@@ -146,13 +223,103 @@ class RandomWalkChecker(Checker):
             return CheckerOutcomeProxy(self.outcome(
                 None, details="initial marking has no bitmask "
                 "representation; random walks unavailable"))
-        lfsr = Lfsr(seed=self.seed or 0xACE1, width=32)
+        backend = resolve_walk_backend(self.backend)
+        if backend == "batch-unavailable":
+            return CheckerOutcomeProxy(self.outcome(
+                None, details="the batch walk backend needs the optional "
+                "NumPy extra (and REPRO_NO_NUMPY unset); use "
+                "backend='auto' or 'scalar' for the pure-int walker"))
+        if backend == "batch":
+            found = self._swarm_hunt(
+                compiled, initial, kind, max_witnesses,
+                expression=expression, cube_masks=cube_masks,
+                score_kind=score_kind, stop_in_deadlock=stop_in_deadlock,
+                overflow_conclusive=overflow_conclusive)
+            if found is not _SCALAR_FALLBACK:
+                return found
+        return self._scalar_hunt(
+            compiled, initial, kind, max_witnesses, predicate=predicate,
+            cube_masks=cube_masks, score_kind=score_kind,
+            stop_in_deadlock=stop_in_deadlock,
+            overflow_conclusive=overflow_conclusive)
+
+    # -- the vectorised swarm backend ----------------------------------------
+
+    def _swarm_hunt(self, compiled, initial, kind, max_witnesses, expression,
+                    cube_masks, score_kind, stop_in_deadlock,
+                    overflow_conclusive):
+        if self._tables is None:
+            self._tables = WordTables(compiled)
+        tables = self._tables
+        row_predicate = None
+        if kind == "reach":
+            row_predicate = compile_row_predicate(expression,
+                                                  tables.word_bit_of)
+            if row_predicate is None:
+                if self.backend == "batch":
+                    return CheckerOutcomeProxy(self.outcome(
+                        None, details="expression does not compile to a "
+                        "row predicate; the batch walk backend cannot "
+                        "hunt it (backend='auto' would fall back)"))
+                return _SCALAR_FALLBACK
+        result = walk_batch.swarm_hunt(
+            tables, initial, walks=self.walks, steps=self.steps,
+            swarm=self.swarm, seed=self.seed or 0xACE1,
+            guidance=self.guidance, restarts=self.restarts,
+            max_witnesses=max_witnesses, row_predicate=row_predicate,
+            cube_masks=cube_masks, score_kind=score_kind,
+            stop_in_deadlock=stop_in_deadlock,
+            overflow_conclusive=overflow_conclusive)
+        self.last_hunt_stats = {"backend": "batch", "walks": result.walks,
+                                "steps": result.steps,
+                                "expanded": result.expanded}
+        names = compiled.transition_names
+        if result.overflow is not None:
+            return self._swarm_overflow_outcome(compiled, result.overflow)
+        # Swarm traces are replayed on the net before being trusted -- the
+        # same rule the SMT checkers apply to solver counterexamples.
+        bad_marking = (marking_predicate(expression, net=self.context.net)
+                       if kind == "reach" else None)
+        validated = []
+        for found in result.witnesses:
+            trace = [names[index] for index in found["trace"]]
+            witness = replay_witness(self.context.net, kind, trace,
+                                     predicate=bad_marking)
+            if witness is not None:
+                validated.append(witness)
+        return validated or None
+
+    def _swarm_overflow_outcome(self, compiled, overflow):
+        transition = compiled.transition_names[overflow["transition"]]
+        place = compiled.place_names[overflow["place"]]
+        trace = [compiled.transition_names[index]
+                 for index in overflow["trace"]]
+        witness = replay_witness(self.context.net, "overflow", trace,
+                                 transition=transition)
+        if witness is None:
+            return CheckerOutcomeProxy(self.outcome(
+                None, details="the swarm reported an overflow but its "
+                "trace did not replay on the net; not trusting the "
+                "verdict"))
+        witness["place"] = place
+        return CheckerOutcomeProxy(self.outcome(
+            False, witnesses=[witness],
+            details="random walk found a 1-safeness violation: "
+            "firing {!r} overflows place {!r}".format(transition, place)))
+
+    # -- the scalar backend --------------------------------------------------
+
+    def _scalar_hunt(self, compiled, initial, kind, max_witnesses, predicate,
+                     cube_masks, score_kind, stop_in_deadlock,
+                     overflow_conclusive):
+        seed = self.seed or 0xACE1
         guided_threshold = int(self.guidance * 256)
         names = compiled.transition_names
         witnesses = []
         # Restarted walks often re-find the same bad state; witnesses (and
         # the reported count) cover *distinct* states only.
         witnessed_states = set()
+        steps_fired = 0
 
         def witness(state, trace):
             if state not in witnessed_states:
@@ -160,37 +327,34 @@ class RandomWalkChecker(Checker):
                 witnesses.append({"marking": compiled.decode(state),
                                   "trace": list(trace)})
 
-        # Counterexample-guided restarts: the top-k best-scoring (lowest
-        # rank) near-miss prefixes seen so far, as (rank, state, trace).
-        pool = []
-        pool_states = set()
-        track_near_misses = self.restarts > 0 and score is not None
+        if score_kind == "fewest":
+            score = fewest_enabled_rank
+        elif score_kind == "cube":
+            def score(compiled_net, state):
+                return cube_rank(cube_masks, state)
+        else:
+            score = None
 
-        def remember(rank, state, trace):
-            if state in pool_states:
-                return
-            if len(pool) >= self.restarts:
-                worst = max(range(len(pool)), key=lambda i: pool[i][0])
-                if pool[worst][0] <= rank:
-                    return
-                pool_states.discard(pool[worst][1])
-                del pool[worst]
-            pool_states.add(state)
-            pool.append((rank, state, trace))
+        # Counterexample-guided restarts: the shared near-miss pool, fed
+        # with the best-ranked (rank, state, trace) of each finished walk.
+        pool = NearMissPool(self.restarts)
+        track_near_misses = self.restarts > 0 and score is not None
 
         for walk_index in range(self.walks):
             state = initial
             trace = []
-            if pool and walk_index % 2:
+            if len(pool) and walk_index % 2:
                 # Every other walk launches from a stored near-miss prefix
-                # instead of the initial marking (LFSR-chosen, so restart
-                # coverage sweeps with the seed like everything else).
-                rank, near_state, near_trace = pool[lfsr.next() % len(pool)]
+                # instead of the initial marking (draw 0 of the walk's
+                # counter stream, so restart coverage sweeps with the seed
+                # like everything else).
+                _, near_state, near_trace = pool.pick(
+                    walk_draw(seed, walk_index, 0))
                 if near_state not in witnessed_states:
                     state = near_state
                     trace = list(near_trace)
             best = None
-            for _ in range(self.steps):
+            for step in range(self.steps):
                 if predicate is not None and predicate(state):
                     witness(state, trace)
                     break
@@ -203,7 +367,7 @@ class RandomWalkChecker(Checker):
                     rank = score(compiled, state)
                     if best is None or rank < best[0]:
                         best = (rank, state, list(trace))
-                draw = lfsr.next()
+                draw = walk_draw(seed, walk_index, step + 1)
                 try:
                     transition, state = self._step(
                         compiled, state, enabled, draw, score,
@@ -215,16 +379,24 @@ class RandomWalkChecker(Checker):
                                         "trace": list(trace),
                                         "transition": overflow.transition,
                                         "place": overflow.place}
+                    self.last_hunt_stats = {"backend": "scalar",
+                                            "walks": walk_index + 1,
+                                            "steps": steps_fired,
+                                            "expanded": steps_fired}
                     return CheckerOutcomeProxy(self.outcome(
                         False, witnesses=[overflow_witness],
                         details="random walk found a 1-safeness violation: "
                         "firing {!r} overflows place {!r}".format(
                             overflow.transition, overflow.place)))
+                steps_fired += 1
                 trace.append(names[transition])
             if best is not None:
-                remember(*best)
+                pool.remember(*best)
             if len(witnesses) >= max_witnesses:
                 break
+        self.last_hunt_stats = {"backend": "scalar", "walks": self.walks,
+                                "steps": steps_fired,
+                                "expanded": steps_fired}
         return witnesses or None
 
     def _step(self, compiled, state, enabled, draw, score, guided):
@@ -239,31 +411,6 @@ class RandomWalkChecker(Checker):
             return best[1], best[2]
         index = indices[draw % len(indices)]
         return index, compiled.fire(index, state)
-
-    # -- guidance heuristics -------------------------------------------------
-
-    @staticmethod
-    def _fewest_enabled(compiled, state):
-        """Prefer successors with fewer options: walk into corners."""
-        return compiled.enabled_mask(state).bit_count()
-
-    @staticmethod
-    def _cube_score(compiled, cubes):
-        """Prefer successors matching more literals of some bad cube."""
-        masks = []
-        for cube in cubes:
-            ones = sum(compiled.place_bit.get(p, 0) for p in cube.true_places)
-            zeros = sum(compiled.place_bit.get(p, 0) for p in cube.false_places)
-            masks.append((ones, zeros, len(cube.places())))
-
-        def score(compiled_net, state):
-            best = 0
-            for ones, zeros, size in masks:
-                matched = (state & ones).bit_count() + (~state & zeros).bit_count()
-                best = max(best, size and matched / size)
-            return -best
-
-        return score
 
 
 class CheckerOutcomeProxy:

@@ -1,0 +1,202 @@
+"""Primitives shared by the scalar and vectorised random-walk backends.
+
+The walk checker runs on two engines: the pure-int scalar walker of
+:mod:`repro.verification.checkers.walk` and the NumPy swarm of
+:mod:`repro.verification.checkers.walk_batch`.  Both must hunt with the
+*same* randomness, the *same* guidance scores and the *same* restart-pool
+semantics, or the backends drift apart and differential testing loses its
+teeth.  This module is the single home of those semantics:
+
+* :func:`walk_draw` -- a **counter-based** RNG: the draw is a pure function
+  of ``(seed, walk, step)``, so walk ``w`` sees the identical stream whether
+  it runs alone on the scalar path or as one row of an 8k-row swarm.  (The
+  old LFSR threaded one stream through all walks, so adding a walk -- or
+  reordering them -- reshuffled every draw after it.)
+* the guidance ranks (:func:`fewest_enabled_rank`, :func:`cube_rank` over a
+  :func:`cube_mask_table`) -- exact integer/float arithmetic that the
+  vectorised backend reproduces bit for bit in uint64/float64 columns.
+* :class:`NearMissPool` -- the counterexample-guided restart pool (dedupe
+  by state, evict the first worst entry only for a strictly better one).
+* :func:`replay_witness` -- swarm traces are replayed on the *net* before
+  being trusted, exactly like SMT counterexamples.
+
+Everything here is pure-int Python: the scalar walker uses these functions
+directly and the swarm engine mirrors them with array operations (the
+differential tests in ``tests/test_walk_batch.py`` pin the two together).
+"""
+
+from repro.exceptions import ModelError
+
+_MASK64 = (1 << 64) - 1
+
+#: splitmix64 finaliser constants (public: the vectorised RNG re-uses them).
+MIX_MULTIPLIER_A = 0xBF58476D1CE4E5B9
+MIX_MULTIPLIER_B = 0x94D049BB133111EB
+#: Odd stream-separation constants of :func:`walk_draw`.
+DRAW_SEED_STRIDE = 0x9E3779B97F4A7C15
+DRAW_WALK_STRIDE = 0xC2B2AE3D27D4EB4F
+DRAW_STEP_STRIDE = 0xD6E8FEB86659FD93
+
+
+def mix64(value):
+    """The splitmix64 finaliser: a 64-bit avalanche of *value*.
+
+    Every operation wraps at 64 bits, so a uint64 array version (see
+    ``walk_batch.draw_rows``) produces identical words without masking.
+    """
+    value &= _MASK64
+    value = ((value ^ (value >> 30)) * MIX_MULTIPLIER_A) & _MASK64
+    value = ((value ^ (value >> 27)) * MIX_MULTIPLIER_B) & _MASK64
+    return value ^ (value >> 31)
+
+
+def walk_draw(seed, walk, step):
+    """Draw number *step* of walk *walk* under *seed*: a 64-bit word.
+
+    Stream convention: step ``0`` is the walk's restart-pool selection
+    draw; steps ``1..N`` are its per-move draws (one per fired step).
+    Being a pure function of the three counters, the stream of a walk is
+    independent of how many other walks run, in what order, or on which
+    backend -- the determinism contract of the swarm.
+    """
+    return mix64((seed * DRAW_SEED_STRIDE + walk * DRAW_WALK_STRIDE
+                  + step * DRAW_STEP_STRIDE) & _MASK64)
+
+
+# -- guidance ranks ----------------------------------------------------------
+
+
+def fewest_enabled_rank(compiled, state):
+    """Deadlock guidance: successors with fewer options rank better."""
+    return compiled.enabled_mask(state).bit_count()
+
+
+def cube_mask_table(mask_of, cubes):
+    """Precompile DNF *cubes* into ``(ones, zeros, size)`` bitmask rows.
+
+    *mask_of* maps a place name to its single-bit mask (``0`` for unknown
+    places, which hold no token).  Both backends score against this one
+    table: the scalar rank uses the int masks directly, the swarm splits
+    them into uint64 words.
+    """
+    masks = []
+    for cube in cubes:
+        ones = 0
+        for place in cube.true_places:
+            ones |= mask_of(place)
+        zeros = 0
+        for place in cube.false_places:
+            zeros |= mask_of(place)
+        masks.append((ones, zeros, len(cube.places())))
+    return tuple(masks)
+
+
+def cube_rank(masks, state):
+    """Reach guidance: minus the best matched-literal fraction over *masks*.
+
+    Lower is better (rank ``-1.0`` means some cube fully matched, i.e. the
+    state is bad).  The division is a single float64 operation, so the
+    vectorised backend reproduces the exact rank values.
+    """
+    best = 0
+    for ones, zeros, size in masks:
+        matched = (state & ones).bit_count() + (~state & zeros).bit_count()
+        best = max(best, size and matched / size)
+    return -best
+
+
+# -- the counterexample-guided restart pool ----------------------------------
+
+
+class NearMissPool:
+    """The top-*capacity* best-ranked near-miss states seen so far.
+
+    Entries are ``(rank, state, trace)``; lower ranks are better.  The pool
+    deduplicates by state, and a full pool evicts its **first** worst entry
+    only when the newcomer ranks **strictly** better -- ties keep the
+    incumbent.  Both walk backends feed and draw from this one class, so
+    restart semantics cannot drift between them.
+    """
+
+    __slots__ = ("capacity", "_entries", "_states")
+
+    def __init__(self, capacity):
+        self.capacity = int(capacity)
+        self._entries = []
+        self._states = set()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def remember(self, rank, state, trace):
+        if self.capacity <= 0 or state in self._states:
+            return
+        if len(self._entries) >= self.capacity:
+            entries = self._entries
+            worst = max(range(len(entries)), key=lambda i: entries[i][0])
+            if entries[worst][0] <= rank:
+                return
+            self._states.discard(entries[worst][1])
+            del entries[worst]
+        self._states.add(state)
+        self._entries.append((rank, state, trace))
+
+    def pick(self, draw):
+        """The entry selected by *draw* (any 64-bit word; modulo inside)."""
+        return self._entries[draw % len(self._entries)]
+
+
+# -- witness replay ----------------------------------------------------------
+
+
+def replay_trace(net, trace):
+    """Fire *trace* from the initial marking; the final marking or ``None``.
+
+    ``None`` means the trace does not replay on the net (a disabled
+    transition or a capacity overflow mid-way): whatever engine produced it
+    modelled the net wrong, and its witness must not be trusted.
+    """
+    marking = net.initial_marking()
+    try:
+        for transition in trace:
+            marking = net.fire(transition, marking)
+    except ModelError:
+        return None
+    return marking
+
+
+def replay_witness(net, kind, trace, predicate=None, transition=None):
+    """Validate a walk witness by replay; a witness dict or ``None``.
+
+    *kind* selects the obligation of the replayed final marking:
+    ``"deadlock"`` -- no transition is enabled; ``"reach"`` -- *predicate*
+    (a marking predicate) holds; ``"overflow"`` -- firing *transition* next
+    puts more than one token somewhere (or a declared capacity rejects
+    it).  Mirrors the replay-before-trust rule of the SMT checkers: a
+    conclusive verdict may only rest on a trace the net itself confirms.
+    """
+    marking = replay_trace(net, trace)
+    if marking is None:
+        return None
+    if kind == "deadlock":
+        if net.enabled_transitions(marking):
+            return None
+    elif kind == "reach":
+        if predicate is None or not predicate(marking):
+            return None
+    elif kind == "overflow":
+        try:
+            if not net.is_enabled(transition, marking):
+                return None
+            successor = net.fire(transition, marking)
+        except ModelError:
+            pass  # a declared place capacity rejected the extra token
+        else:
+            if all(count <= 1 for _, count in successor.items()):
+                return None
+    else:
+        return None
+    witness = {"marking": marking, "trace": list(trace)}
+    if kind == "overflow":
+        witness["transition"] = transition
+    return witness

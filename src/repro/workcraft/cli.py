@@ -116,6 +116,15 @@ def _resolve_checker(args):
         checker = "portfolio"
         options["portfolio"] = {"race": True}
     checker = checker or "exhaustive"
+    walk_options = {}
+    if getattr(args, "walks", None):
+        walk_options["walks"] = args.walks
+    if getattr(args, "walk_backend", None):
+        walk_options["backend"] = args.walk_backend
+    if walk_options:
+        # Top-level walk options reach the walk checker standalone or as a
+        # portfolio member (the Verifier routes them either way).
+        options.setdefault("walk", {}).update(walk_options)
     cls = CHECKERS.get(checker)
     if cls is not None and cls.requires_solver:
         from repro.exceptions import SolverUnavailableError
@@ -382,6 +391,15 @@ def build_parser():
                         help="race the portfolio members in separate "
                              "processes, first conclusive verdict wins "
                              "(implies --checker portfolio)")
+    verify.add_argument("--walks", type=int, default=None, metavar="N",
+                        help="total guided random walks of the walk "
+                             "checker (standalone or as a portfolio "
+                             "member)")
+    verify.add_argument("--walk-backend",
+                        choices=("auto", "batch", "scalar"), default=None,
+                        help="walk engine: the vectorised swarm (batch) or "
+                             "the pure-int walker (scalar); auto prefers "
+                             "the swarm when NumPy is available")
     verify.add_argument("--no-persistence", action="store_true",
                         help="skip the (slower) persistence check")
     verify.set_defaults(handler=_command_verify)
@@ -424,6 +442,14 @@ def build_parser():
                           help="race the portfolio members per job (implies "
                                "--checker portfolio; effective with --jobs 0, "
                                "pool workers fall back to rotation)")
+    campaign.add_argument("--walks", type=int, default=None, metavar="N",
+                          help="per job: total guided random walks of the "
+                               "walk checker")
+    campaign.add_argument("--walk-backend",
+                          choices=("auto", "batch", "scalar"), default=None,
+                          help="per job: walk engine (vectorised swarm or "
+                               "pure-int scalar; auto prefers the swarm "
+                               "when NumPy is available)")
     campaign.add_argument("--workers", type=int, default=0,
                           help="sharded-exploration workers per job "
                                "(effective with --jobs 0; pool workers fall "

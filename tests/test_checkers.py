@@ -16,6 +16,7 @@ from repro.dfs.semantics import marking_event_names, place_name
 from repro.dfs.translation import place_name as translation_place_name
 from repro.dfs.translation import to_petri_net
 from repro.exceptions import ConfigurationError, VerificationError
+from repro.petri.batch import numpy_available
 from repro.petri.invariants import compute_semiflows, place_bounds
 from repro.petri.reachability import build_reachability_graph
 from repro.reach.cubes import Cube, to_cubes
@@ -115,6 +116,42 @@ class TestDifferentialAgreement:
                 "{} checker contradicts exhaustive on {}/{}: {} vs {} "
                 "({})".format(checker, model_name, result.property_name,
                               result.holds, expected, result.details))
+
+    @pytest.mark.parametrize("backend", ("scalar", "batch"))
+    @pytest.mark.parametrize("model_name", sorted(MODEL_FAMILY))
+    def test_walk_backends_agree_with_exhaustive(self, backend, model_name,
+                                                 exhaustive_verdicts):
+        """Both walk backends, differentially against the exhaustive engine.
+
+        The swarm is a throughput change only: a conclusive swarm verdict
+        contradicting the scalar/exhaustive truth is a soundness bug.
+        """
+        if backend == "batch" and not numpy_available():
+            pytest.skip("batch walk backend needs NumPy")
+        summary = Verifier(
+            MODEL_FAMILY[model_name](), checker="walk",
+            checker_options={"walk": {"backend": backend}},
+        ).verify_properties(DIFFERENTIAL_PROPERTIES)
+        reference = exhaustive_verdicts[model_name]
+        for result in summary.results:
+            if result.holds is None:
+                continue
+            assert result.holds is reference[result.property_name], (
+                "walk[{}] contradicts exhaustive on {}/{}: {}".format(
+                    backend, model_name, result.property_name,
+                    result.details))
+
+    def test_scalar_walk_same_seed_same_witness(self):
+        """The seeding contract: same seed, same verdict, same trace."""
+        dfs = build_pipeline_model(3, static_prefix=1, holes=[2])
+        outcomes = []
+        for _ in range(2):
+            verifier = Verifier(dfs, checker="walk", checker_options={
+                "walk": {"backend": "scalar", "seed": 2026}})
+            outcomes.append(verifier.verify_deadlock_freedom())
+        assert outcomes[0].holds is outcomes[1].holds is False
+        assert (outcomes[0].witnesses[0]["trace"]
+                == outcomes[1].witnesses[0]["trace"])
 
     @pytest.mark.parametrize("checker", ALL_CHECKERS)
     def test_violation_witnesses_carry_replayable_traces(self, checker):
