@@ -114,6 +114,19 @@ GATES = [
         "tolerance": 0.60,
     },
     {
+        # The price of crash-safe exploration: checkpointed seconds over
+        # the plain in-RAM run, both in-process on the same machine.  The
+        # bench pins the absolute ceiling; this gate catches the overhead
+        # ratio creeping up -- e.g. a whole-mapping msync sneaking back
+        # into the per-level path.
+        "table": "checkpointed exploration comparison",
+        "key": "mode",
+        "reference": "no-checkpoint",
+        "gated": "checkpointed",
+        "label": "checkpointed exploration overhead",
+        "tolerance": 0.30,
+    },
+    {
         "table": "semiflow cache",
         "key": "mode",
         "reference": "cold",

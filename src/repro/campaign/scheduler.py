@@ -29,6 +29,7 @@ are scheduling concerns, not transport concerns:
   (a hanging factory must hit the per-job deadline, not the submitter).
 """
 
+import os
 import queue
 import threading
 import time
@@ -40,6 +41,7 @@ from repro.dfs.translation import to_petri_net
 from repro.exceptions import ConfigurationError
 from repro.parallel.supervisor import SupervisorPool
 from repro.utils.diskcache import SingleFlight
+from repro.utils.journal import JournalWriter, read_journal
 
 
 class CampaignResult:
@@ -165,8 +167,10 @@ class JobTicket:
     :meth:`wait` blocks for the :class:`CampaignResult`.
     """
 
-    def __init__(self, job, tenant=None, timeout=None):
-        self.id = uuid.uuid4().hex
+    def __init__(self, job, tenant=None, timeout=None, ticket_id=None):
+        #: Journal replay reconstructs tickets under their original ids, so
+        #: clients polling an id issued before a daemon crash still resolve.
+        self.id = ticket_id if ticket_id else uuid.uuid4().hex
         self.job = job
         self.tenant = tenant
         self.timeout = timeout
@@ -264,19 +268,32 @@ class CampaignScheduler:
         synchronously and coalesce concurrent identical submissions into
         one pool execution.  Costs one model build per submission in the
         submitting thread, so batch campaigns leave it off.
+    state_dir:
+        Optional durability root.  When set, every ticket transition
+        (submit / start / verdict / cancel) is appended to a write-ahead
+        journal under ``<state_dir>/journal`` (see
+        :mod:`repro.utils.journal`) **before** it becomes observable, and
+        a freshly constructed scheduler replays the journal: finished
+        tickets are restored under their original ids with their recorded
+        results, and tickets that were in flight when the process died
+        are re-enqueued through the normal submission path (single-flight
+        coalescing and warm verdict-cache hits apply, so a crashed job
+        whose verdict was already cached is answered immediately).
     """
 
     def __init__(self, parallelism=1, timeout=None, cache_dir=None,
-                 single_flight=False):
+                 single_flight=False, state_dir=None):
         self.parallelism = int(parallelism)
         self.timeout = timeout
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.single_flight = bool(single_flight)
+        self.state_dir = str(state_dir) if state_dir is not None else None
+        self._journal = None
         self._flights = SingleFlight()
         self._lock = threading.Lock()
         self._tickets = {}
         self._counters = {"submitted": 0, "completed": 0, "cache_hits": 0,
-                          "coalesced": 0}
+                          "coalesced": 0, "restored": 0, "requeued": 0}
         #: Aggregated out-of-core traffic of completed jobs (fed by the
         #: per-run ``"exploration"`` payload stats; see ``stats()``).
         self._spill_totals = {"write_bytes": 0, "read_bytes": 0,
@@ -293,6 +310,13 @@ class CampaignScheduler:
                 target=self._drain_events, daemon=True,
                 name="campaign-events")
             self._drainer.start()
+        if self.state_dir is not None:
+            journal_dir = os.path.join(self.state_dir, "journal")
+            # Read the previous incarnation's records *before* opening the
+            # writer (the writer truncates any torn tail in place).
+            records = read_journal(journal_dir)
+            self._journal = JournalWriter(journal_dir)
+            self._replay(records)
 
     # -- tenancy -------------------------------------------------------------
 
@@ -319,6 +343,10 @@ class CampaignScheduler:
                     "cannot submit to a shut-down campaign scheduler")
             self._tickets[ticket.id] = ticket
             self._counters["submitted"] += 1
+        self._journal_append({
+            "event": "submit", "ticket": ticket.id, "job": job.to_dict(),
+            "tenant": tenant, "priority": priority,
+            "timeout": timeout, "time": ticket.submitted})
         ticket.record("job-queued", job_id=job.job_id, tenant=tenant)
         cache = self.cache_for(tenant)
         cache_directory = cache.directory if cache is not None else None
@@ -369,6 +397,81 @@ class CampaignScheduler:
             self._events_queue.put(None)
             if wait:
                 self._drainer.join(timeout=5.0)
+        if self._journal is not None:
+            self._journal.close()
+
+    # -- durability ----------------------------------------------------------
+
+    def _replay(self, records):
+        """Restore tickets from the previous incarnation's journal.
+
+        The fold is idempotent: the first ``submit`` per ticket id wins
+        (duplicates from a double replay are ignored) and the last
+        ``verdict``/``cancel`` wins.  Tickets with a recorded verdict are
+        rebuilt as already-``done`` under their original ids; tickets
+        without one are re-enqueued through the normal single-flight path
+        (so a re-run whose verdict meanwhile sits in the cache is answered
+        immediately), again under their original ids.  Replayed
+        submissions are not re-journaled -- their ``submit`` records are
+        already durable -- but verdicts produced by re-runs are.
+        """
+        from repro.campaign.jobs import VerificationJob
+
+        submits = {}
+        verdicts = {}
+        for record in records:
+            event = record.get("event")
+            ticket_id = record.get("ticket")
+            if not ticket_id:
+                continue
+            if event == "submit" and ticket_id not in submits:
+                submits[ticket_id] = record
+            elif event in ("verdict", "cancel"):
+                verdicts[ticket_id] = record
+        for ticket_id, record in submits.items():
+            try:
+                job = VerificationJob.from_dict(record["job"])
+            except Exception:
+                continue  # a malformed record must not block the daemon
+            timeout = record.get("timeout")
+            if timeout is None:
+                timeout = self.timeout
+            ticket = JobTicket(job, tenant=record.get("tenant"),
+                               timeout=timeout, ticket_id=ticket_id)
+            with self._lock:
+                self._tickets[ticket.id] = ticket
+                self._counters["submitted"] += 1
+            ticket.record("job-queued", job_id=job.job_id,
+                          tenant=ticket.tenant)
+            verdict = verdicts.get(ticket_id)
+            if verdict is not None:
+                # Finished before the crash: restore the recorded result
+                # verbatim, without re-journaling or re-counting spill.
+                ticket.record("restored", status=verdict.get("status"))
+                result = CampaignResult(
+                    job, verdict.get("status", "error"),
+                    payload=verdict.get("payload"),
+                    error=verdict.get("error"),
+                    elapsed=verdict.get("elapsed") or 0.0)
+                with self._lock:
+                    self._counters["completed"] += 1
+                    self._counters["restored"] += 1
+                    self._outcome_counts[result.status] = (
+                        self._outcome_counts.get(result.status, 0) + 1)
+                ticket._finish(result)
+                continue
+            # In flight (or queued) when the process died: run it again.
+            ticket.record("requeued", job_id=job.job_id)
+            with self._lock:
+                self._counters["requeued"] += 1
+            cache = self.cache_for(ticket.tenant)
+            cache_directory = cache.directory if cache is not None else None
+            priority = record.get("priority") or 0
+            if self.single_flight and self._coalesce(ticket, cache,
+                                                     cache_directory,
+                                                     priority):
+                continue
+            self._dispatch(ticket, cache_directory, priority)
 
     # -- internals -----------------------------------------------------------
 
@@ -434,10 +537,19 @@ class CampaignScheduler:
             self._finalize(ticket, leader_result.status, None,
                            leader_result.error, elapsed)
 
+    def _journal_append(self, record):
+        """Append *record* to the durability journal (no-op when off)."""
+        if self._journal is not None:
+            self._journal.append(record)
+
+    def _mark_started(self, ticket):
+        self._journal_append({"event": "start", "ticket": ticket.id})
+        ticket._mark_started()
+
     def _dispatch(self, ticket, cache_directory, priority, on_result=None):
         job = ticket.job
         if self._pool is None:
-            ticket._mark_started()
+            self._mark_started(ticket)
             started = time.perf_counter()
 
             def progress(event, name, result):
@@ -460,7 +572,7 @@ class CampaignScheduler:
             return
 
         def on_start(task_id):
-            ticket._mark_started()
+            self._mark_started(ticket)
 
         def on_outcome(outcome):
             result = self._finalize(ticket, outcome.status, outcome.payload,
@@ -491,6 +603,13 @@ class CampaignScheduler:
                 spill.get("write_bytes") or 0)
             self._spill_totals["read_bytes"] += int(
                 spill.get("read_bytes") or 0)
+        # Journal the verdict *before* it becomes observable through the
+        # ticket: a crash between the two replays the job (at-least-once),
+        # never invents a verdict the client could already have seen.
+        self._journal_append({
+            "event": "cancel" if status == "cancelled" else "verdict",
+            "ticket": ticket.id, "status": status, "payload": payload,
+            "error": error, "elapsed": elapsed})
         ticket._finish(result)
         return result
 

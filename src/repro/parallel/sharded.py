@@ -72,6 +72,7 @@ from multiprocessing.connection import wait as connection_wait
 
 from repro.exceptions import SafenessOverflowError, VerificationError
 from repro.parallel.context import mp_context
+from repro.utils import faults as _faults
 from repro.petri.compiled import (
     CompiledNet,
     CompiledReachabilityGraph,
@@ -967,7 +968,7 @@ class _Sender:
 
 def explore_sharded(compiled, marking=None, max_states=200000, workers=None,
                     memo_size=None, chunk_states=None, batch=None,
-                    spill=None):
+                    spill=None, checkpoint=None):
     """Breadth-first exploration sharded across worker processes.
 
     Returns a graph bit-identical to ``explore_compiled(compiled, marking,
@@ -989,6 +990,16 @@ def explore_sharded(compiled, marking=None, max_states=200000, workers=None,
     backend.  Exchange/memo counters are attached to the result as
     ``graph.exchange_stats``; per-phase timings and spill counters as
     ``graph.exploration_stats``.
+
+    With *checkpoint* set to a directory (and the NumPy merger active) the
+    coordinator keeps its columnar stores at named paths there and writes
+    the same per-level :class:`~repro.petri.storage.Checkpoint` manifest
+    as ``explore_batch`` after every merged level -- the two engines'
+    on-disk layouts are bit-identical at level boundaries, so a sharded
+    run killed mid-level is resumed by the *batch* engine (see
+    ``build_reachability_graph(resume=...)``).  The coordinator itself
+    always starts fresh: any stale manifest under the directory is
+    superseded.
     """
     if not isinstance(compiled, CompiledNet):
         compiled = CompiledNet.compile(compiled)
@@ -1027,7 +1038,7 @@ def explore_sharded(compiled, marking=None, max_states=200000, workers=None,
     completed = False
     try:
         graph = _drive(compiled, initial_state, max_states, workers,
-                       connections, sender, memo_size, spill)
+                       connections, sender, memo_size, spill, checkpoint)
         completed = True
         return graph
     finally:
@@ -1071,7 +1082,7 @@ class _ListMerger:
     """
 
     def __init__(self, compiled, initial_state, max_states, workers,
-                 memo_size, spill=None):
+                 memo_size, spill=None, checkpoint=None):
         self.workers = workers
         self.max_states = max_states
         self.memo_size = memo_size
@@ -1089,6 +1100,9 @@ class _ListMerger:
 
     def seed(self, owner):
         self.owner_seq = [owner]
+
+    def record_checkpoint(self, levels):
+        """Checkpointing needs the columnar merger; a no-op on lists."""
 
     def load_reports(self, reports):
         workers = self.workers
@@ -1264,14 +1278,21 @@ class _ColumnarMerger:
     """
 
     def __init__(self, compiled, initial_state, max_states, workers,
-                 memo_size, spill=None):
+                 memo_size, spill=None, checkpoint=None):
         import numpy
         from repro.petri.batch import (
             ColumnarReachabilityGraph,
             WordTables,
             _group_arange,
+            checkpoint_identity,
         )
-        from repro.petri.storage import ArrayStore, SpillConfig, SpillPool
+        from repro.petri.storage import (
+            ArrayStore,
+            Checkpoint,
+            MANIFEST_NAME,
+            SpillConfig,
+            SpillPool,
+        )
         self._np = numpy
         self._group_arange = _group_arange
         self._array_store = ArrayStore
@@ -1284,13 +1305,31 @@ class _ColumnarMerger:
                                                initial_state)
         if spill is None:
             spill = SpillConfig.resolve()
-        self.pool = SpillPool(spill, label="sharded")
+        self.checkpoint_dir = str(checkpoint) if checkpoint else None
+        self.pool = SpillPool(spill, label="sharded",
+                              named_dir=self.checkpoint_dir)
+        if self.checkpoint_dir is not None:
+            # The coordinator always starts fresh: a stale manifest (from
+            # an older run of any identity) must not outlive the stores it
+            # described, which the fresh ArrayStores truncate below.
+            try:
+                os.remove(os.path.join(self.checkpoint_dir, MANIFEST_NAME))
+            except OSError:
+                pass
         self.words = ArrayStore(self.pool, "words", numpy.uint64,
                                 columns=self.word_count)
         self.parents = ArrayStore(self.pool, "parents", numpy.int64)
         self.edges = ArrayStore(self.pool, "edges", numpy.int64)
         self.counts_store = ArrayStore(self.pool, "counts", numpy.int64)
         self.frontier = ArrayStore(self.pool, "frontier", numpy.int64)
+        self.checkpointer = None
+        if self.checkpoint_dir is not None:
+            self.checkpointer = Checkpoint(
+                self.checkpoint_dir,
+                {"words": self.words, "parents": self.parents,
+                 "edges": self.edges, "counts": self.counts_store,
+                 "frontier": self.frontier},
+                checkpoint_identity(compiled, initial_state, max_states))
         self.truncated = False
         self.total = 1
         self.words.append(self.tables.encode_rows([initial_state]))
@@ -1473,6 +1512,17 @@ class _ColumnarMerger:
         # Stream the merged level out of memory (see SpillPool.drop_resident).
         self.pool.drop_resident()
 
+    def record_checkpoint(self, levels):
+        """Manifest the just-merged level (the same layout as batch)."""
+        if self.checkpointer is None:
+            return
+        self.checkpointer.record_level({
+            "levels": int(levels),
+            "total": int(self.total),
+            "truncated": bool(self.truncated),
+            "level_start": int(self.merge_base),
+        })
+
     def finish(self, exchange_stats, timing):
         np = self._np
         graph = self.graph
@@ -1518,6 +1568,10 @@ class _ColumnarMerger:
         graph._hash_idx = idx_store.trim()
         graph.truncated = self.truncated
         graph._spill_pool = pool
+        if self.checkpointer is not None:
+            # Completed: nothing left to resume from, nothing left on disk.
+            self.checkpointer.discard()
+            pool.discard_checkpoint_files()
         graph.exchange_stats = exchange_stats
         graph.exploration_stats = {
             "engine": "sharded",
@@ -1526,6 +1580,8 @@ class _ColumnarMerger:
             "edges": int(len(graph._edge_data)),
             "phases": dict(timing),
             "spill": pool.stats(),
+            "checkpoint": {"directory": self.checkpoint_dir,
+                           "resumed_from_level": None},
         }
         return graph
 
@@ -1534,7 +1590,7 @@ class _ColumnarMerger:
 
 
 def _drive(compiled, initial_state, max_states, workers, connections, sender,
-           memo_size, spill=None):
+           memo_size, spill=None, checkpoint=None):
     from time import perf_counter
 
     #: Per-phase second counters, attached as ``exploration_stats``
@@ -1554,7 +1610,7 @@ def _drive(compiled, initial_state, max_states, workers, connections, sender,
     except ImportError:  # pragma: no cover - batch always importable
         pass
     merger = merger_class(compiled, initial_state, max_states, workers,
-                          memo_size, spill)
+                          memo_size, spill, checkpoint)
     exchange_stats = {"memo_hits": 0, "foreign_refs": 0, "levels": 0,
                       "chunk_messages": 0}
 
@@ -1655,6 +1711,13 @@ def _drive(compiled, initial_state, max_states, workers, connections, sender,
             if finished:
                 break
             merger.advance()
+            # Fault point of the crash-recovery tier: firing here leaves
+            # the merged level's rows on disk but unmanifested, the torn
+            # state a mid-level SIGKILL of the coordinator produces.
+            if _faults.trigger("kill_worker", "level"):
+                import signal
+                os.kill(os.getpid(), signal.SIGKILL)
+            merger.record_checkpoint(exchange_stats["levels"])
 
         if os.environ.get("REPRO_SHARD_TIMING"):
             import sys

@@ -42,6 +42,7 @@ from collections import deque
 
 from repro.exceptions import ConfigurationError
 from repro.parallel.context import mp_context
+from repro.utils import faults as _faults
 
 #: Seconds the supervisor waits for a dead worker's queued result to drain
 #: before declaring the worker crashed.
@@ -82,6 +83,10 @@ def _worker_main(task_id, target, args, results_queue):
     """Worker entry point: run one task and stream the outcome back."""
     started = time.perf_counter()
     try:
+        if _faults.trigger("kill_worker", "task"):
+            import os
+            import signal
+            os.kill(os.getpid(), signal.SIGKILL)
         payload = target(*args)
         results_queue.put((task_id, "ok", payload, None,
                            time.perf_counter() - started))

@@ -50,6 +50,7 @@ from repro.petri.compiled import (
     transition_watch_lists,
 )
 from repro.petri.reachability import ReachabilityGraph
+from repro.utils import faults as _faults
 
 #: Cap on the transient pair matrix of the vectorised persistence scan.
 _PAIR_BLOCK = 1 << 20
@@ -848,7 +849,37 @@ def _probe_rows(hash_keys, hash_idx, words_buffer, rows, hashes, word_count):
     return targets
 
 
-def explore_batch(compiled, marking=None, max_states=200000, spill=None):
+def checkpoint_identity(compiled, initial_state, max_states):
+    """The identity digest a checkpoint must match to be resumable.
+
+    Shared by the batch engine and the sharded coordinator (their on-disk
+    layouts are bit-identical at every level boundary, so either's
+    checkpoint resumes under the batch engine).
+    """
+    from repro.utils.diskcache import digest
+
+    return digest({
+        "places": list(compiled.place_names),
+        "transitions": list(compiled.transition_names),
+        "initial": str(initial_state),
+        "max_states": int(max_states),
+    })
+
+
+#: ``(dtype string, columns)`` of every checkpointed store; the manifest
+#: and :meth:`Checkpoint.resume` agree on this layout.
+def _checkpoint_specs(word_count):
+    return {
+        "words": ("<u8", word_count),
+        "parents": ("<i8", 0),
+        "edges": ("<i8", 0),
+        "counts": ("<i8", 0),
+        "frontier": ("<i8", 0),
+    }
+
+
+def explore_batch(compiled, marking=None, max_states=200000, spill=None,
+                  checkpoint=None):
     """Whole-frontier breadth-first exploration on NumPy arrays.
 
     Returns a :class:`ColumnarReachabilityGraph` bit-identical to
@@ -869,10 +900,22 @@ def explore_batch(compiled, marking=None, max_states=200000, spill=None):
     :class:`~repro.exceptions.CompilationError` when NumPy is
     unavailable, so ``engine="auto"`` callers fall through to the pure-int
     engines.
+
+    With *checkpoint* set to a directory the stores live at named paths
+    under it and a per-level manifest
+    (:class:`~repro.petri.storage.Checkpoint`) is atomically replaced
+    after every completed BFS level.  A later call pointing at the same
+    directory resumes from the last complete level (verifying the stores'
+    chained CRCs first; any damage degrades to a fresh run), and the
+    resumed graph is bit-identical to an uninterrupted one.  A run that
+    finishes removes the directory's manifest and store files.
     """
     _require_numpy()
+    import os
+
     from repro.petri.storage import (
         ArrayStore,
+        Checkpoint,
         SortedIndexStore,
         SpillConfig,
         SpillPool,
@@ -898,25 +941,77 @@ def explore_batch(compiled, marking=None, max_states=200000, spill=None):
 
     if spill is None:
         spill = SpillConfig.resolve()
-    pool = SpillPool(spill, label="batch")
+    pool = SpillPool(spill, label="batch",
+                     named_dir=checkpoint if checkpoint else None)
     level = tables.encode_rows([initial_state])
     level_enabled = tables.enabled_matrix(level)
-    # The graph's columnar arrays, behind the spill pool.  The state table
-    # doubles as the exact-match side of the hash probe.
-    words = ArrayStore(pool, "words", _np.uint64, columns=word_count)
-    parents = ArrayStore(pool, "parents", _np.int64)
-    edges = ArrayStore(pool, "edges", _np.int64)
-    counts = ArrayStore(pool, "counts", _np.int64)
-    frontier = ArrayStore(pool, "frontier", _np.int64)
-    index = SortedIndexStore(pool, "hash", _np.uint64, _np.int64)
     total = 1
     truncated = False
     levels = 0
+    checkpointer = None
+    resumed_from = None
+    identity = None
+    restored = None
+    if checkpoint:
+        identity = checkpoint_identity(compiled, initial_state, max_states)
+        manifest = Checkpoint.load(checkpoint)
+        if manifest is not None:
+            try:
+                checkpointer, restored = Checkpoint.resume(
+                    checkpoint, pool, _checkpoint_specs(word_count),
+                    identity, manifest)
+            except ConfigurationError:
+                # Damaged or foreign checkpoint: degrade to a fresh run
+                # (the diskcache rule -- corrupt entries are misses).
+                checkpointer, restored = None, None
+                from repro.petri.storage import MANIFEST_NAME
+                try:
+                    os.remove(os.path.join(checkpoint, MANIFEST_NAME))
+                except OSError:
+                    pass
+
+    if restored is not None:
+        words = restored["words"]
+        parents = restored["parents"]
+        edges = restored["edges"]
+        counts = restored["counts"]
+        frontier = restored["frontier"]
+        progress = manifest["progress"]
+        total = int(progress["total"])
+        truncated = bool(progress["truncated"])
+        levels = int(progress["levels"])
+        level_start = int(progress["level_start"])
+        resumed_from = levels
+        # The level about to expand is the tail of the state table; its
+        # enabled matrix and the sorted hash index are derived state,
+        # recomputed rather than checkpointed.
+        level = _np.ascontiguousarray(words.data[level_start:total])
+        level_enabled = tables.enabled_matrix(level)
+        index = SortedIndexStore(pool, "hash", _np.uint64, _np.int64)
+        index.merge(tables.hash_rows(words.data),
+                    _np.arange(total, dtype=_np.int64))
+    else:
+        # The graph's columnar arrays, behind the spill pool.  The state
+        # table doubles as the exact-match side of the hash probe.
+        words = ArrayStore(pool, "words", _np.uint64, columns=word_count)
+        parents = ArrayStore(pool, "parents", _np.int64)
+        edges = ArrayStore(pool, "edges", _np.int64)
+        counts = ArrayStore(pool, "counts", _np.int64)
+        frontier = ArrayStore(pool, "frontier", _np.int64)
+        index = SortedIndexStore(pool, "hash", _np.uint64, _np.int64)
 
     try:
-        words.append(level)
-        parents.append(_np.full(1, -1, dtype=_np.int64))
-        index.merge(tables.hash_rows(level), _np.zeros(1, dtype=_np.int64))
+        if restored is None:
+            words.append(level)
+            parents.append(_np.full(1, -1, dtype=_np.int64))
+            index.merge(tables.hash_rows(level),
+                        _np.zeros(1, dtype=_np.int64))
+            if checkpoint:
+                checkpointer = Checkpoint(
+                    checkpoint,
+                    {"words": words, "parents": parents, "edges": edges,
+                     "counts": counts, "frontier": frontier},
+                    identity)
 
         while len(level):
             levels += 1
@@ -1010,7 +1105,21 @@ def explore_batch(compiled, marking=None, max_states=200000, spill=None):
             # Stream the completed level out of memory: spilled stores drop
             # their resident pages, so RSS tracks the frontier, not the graph.
             pool.drop_resident()
-            if admitted_rows is not None and len(admitted_rows):
+            # Fault point of the crash-recovery tier: firing here leaves the
+            # level's rows appended but unmanifested, exactly the torn state
+            # a mid-level SIGKILL produces.
+            if _faults.trigger("kill_worker", "level"):
+                import signal
+                os.kill(os.getpid(), signal.SIGKILL)
+            next_rows = len(admitted_rows) if admitted_rows is not None else 0
+            if checkpointer is not None:
+                checkpointer.record_level({
+                    "levels": levels,
+                    "total": total,
+                    "truncated": truncated,
+                    "level_start": total - next_rows,
+                })
+            if next_rows:
                 level = admitted_rows
                 level_enabled = admitted_enabled
             else:
@@ -1040,9 +1149,17 @@ def explore_batch(compiled, marking=None, max_states=200000, spill=None):
         graph._edge_offsets = offsets.trim()
         graph._frontier_arr = frontier.trim()
         graph._hash_keys, graph._hash_idx = index.finalize()
+        if checkpointer is not None:
+            # The run completed: nothing is left to resume from.  The live
+            # memmap views survive the unlink (the kernel keeps the inodes
+            # until the handles close), so the graph stays fully usable.
+            checkpointer.discard()
+            pool.discard_checkpoint_files()
     except BaseException:
         # Exploration died mid-flight: release every store (and spill-file
-        # handle) now instead of waiting for garbage collection.
+        # handle) now instead of waiting for garbage collection.  Named
+        # checkpoint files are deliberately left behind -- they are the
+        # resumable state.
         pool.close()
         raise
     graph.truncated = truncated
@@ -1054,5 +1171,7 @@ def explore_batch(compiled, marking=None, max_states=200000, spill=None):
         "edges": int(len(graph._edge_data)),
         "phases": dict(timing),
         "spill": pool.stats(),
+        "checkpoint": {"directory": str(checkpoint) if checkpoint else None,
+                       "resumed_from_level": resumed_from},
     }
     return graph

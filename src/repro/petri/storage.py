@@ -28,14 +28,27 @@ the moment the process lets go -- on success, on an exception, and even
 when a supervised worker is SIGKILLed mid-exploration.  On filesystems
 that refuse unlinked mappings the store falls back to named files removed
 by :meth:`SpillPool.close` and an interpreter-exit finalizer.
+
+The exception to the unlink rule is **checkpoint mode** (``named_dir=``):
+a pool given a named directory keeps every spill file at a deterministic
+path (``<dir>/<store>.bin``) and spills from the first row, so that an
+exploration killed mid-level leaves its arrays on disk next to a
+:class:`Checkpoint` manifest recording, per completed BFS level, the row
+counts and chained CRC32 of every store.  Resuming re-opens those files
+(:meth:`ArrayStore.restore`), verifies the CRCs, and continues from the
+last complete level; a run that finishes discards the named files (the
+live mappings survive the unlink, as above).
 """
 
+import json
 import mmap
 import os
 import tempfile
 import weakref
+import zlib
 
 from repro.exceptions import ConfigurationError
+from repro.utils import faults as _faults
 
 try:  # NumPy is an optional dependency (see repro.petri.batch)
     import numpy as _np
@@ -119,9 +132,10 @@ class SpillPool:
     :meth:`stats` is always available for ``graph.exploration_stats``.
     """
 
-    def __init__(self, config=None, label="graph"):
+    def __init__(self, config=None, label="graph", named_dir=None):
         self.config = config
         self.label = label
+        self.named_dir = str(named_dir) if named_dir is not None else None
         self.spilled = False
         self.write_bytes = 0
         self.read_bytes = 0
@@ -131,7 +145,16 @@ class SpillPool:
         self._ram_bytes = 0
         self._serial = 0
         self._named_paths = []
+        self._checkpoint_paths = []
         self._finalizer = weakref.finalize(self, _remove_paths, self._named_paths)
+        if self.named_dir is not None:
+            # Checkpoint mode: every store lives at a stable on-disk path
+            # from its first row, so a killed run leaves resumable files.
+            os.makedirs(self.named_dir, exist_ok=True)
+            if self.config is None:
+                self.config = SpillConfig(directory=self.named_dir,
+                                          budget_bytes=0)
+            self.spilled = True
 
     # -- accounting ----------------------------------------------------------
 
@@ -206,7 +229,21 @@ class SpillPool:
     # -- spill files ---------------------------------------------------------
 
     def open_spill_file(self, name):
-        """Create (and immediately unlink) a spill file; return its handle."""
+        """Create (and immediately unlink) a spill file; return its handle.
+
+        In checkpoint mode the file instead lives at the stable path
+        ``<named_dir>/<name>.bin``, is re-opened (not truncated) when it
+        already exists, and is **not** unlinked: surviving the process is
+        the point.  :meth:`discard_checkpoint_files` removes them once an
+        exploration completes.
+        """
+        if self.named_dir is not None:
+            path = os.path.join(self.named_dir, "{}.bin".format(name))
+            handle = open(path, "r+b" if os.path.exists(path) else "w+b")
+            if path not in self._checkpoint_paths:
+                self._checkpoint_paths.append(path)
+            self.file_count += 1
+            return handle
         if self.config is None:
             raise ConfigurationError(
                 "BUG: pool {!r} spilled without a spill configuration".format(
@@ -238,7 +275,19 @@ class SpillPool:
             "write_bytes": self.write_bytes,
             "read_bytes": self.read_bytes,
             "files": self.file_count,
+            "checkpoint": self.named_dir,
         }
+
+    def discard_checkpoint_files(self):
+        """Unlink the named checkpoint files (live mappings stay valid).
+
+        Called when a checkpointed exploration completes: the graph keeps
+        its memmap views (the kernel holds the inodes), but nothing is
+        left on disk to resume from -- or to leak.
+        """
+        if self._checkpoint_paths:
+            _remove_paths(list(self._checkpoint_paths))
+            del self._checkpoint_paths[:]
 
     def close(self):
         """Release every store's backing and remove named fallback files.
@@ -291,6 +340,45 @@ class ArrayStore:
         capacity = max(1, int(capacity))
         self._backing = _np.empty(self._shape(capacity), dtype=self.dtype)
         pool._register(self)
+
+    @classmethod
+    def restore(cls, pool, name, dtype, columns, rows):
+        """Re-open a checkpointed store's named file exposing *rows* rows.
+
+        The pool must be in checkpoint mode.  The file is truncated down
+        to the geometric capacity for *rows* (dropping any slack -- and
+        any bytes appended after the manifest was written), never read
+        into RAM: restoring a 100M-row store maps it, nothing more.
+        """
+        _require_numpy()
+        if pool.named_dir is None:
+            raise ConfigurationError(
+                "ArrayStore.restore needs a checkpoint-mode pool")
+        store = cls.__new__(cls)
+        store.pool = pool
+        store.name = name
+        store.dtype = _np.dtype(dtype)
+        store.columns = int(columns)
+        store._row_nbytes = store.dtype.itemsize * max(1, store.columns)
+        handle = pool.open_spill_file(name)
+        rows = int(rows)
+        needed = rows * store._row_nbytes
+        size = os.fstat(handle.fileno()).st_size
+        if size < needed:
+            handle.close()
+            raise ConfigurationError(
+                "checkpoint store {!r} holds {} bytes, manifest claims {}"
+                .format(name, size, needed))
+        capacity = 1
+        while capacity < rows:
+            capacity *= 2
+        os.ftruncate(handle.fileno(), capacity * store._row_nbytes)
+        store._backing = _np.memmap(handle, dtype=store.dtype, mode="r+",
+                                    shape=store._shape(capacity))
+        store._handle = handle
+        store._length = rows
+        pool._stores.append(store)
+        return store
 
     # -- geometry ------------------------------------------------------------
 
@@ -367,6 +455,9 @@ class ArrayStore:
         count = len(values)
         if not count:
             return
+        if _faults.trigger("io_error", "write"):
+            raise _faults.FaultError(
+                "injected io_error on write to store {!r}".format(self.name))
         self.reserve(self._length + count)
         self._backing[self._length:self._length + count] = values
         self._length += count
@@ -485,3 +576,184 @@ class SortedIndexStore:
         self._keys[back].release()
         self._idx[back].release()
         return keys, idx
+
+
+#: File name of the per-level checkpoint manifest inside a checkpoint dir.
+MANIFEST_NAME = "checkpoint.json"
+MANIFEST_VERSION = 1
+
+
+def store_crc(store, rows=None, base=0):
+    """Chunked CRC32 of the first *rows* rows of *store* (chained on *base*)."""
+    rows = len(store) if rows is None else int(rows)
+    data = store._backing[:rows]
+    crc = base
+    chunk = max(1, (1 << 24) // store._row_nbytes)
+    for start in range(0, rows, chunk):
+        part = _np.ascontiguousarray(data[start:start + chunk])
+        crc = zlib.crc32(part.tobytes(), crc) & 0xFFFFFFFF
+    return crc
+
+
+class Checkpoint:
+    """The per-level manifest of a checkpointed exploration.
+
+    Tracks a fixed set of append-only stores; :meth:`record_level` flushes
+    their dirty pages, extends each store's *chained* CRC32 by exactly the
+    rows appended since the previous level (so checkpoint cost is
+    proportional to the level, not the graph), and atomically replaces the
+    manifest JSON.  After a crash, :meth:`load` + :meth:`resume` re-attach
+    to the named files and verify the full chained CRC once; any mismatch
+    raises :class:`~repro.exceptions.ConfigurationError`, which callers
+    treat like a cache miss -- recompute from scratch.
+    """
+
+    def __init__(self, directory, stores, identity):
+        self.directory = str(directory)
+        self.path = os.path.join(self.directory, MANIFEST_NAME)
+        self._stores = dict(stores)
+        self.identity = identity
+        self._rows = {name: 0 for name in self._stores}
+        self._crcs = {name: 0 for name in self._stores}
+
+    @staticmethod
+    def load(directory):
+        """The manifest payload under *directory*, or ``None``.
+
+        Missing, unreadable, corrupt, or wrong-version manifests all
+        return ``None``: a damaged checkpoint degrades to a fresh run.
+        """
+        try:
+            with open(os.path.join(str(directory), MANIFEST_NAME), "r",
+                      encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("version") != MANIFEST_VERSION:
+            return None
+        if not isinstance(payload.get("stores"), dict):
+            return None
+        return payload
+
+    @classmethod
+    def resume(cls, directory, pool, specs, identity, manifest):
+        """Re-open the manifest's stores and verify their chained CRCs.
+
+        *specs* maps store name to ``(dtype, columns)``.  Returns
+        ``(checkpoint, stores)`` with every store restored to the manifest
+        row counts; raises :class:`ConfigurationError` when the identity
+        does not match this exploration or any store fails verification.
+        """
+        if manifest.get("identity") != identity:
+            raise ConfigurationError(
+                "checkpoint in {!r} belongs to a different exploration"
+                .format(str(directory)))
+        stores = {}
+        try:
+            for name, (dtype, columns) in specs.items():
+                entry = manifest["stores"].get(name)
+                if not isinstance(entry, dict):
+                    raise ConfigurationError(
+                        "checkpoint manifest misses store {!r}".format(name))
+                store = ArrayStore.restore(pool, name, dtype, columns,
+                                           entry["rows"])
+                stores[name] = store
+                if store_crc(store, entry["rows"]) != entry["crc"]:
+                    raise ConfigurationError(
+                        "checkpoint store {!r} failed CRC verification"
+                        .format(name))
+        except ConfigurationError:
+            for store in stores.values():
+                store.release()
+            raise
+        checkpoint = cls(directory, stores, identity)
+        for name, entry in manifest["stores"].items():
+            if name in checkpoint._rows:
+                checkpoint._rows[name] = int(entry["rows"])
+                checkpoint._crcs[name] = int(entry["crc"])
+        return checkpoint, stores
+
+    def record_level(self, progress):
+        """Durably record one completed BFS level (*progress* is JSON-able).
+
+        Ordering is the WAL rule in miniature: store pages are flushed
+        *before* the manifest names their new lengths, so a manifest that
+        survives a crash only ever describes bytes that also survived.
+        """
+        entries = {}
+        for name, store in self._stores.items():
+            rows = len(store)
+            previous = self._rows[name]
+            if rows < previous:
+                raise ConfigurationError(
+                    "BUG: checkpointed store {!r} shrank ({} -> {})"
+                    .format(name, previous, rows))
+            if rows > previous:
+                self._crcs[name] = _chain_crc(store, previous, rows,
+                                              self._crcs[name])
+                _flush_rows(store, previous, rows)
+            self._rows[name] = rows
+            entries[name] = {"rows": rows, "crc": self._crcs[name]}
+        payload = {
+            "version": MANIFEST_VERSION,
+            "identity": self.identity,
+            "stores": entries,
+            "progress": dict(progress),
+        }
+        temp_path = self.path + ".tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, self.path)
+        _fsync_directory(self.directory)
+
+    def discard(self):
+        """Remove the manifest (the run completed or was superseded)."""
+        for path in (self.path, self.path + ".tmp"):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+
+def _flush_rows(store, start, end):
+    """Sync the pages holding rows ``[start, end)`` of *store* to disk.
+
+    The tracked stores are append-only between level boundaries (the full
+    prefix CRC is re-verified on resume, so a mutated earlier row would be
+    caught), which makes the appended range exactly the dirty range -- a
+    whole-mapping ``msync`` would re-walk the entire file's pages every
+    level, turning per-level cost into per-graph cost.
+    """
+    mapping = getattr(store._backing, "_mmap", None)
+    if mapping is None:
+        return  # RAM-backed: nothing on disk to sync yet
+    page = mmap.ALLOCATIONGRANULARITY
+    first = (start * store._row_nbytes) // page * page
+    last = min(len(mapping),
+               -(-(end * store._row_nbytes) // page) * page)
+    if last > first:
+        mapping.flush(first, last - first)
+
+
+def _chain_crc(store, start, end, base):
+    """Extend *base* by the CRC32 of rows ``[start, end)`` of *store*."""
+    part = _np.ascontiguousarray(store._backing[start:end])
+    # crc32 reads the buffer directly; .tobytes() would copy every level.
+    return zlib.crc32(part.data, base) & 0xFFFFFFFF
+
+
+def _fsync_directory(directory):
+    try:
+        descriptor = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without directory fds
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(descriptor)

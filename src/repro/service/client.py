@@ -18,9 +18,25 @@ import json
 import time
 import urllib.error
 import urllib.request
+import zlib
 
 from repro.campaign.scheduler import CampaignResult
 from repro.exceptions import ReproError
+
+
+def _connection_error(error):
+    """The refused/reset error underlying *error*, or ``None``.
+
+    These are the transport failures of a daemon that is down or
+    restarting -- retryable, unlike an HTTP error response (the daemon
+    answered) or a DNS failure (the endpoint is misconfigured).
+    """
+    if isinstance(error, (ConnectionRefusedError, ConnectionResetError)):
+        return error
+    if isinstance(error, urllib.error.URLError) and isinstance(
+            error.reason, (ConnectionRefusedError, ConnectionResetError)):
+        return error.reason
+    return None
 
 
 class ServiceClientError(ReproError):
@@ -57,16 +73,55 @@ def result_from_record(job, record):
 
 
 class ServiceClient:
-    """Thin HTTP client for one service endpoint (and optionally one tenant)."""
+    """Thin HTTP client for one service endpoint (and optionally one tenant).
 
-    def __init__(self, base_url, tenant=None, timeout=60.0):
+    Refused and reset connections -- the signature of a daemon that is
+    down, restarting, or being bounced by a supervisor -- are retried
+    transparently with capped exponential backoff and deterministic
+    jitter (*connect_retries* retries, ``base * 2**attempt`` capped at
+    *connect_backoff_cap* seconds, scaled by a per-request factor in
+    [0.75, 1.25) derived from the URL so concurrent clients fan out
+    without shared RNG state).  This is deliberately distinct from the
+    429 handling of :meth:`submit`: a 429 is the daemon *answering* with
+    a Retry-After hint, a refused connection is the daemon not being
+    there at all.
+    """
+
+    def __init__(self, base_url, tenant=None, timeout=60.0,
+                 connect_retries=4, connect_backoff=0.2,
+                 connect_backoff_cap=5.0):
         self.base_url = str(base_url).rstrip("/")
         self.tenant = tenant
         self.timeout = timeout
+        self.connect_retries = int(connect_retries)
+        self.connect_backoff = float(connect_backoff)
+        self.connect_backoff_cap = float(connect_backoff_cap)
 
     # -- transport -----------------------------------------------------------
 
     def _open(self, method, path, payload=None):
+        """Open with retries on refused/reset connections."""
+        attempt = 0
+        while True:
+            try:
+                return self._open_once(method, path, payload)
+            except (urllib.error.URLError, ConnectionResetError) as error:
+                cause = _connection_error(error)
+                if cause is None:
+                    raise
+                if attempt >= self.connect_retries:
+                    raise ServiceClientError(
+                        "cannot reach the service at {} after {} "
+                        "attempt(s): {}".format(
+                            self.base_url, attempt + 1, cause))
+                delay = min(self.connect_backoff * (2 ** attempt),
+                            self.connect_backoff_cap)
+                seed = zlib.crc32("{}:{}:{}".format(
+                    self.base_url, path, attempt).encode("utf-8"))
+                time.sleep(delay * (0.75 + (seed % 1000) / 2000.0))
+                attempt += 1
+
+    def _open_once(self, method, path, payload=None):
         request = urllib.request.Request(
             self.base_url + path,
             data=(json.dumps(payload).encode("utf-8")

@@ -44,10 +44,11 @@ class VerificationService:
     """Admission-controlled verification scheduling for many tenants."""
 
     def __init__(self, parallelism=2, timeout=None, cache_dir=None,
-                 max_depth=DEFAULT_MAX_DEPTH, rate=None, burst=None):
+                 max_depth=DEFAULT_MAX_DEPTH, rate=None, burst=None,
+                 state_dir=None):
         self.scheduler = CampaignScheduler(
             parallelism=max(1, int(parallelism)), timeout=timeout,
-            cache_dir=cache_dir, single_flight=True)
+            cache_dir=cache_dir, single_flight=True, state_dir=state_dir)
         self.max_depth = int(max_depth)
         self.rate = rate
         self.burst = burst if burst is not None else (
@@ -124,13 +125,14 @@ class VerificationService:
 
     def stats(self):
         """Scheduler counters plus admission-control counters."""
-        from repro.smt.solver import solver_fingerprint
+        from repro.smt.solver import solver_fingerprint, solver_respawns
         stats = self.scheduler.stats()
         with self._lock:
             stats["rejected"] = dict(self._rejected)
             stats["tenants"] = len(self._buckets)
         stats["max_depth"] = self.max_depth
         stats["solver"] = solver_fingerprint()
+        stats["solver_respawns"] = solver_respawns()
         if self.rate is not None:
             stats["rate"] = self.rate
             stats["burst"] = self.burst

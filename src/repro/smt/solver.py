@@ -42,6 +42,7 @@ from repro.exceptions import (
     SolverUnavailableError,
 )
 from repro.smt.sexpr import atom_name, balanced, parse
+from repro.utils import faults as _faults
 
 #: The default solver binary, resolved on PATH.
 DEFAULT_SOLVER = "z3"
@@ -124,14 +125,54 @@ def solver_fingerprint():
     return cached
 
 
+#: Respawns performed by every :class:`PipeSolver` of this process, for
+#: the service ``/stats`` endpoint and the checkers' outcome details.
+_respawn_lock = threading.Lock()
+_respawn_total = 0
+
+
+def solver_respawns():
+    """Total mid-session solver respawns performed in this process."""
+    return _respawn_total
+
+
+#: Commands that must not be replayed into a respawned solver: queries and
+#: their per-query knobs (re-issued by the retry itself) and teardown.
+_VOLATILE_PREFIXES = ("(check-sat", "(get-value", "(set-option :timeout",
+                      "(exit")
+
+
 class PipeSolver:
-    """One external SMT solver process behind a line-oriented pipe."""
+    """One external SMT solver process behind a line-oriented pipe.
+
+    A process that dies mid-``check-sat`` is respawned **once**: the
+    session transcript (every non-volatile command written so far --
+    declarations, assertions, ``push``/``pop`` scopes) is replayed into a
+    fresh process and the query retried, so one solver crash costs a
+    re-solve instead of an inconclusive verdict.  A second crash on the
+    same query raises :class:`~repro.exceptions.SolverError` as before.
+    :attr:`respawns` counts this instance's respawns;
+    :func:`solver_respawns` the process-wide total.
+    """
 
     def __init__(self, binary=None, timeout=60.0, args=SOLVER_ARGS):
         self.binary = binary or require_solver()
         #: Default per-query wall-clock budget (seconds).
         self.timeout = float(timeout)
-        command = [self.binary, *args]
+        self._args = tuple(args)
+        #: Times this session's crashed process was respawned.
+        self.respawns = 0
+        #: Non-volatile command lines, in order -- the replayable session.
+        self._transcript = []
+        self._spawn()
+        self.write("(set-option :print-success false)")
+        self.write("(set-option :produce-models true)")
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _spawn(self):
+        """Start the solver process and its reader thread."""
+        command = [self.binary, *self._args]
         try:
             self._process = subprocess.Popen(
                 command, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
@@ -145,10 +186,23 @@ class PipeSolver:
         self._reader = threading.Thread(
             target=self._drain, name="smt-solver-reader", daemon=True)
         self._reader.start()
-        self.write("(set-option :print-success false)")
-        self.write("(set-option :produce-models true)")
 
-    # -- plumbing -------------------------------------------------------------
+    def _respawn(self):
+        """Replace a dead process and replay the session transcript."""
+        global _respawn_total
+        self._kill()
+        self._spawn()
+        self.respawns += 1
+        with _respawn_lock:
+            _respawn_total += 1
+        try:
+            for line in self._transcript:
+                self._process.stdin.write(line + "\n")
+            self._process.stdin.flush()
+        except (BrokenPipeError, OSError, ValueError) as error:
+            raise SolverError(
+                "the respawned SMT solver died replaying the session "
+                "({} command(s)): {}".format(len(self._transcript), error))
 
     def _drain(self):
         """Reader thread: forward solver stdout lines into a queue."""
@@ -161,6 +215,9 @@ class PipeSolver:
 
     def write(self, *lines):
         """Send SMT-LIB command lines to the solver."""
+        for line in lines:
+            if not line.startswith(_VOLATILE_PREFIXES):
+                self._transcript.append(line)
         try:
             for line in lines:
                 self._process.stdin.write(line + "\n")
@@ -170,6 +227,15 @@ class PipeSolver:
             raise SolverError(
                 "the SMT solver process is gone (exit code {}): {}".format(
                     returncode, error))
+
+    def _dead(self):
+        """Did the process die?  A crashed child may not be reaped yet when
+        its stdout EOF is seen, so wait a moment instead of a bare poll."""
+        try:
+            self._process.wait(timeout=0.5)
+            return True
+        except subprocess.TimeoutExpired:
+            return False
 
     def _kill(self):
         if self._process.poll() is None:
@@ -220,6 +286,19 @@ class PipeSolver:
         and :class:`~repro.exceptions.SolverTimeoutError` is raised.
         """
         budget = self.timeout if timeout is None else float(timeout)
+        if _faults.trigger("solver_crash", "query"):
+            self._kill()
+        try:
+            return self._check_sat_once(budget, assuming)
+        except SolverTimeoutError:
+            raise  # the kill was deliberate; a respawned retry would hang too
+        except SolverError:
+            if self._closed or not self._dead():
+                raise  # protocol error from a live process, or torn down
+            self._respawn()
+            return self._check_sat_once(budget, assuming)
+
+    def _check_sat_once(self, budget, assuming):
         self.write("(set-option :timeout {})".format(max(1, int(budget * 1000))))
         if assuming:
             self.write("(check-sat-assuming ({}))".format(" ".join(assuming)))

@@ -1,0 +1,207 @@
+"""An append-only write-ahead log of JSON records, tolerant of torn tails.
+
+This is the durability layer under the campaign scheduler's ticket store
+(:mod:`repro.campaign.scheduler`): every lifecycle event is appended here
+*before* it takes effect in memory, so a ``kill -9`` of the daemon loses at
+most the record being written -- never an acknowledged one.
+
+The format is deliberately boring.  A journal is a directory of segment
+files (``wal-0000000001.log``, ...); each record is framed as::
+
+    <payload length, 4 bytes LE> <crc32(payload), 4 bytes LE> <payload>
+
+where the payload is :func:`~repro.utils.diskcache.canonical_json` encoded
+as UTF-8.  Appends are fsync'd before returning, segments rotate at a size
+threshold (the finished segment and the directory entry are fsync'd on
+rotation), and the reader stops at the first torn or corrupt record instead
+of failing -- a half-written tail is the expected crash artefact, not an
+error.  Reopening a journal for writing physically truncates that torn
+tail, so the next append lands on a clean record boundary.
+"""
+
+import json
+import os
+import re
+import struct
+import threading
+import zlib
+
+from .diskcache import canonical_json
+
+#: ``<payload length> <crc32(payload)>``, both unsigned 32-bit little-endian.
+_HEADER = struct.Struct("<II")
+
+#: Rotation threshold: a segment that has grown past this many bytes is
+#: finished (fsync'd) and a fresh one is started by the next append.
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{10})\.log$")
+
+
+def _segment_name(serial):
+    return "wal-{:010d}.log".format(serial)
+
+
+def _fsync_directory(directory):
+    """Flush the directory entry so a fresh segment survives a crash."""
+    try:
+        descriptor = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. platforms without dir fds
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(descriptor)
+
+
+def list_segments(directory):
+    """The journal's segment paths in append order (may be empty)."""
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    found = []
+    for name in names:
+        match = _SEGMENT_RE.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(directory, name)))
+    return [path for _, path in sorted(found)]
+
+
+def _scan_segment(path):
+    """Yield ``(offset, record)`` pairs up to the first torn/corrupt record.
+
+    Returns the list of decoded records and the byte offset of the first
+    frame that failed to decode (== file size when the segment is clean).
+    """
+    records = []
+    offset = 0
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError:
+        return records, 0, False
+    size = len(data)
+    while offset + _HEADER.size <= size:
+        length, checksum = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > size:
+            return records, offset, True  # torn tail: frame overruns the file
+        payload = data[start:end]
+        if zlib.crc32(payload) & 0xFFFFFFFF != checksum:
+            return records, offset, True  # bit rot: checksum mismatch
+        try:
+            records.append(json.loads(payload.decode("utf-8")))
+        except (UnicodeDecodeError, ValueError):
+            return records, offset, True
+        offset = end
+    # A dangling partial header is torn as well.
+    return records, offset, offset != size
+
+
+def read_journal(directory):
+    """Every intact record in the journal, in append order.
+
+    Reading stops at the first torn or corrupt record: everything before it
+    is returned, everything after it (including later segments -- they were
+    written after the damage point) is ignored.  A missing directory or an
+    empty segment simply contributes no records.
+    """
+    records = []
+    for path in list_segments(directory):
+        segment_records, _, damaged = _scan_segment(path)
+        records.extend(segment_records)
+        if damaged:
+            break
+    return records
+
+
+class JournalWriter:
+    """Appends framed JSON records to the journal under *directory*.
+
+    Thread-safe: the scheduler appends from both its submit path and its
+    supervision thread.  Opening a writer repairs a torn tail (truncating
+    the damaged segment at the last intact record) and resumes appending to
+    the newest segment, rotating once it exceeds *segment_bytes*.
+    """
+
+    def __init__(self, directory, segment_bytes=DEFAULT_SEGMENT_BYTES,
+                 fsync=True):
+        self.directory = str(directory)
+        self.segment_bytes = int(segment_bytes)
+        self.fsync = bool(fsync)
+        self._lock = threading.Lock()
+        self._handle = None
+        self._offset = 0
+        self._serial = 0
+        os.makedirs(self.directory, exist_ok=True)
+        self._open_tail()
+
+    def _open_tail(self):
+        segments = list_segments(self.directory)
+        if segments:
+            tail = segments[-1]
+            self._serial = int(_SEGMENT_RE.match(os.path.basename(tail)).group(1))
+            _, intact_end, damaged = _scan_segment(tail)
+            self._handle = open(tail, "ab")
+            if damaged or intact_end != os.path.getsize(tail):
+                # Repair: drop the torn tail so appends stay frame-aligned.
+                self._handle.truncate(intact_end)
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            self._offset = intact_end
+        else:
+            self._serial = 1
+            path = os.path.join(self.directory, _segment_name(self._serial))
+            self._handle = open(path, "ab")
+            self._offset = 0
+            _fsync_directory(self.directory)
+
+    def _rotate(self):
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        self._serial += 1
+        path = os.path.join(self.directory, _segment_name(self._serial))
+        self._handle = open(path, "ab")
+        self._offset = 0
+        _fsync_directory(self.directory)
+
+    def append(self, record):
+        """Durably append one JSON-able *record*; returns after fsync."""
+        payload = canonical_json(record).encode("utf-8")
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+        with self._lock:
+            if self._handle is None:
+                raise ValueError("journal writer is closed")
+            if self._offset >= self.segment_bytes:
+                self._rotate()
+            self._handle.write(frame)
+            self._handle.write(payload)
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+            self._offset += len(frame) + len(payload)
+
+    def close(self):
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.flush()
+                    os.fsync(self._handle.fileno())
+                except OSError:
+                    pass
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def __repr__(self):
+        return "JournalWriter({!r}, segment={})".format(
+            self.directory, self._serial)

@@ -156,7 +156,8 @@ class CheckerContext:
     """
 
     def __init__(self, net, max_states=200000, engine="auto", workers=0,
-                 semiflow_cache=None, spill_dir=None, spill_bytes=None):
+                 semiflow_cache=None, spill_dir=None, spill_bytes=None,
+                 resume=None):
         self.net = net
         self.max_states = max_states
         self.engine = engine
@@ -169,6 +170,11 @@ class CheckerContext:
         #: it contains, so verdicts are unaffected.
         self.spill_dir = spill_dir
         self.spill_bytes = spill_bytes
+        #: Optional checkpoint directory making the exploration crash-safe
+        #: (per-level manifests; a leftover checkpoint is resumed, with a
+        #: graph bit-identical to an uninterrupted run -- see
+        #: :func:`~repro.petri.reachability.build_reachability_graph`).
+        self.resume = resume
         #: Optional :class:`~repro.petri.invariants.SemiflowCache` (or cache
         #: directory) memoising the place-invariant derivation on disk.
         self.semiflow_cache = semiflow_cache
@@ -183,7 +189,7 @@ class CheckerContext:
             self._graph = build_reachability_graph(
                 self.net, max_states=self.max_states, engine=self.engine,
                 workers=self.workers, spill_dir=self.spill_dir,
-                spill_bytes=self.spill_bytes)
+                spill_bytes=self.spill_bytes, resume=self.resume)
         return self._graph
 
     @property

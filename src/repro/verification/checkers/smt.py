@@ -122,27 +122,41 @@ class SolverBackedChecker(Checker):
         missing = self._solver_missing()
         if missing is not None:
             return missing
+        from repro.smt.solver import solver_respawns
+        respawns_before = solver_respawns()
+
+        def note(details):
+            """Append the query's solver-respawn count to *details*."""
+            respawned = solver_respawns() - respawns_before
+            if not respawned:
+                return details
+            suffix = "solver respawned {} time(s) mid-session".format(
+                respawned)
+            return "{}; {}".format(details, suffix) if details else suffix
+
         try:
             result = self._prove(query)
         except SolverTimeoutError as exc:
-            return self.outcome(None, details="solver timeout: {}".format(exc))
+            return self.outcome(None, details=note(
+                "solver timeout: {}".format(exc)))
         except SolverUnavailableError as exc:
-            return self.outcome(None, details=str(exc))
+            return self.outcome(None, details=note(str(exc)))
         except SolverError as exc:
-            return self.outcome(None, details="solver failure: {}".format(exc))
+            return self.outcome(None, details=note(
+                "solver failure: {}".format(exc)))
         if result is None:
             return self.unsupported(query)
         if result.proved:
-            return self.outcome(True, details=result.details)
+            return self.outcome(True, details=note(result.details))
         if result.violated:
             witness = self._replayed(query, result)
             if witness is None:
-                return self.outcome(None, details=(
+                return self.outcome(None, details=note(
                     "the solver reported a violation but its trace did not "
                     "replay; not trusting the verdict"))
             return self.outcome(False, witnesses=[witness],
-                                details=result.details)
-        return self.outcome(None, details=result.details)
+                                details=note(result.details))
+        return self.outcome(None, details=note(result.details))
 
     def _prove(self, query):
         """Run the engine; return a ProofOutcome or ``None`` (unsupported)."""

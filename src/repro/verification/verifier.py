@@ -109,7 +109,7 @@ class Verifier:
     def __init__(self, dfs, max_states=200000, engine="auto", net=None,
                  checker="exhaustive", checker_options=None,
                  checker_overrides=None, workers=0, semiflow_cache=None,
-                 spill_dir=None, spill_bytes=None):
+                 spill_dir=None, spill_bytes=None, resume=None):
         self.dfs = dfs
         self.max_states = max_states
         self.engine = engine
@@ -122,6 +122,9 @@ class Verifier:
         #: under *spill_dir*.  Like *workers*, never affects verdicts.
         self.spill_dir = spill_dir
         self.spill_bytes = spill_bytes
+        #: Optional exploration checkpoint directory (crash-safe runs; a
+        #: leftover checkpoint is resumed bit-identically).
+        self.resume = resume
         #: Optional on-disk memo of the place-invariant derivation (a
         #: :class:`~repro.petri.invariants.SemiflowCache` or directory).
         self.semiflow_cache = semiflow_cache
@@ -166,7 +169,8 @@ class Verifier:
             self._context = CheckerContext(
                 self.net, max_states=self.max_states, engine=self.engine,
                 workers=self.workers, semiflow_cache=self.semiflow_cache,
-                spill_dir=self.spill_dir, spill_bytes=self.spill_bytes)
+                spill_dir=self.spill_dir, spill_bytes=self.spill_bytes,
+                resume=self.resume)
         return self._context
 
     @property

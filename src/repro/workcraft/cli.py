@@ -144,7 +144,7 @@ def _command_verify(args):
     verifier = Verifier(dfs, max_states=args.max_states, engine=args.engine,
                         checker=checker, checker_options=checker_options,
                         workers=args.workers, spill_dir=args.spill_dir,
-                        spill_bytes=args.spill_bytes)
+                        spill_bytes=args.spill_bytes, resume=args.resume)
     summary = verifier.verify_all(include_persistence=not args.no_persistence)
     print(summary.report())
     return 0 if summary.passed else 1
@@ -339,7 +339,7 @@ def _command_serve(args):
     service = VerificationService(
         parallelism=max(1, args.jobs), timeout=args.timeout,
         cache_dir=cache_dir, max_depth=args.max_depth,
-        rate=args.rate, burst=args.burst)
+        rate=args.rate, burst=args.burst, state_dir=args.state_dir)
 
     def ready(daemon):
         print("serving verification on {}".format(daemon.address), flush=True)
@@ -387,6 +387,13 @@ def build_parser():
                         help="RAM budget in bytes for columnar state-space "
                              "arrays; above it they move to disk-backed "
                              "memmaps (default: REPRO_SPILL_BYTES)")
+    verify.add_argument("--resume", default=None, metavar="DIR",
+                        help="checkpoint directory for crash-safe "
+                             "exploration: a manifest is committed after "
+                             "every BFS level, and a leftover checkpoint "
+                             "(from a killed run) is resumed from its last "
+                             "complete level, bit-identical to an "
+                             "uninterrupted run (NumPy engines only)")
     verify.add_argument("--race", action="store_true",
                         help="race the portfolio members in separate "
                              "processes, first conclusive verdict wins "
@@ -517,6 +524,13 @@ def build_parser():
                             "(default: unlimited)")
     serve.add_argument("--burst", type=float, default=None,
                        help="per-tenant burst size (default: max(1, rate))")
+    serve.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="durability root: ticket transitions are "
+                            "write-ahead journaled below it, and a "
+                            "restarted daemon replays the journal -- "
+                            "finished tickets answer under their old ids, "
+                            "in-flight jobs are re-run (default: no "
+                            "durability)")
     serve.set_defaults(handler=_command_serve)
 
     export = subparsers.add_parser("export", help="export the model")

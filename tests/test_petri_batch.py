@@ -219,7 +219,7 @@ class TestEngineSelection:
         calls = {}
 
         def fake_sharded(compiled, marking, max_states, workers, batch,
-                         spill=None):
+                         spill=None, checkpoint=None):
             calls["batch"] = batch
             from repro.petri.compiled import explore_compiled
             return explore_compiled(compiled, marking, max_states=max_states)

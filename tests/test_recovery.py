@@ -1,0 +1,424 @@
+"""Crash-recovery tier: checkpoints, journal replay, and injected faults.
+
+Three layers of the crash story are exercised end to end:
+
+* **exploration checkpoints** -- a run SIGKILLed mid-level (via the
+  ``kill_worker@level`` fault) leaves a per-level manifest next to its
+  columnar arrays; the resumed run restarts from the last complete level
+  and produces a graph **bit-identical** to an uninterrupted one (asserted
+  by hashing every array);
+* **service durability** -- a daemon SIGKILLed mid-campaign and restarted
+  with the same ``--state-dir`` answers old ticket ids: finished tickets
+  from the journal, in-flight ones by re-running;
+* **fault sites** -- ``io_error@write`` surfaces as :class:`FaultError`
+  from the spill layer, ``kill_worker@task`` crashes a supervised worker
+  (contained as a ``"crashed"`` outcome), ``solver_crash@query`` kills the
+  z3 child mid-query and the pipe solver respawns it once, transparently.
+"""
+
+import hashlib
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+
+import pytest
+
+from repro.dfs.examples import linear_pipeline
+from repro.dfs.translation import to_petri_net
+from repro.parallel.supervisor import run_supervised
+from repro.petri.batch import numpy_available
+from repro.petri.reachability import build_reachability_graph
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.utils import faults
+from repro.utils.faults import FaultError
+from repro.utils.journal import read_journal
+
+SRC_DIR = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="columnar checkpoints need NumPy")
+
+#: Child process: explore linear_pipeline(4) and print a graph digest.
+#: Run with a checkpoint directory (or "-") and a worker count; faults are
+#: injected through the inherited REPRO_FAULTS environment.
+EXPLORER = '''
+import hashlib, json, sys
+
+sys.path.insert(0, {src!r})
+
+from repro.dfs.examples import linear_pipeline
+from repro.dfs.translation import to_petri_net
+from repro.petri.reachability import build_reachability_graph
+
+
+def digest(graph):
+    material = hashlib.sha256()
+    for array in (graph._words, graph._edge_data, graph._edge_offsets,
+                  graph._parents_arr, graph._frontier_arr):
+        material.update(array.tobytes())
+    return material.hexdigest()
+
+
+checkpoint = None if sys.argv[1] == "-" else sys.argv[1]
+workers = int(sys.argv[2])
+net = to_petri_net(linear_pipeline(4))
+graph = build_reachability_graph(net, engine="batch", workers=workers,
+                                 resume=checkpoint)
+print(json.dumps({{
+    "states": len(graph),
+    "truncated": bool(graph.truncated),
+    "digest": digest(graph),
+    "resumed_from": graph.exploration_stats["checkpoint"]["resumed_from_level"],
+}}))
+'''.format(src=str(SRC_DIR))
+
+
+def _run_explorer(checkpoint, workers=0, fault=None):
+    """Run the explorer child; return (returncode, parsed stdout or None)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_FAULTS_SEED", None)
+    argv = [sys.executable, "-c", EXPLORER, checkpoint or "-", str(workers)]
+    if fault:
+        # A faulted run is expected to die by SIGKILL.  Don't capture its
+        # output: sharded worker processes inherit the pipe ends and may
+        # outlive the killed coordinator briefly, which would make
+        # ``communicate`` wait on an EOF that never comes.
+        env["REPRO_FAULTS"] = fault
+        process = subprocess.Popen(argv, stdout=subprocess.DEVNULL,
+                                   stderr=subprocess.DEVNULL, env=env)
+        return process.wait(timeout=300), None
+    completed = subprocess.run(argv, capture_output=True, text=True, env=env,
+                               timeout=300)
+    payload = None
+    if completed.returncode == 0:
+        payload = json.loads(completed.stdout)
+    return completed.returncode, payload
+
+
+@pytest.fixture
+def fault_plan(monkeypatch):
+    """Configure in-process fault injection for one test, then clear it."""
+    def arm(spec, seed=None):
+        monkeypatch.setenv("REPRO_FAULTS", spec)
+        if seed is not None:
+            monkeypatch.setenv("REPRO_FAULTS_SEED", str(seed))
+        faults.reset()
+    yield arm
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_FAULTS_SEED", raising=False)
+    faults.reset()
+
+
+# -- exploration checkpoint/resume --------------------------------------------
+
+
+@needs_numpy
+class TestCheckpointResume:
+    def test_completed_run_discards_its_checkpoint_files(self, tmp_path):
+        checkpoint = str(tmp_path / "ckpt")
+        net = to_petri_net(linear_pipeline(4))
+        reference = build_reachability_graph(net, engine="batch")
+        graph = build_reachability_graph(net, engine="batch",
+                                         resume=checkpoint)
+        assert len(graph) == len(reference)
+        assert graph._mask_states == reference._mask_states
+        assert os.listdir(checkpoint) == []
+
+    def test_io_fault_keeps_checkpoint_and_resume_is_bit_identical(
+            self, tmp_path, fault_plan):
+        """A mid-exploration write error leaves a resumable checkpoint."""
+        checkpoint = str(tmp_path / "ckpt")
+        net = to_petri_net(linear_pipeline(4))
+        reference = build_reachability_graph(net, engine="batch")
+        fault_plan("io_error@write=40")
+        with pytest.raises(FaultError):
+            build_reachability_graph(net, engine="batch", resume=checkpoint)
+        assert "checkpoint.json" in os.listdir(checkpoint)
+        fault_plan("")  # disarm
+        resumed = build_reachability_graph(net, engine="batch",
+                                           resume=checkpoint)
+        stats = resumed.exploration_stats["checkpoint"]
+        assert stats["resumed_from_level"] >= 1
+        assert resumed._mask_states == reference._mask_states
+        assert resumed._mask_edges == reference._mask_edges
+        assert resumed._parents == reference._parents
+        assert os.listdir(checkpoint) == []
+
+    def test_foreign_checkpoint_is_ignored_not_resumed(self, tmp_path,
+                                                       fault_plan):
+        """A checkpoint of a different exploration starts a fresh run."""
+        checkpoint = str(tmp_path / "ckpt")
+        net = to_petri_net(linear_pipeline(4))
+        fault_plan("io_error@write=40")
+        with pytest.raises(FaultError):
+            build_reachability_graph(net, engine="batch", resume=checkpoint)
+        fault_plan("")
+        # Same net, different max_states: a different exploration identity.
+        reference = build_reachability_graph(net, engine="batch",
+                                             max_states=50)
+        other = build_reachability_graph(net, engine="batch", max_states=50,
+                                         resume=checkpoint)
+        assert other.exploration_stats["checkpoint"]["resumed_from_level"] \
+            is None
+        assert len(other) == len(reference)
+        assert other.truncated == reference.truncated
+
+    def test_corrupt_manifest_degrades_to_a_fresh_run(self, tmp_path,
+                                                      fault_plan):
+        checkpoint = str(tmp_path / "ckpt")
+        net = to_petri_net(linear_pipeline(4))
+        fault_plan("io_error@write=40")
+        with pytest.raises(FaultError):
+            build_reachability_graph(net, engine="batch", resume=checkpoint)
+        fault_plan("")
+        with open(os.path.join(checkpoint, "checkpoint.json"), "w") as handle:
+            handle.write("{ not json")
+        reference = build_reachability_graph(net, engine="batch")
+        graph = build_reachability_graph(net, engine="batch",
+                                         resume=checkpoint)
+        assert graph.exploration_stats["checkpoint"]["resumed_from_level"] \
+            is None
+        assert graph._mask_states == reference._mask_states
+
+
+@needs_numpy
+class TestKillResume:
+    """SIGKILL mid-level, resume, diff -- the acceptance criterion."""
+
+    def test_sigkilled_batch_exploration_resumes_bit_identical(self,
+                                                               tmp_path):
+        checkpoint = str(tmp_path / "ckpt")
+        code, reference = _run_explorer(None)
+        assert code == 0
+        code, _ = _run_explorer(checkpoint, fault="kill_worker@level=10")
+        assert code == -signal.SIGKILL
+        assert "checkpoint.json" in os.listdir(checkpoint)
+        code, resumed = _run_explorer(checkpoint)
+        assert code == 0
+        assert resumed["resumed_from"] >= 1
+        assert resumed["digest"] == reference["digest"]
+        assert resumed["states"] == reference["states"]
+        assert os.listdir(checkpoint) == []  # zero leftovers after success
+
+    def test_sigkilled_sharded_exploration_resumes_via_batch(self, tmp_path):
+        """The sharded coordinator's leftover manifest resumes (batch side).
+
+        Level-boundary store layouts are identical across engines, so a
+        checkpoint cut by killing the sharded coordinator restores into
+        the single-process engine bit for bit.
+        """
+        checkpoint = str(tmp_path / "ckpt")
+        code, reference = _run_explorer(None)
+        assert code == 0
+        code, _ = _run_explorer(checkpoint, workers=2,
+                                fault="kill_worker@level=10")
+        assert code == -signal.SIGKILL
+        assert "checkpoint.json" in os.listdir(checkpoint)
+        code, resumed = _run_explorer(checkpoint)
+        assert code == 0
+        assert resumed["resumed_from"] >= 1
+        assert resumed["digest"] == reference["digest"]
+
+
+# -- fault sites --------------------------------------------------------------
+
+
+class TestFaultSites:
+    @needs_numpy
+    def test_io_error_fault_raises_from_the_store_write_path(self,
+                                                             fault_plan):
+        fault_plan("io_error@write=1")
+        net = to_petri_net(linear_pipeline(2))
+        with pytest.raises(FaultError):
+            build_reachability_graph(net, engine="batch")
+
+    def test_kill_worker_task_fault_is_contained_as_crashed(self,
+                                                            fault_plan):
+        fault_plan("kill_worker@task=1")
+        outcomes = {outcome.task_id: outcome
+                    for outcome in run_supervised([("t1", _noop, ())],
+                                                  parallelism=1, timeout=30.0)}
+        assert outcomes["t1"].status == "crashed"
+
+    def test_unfaulted_trigger_is_a_cheap_no_op(self, fault_plan):
+        fault_plan("")
+        assert faults.trigger("kill_worker", "level") is False
+
+
+def _noop():
+    return "ran"
+
+
+# -- service client retries ---------------------------------------------------
+
+
+class TestClientConnectionRetries:
+    def _client(self, retries=3):
+        return ServiceClient("http://127.0.0.1:1", connect_retries=retries,
+                             connect_backoff=0.05, connect_backoff_cap=0.2)
+
+    def test_refused_connections_retry_then_name_the_attempt_count(
+            self, monkeypatch):
+        client = self._client(retries=3)
+        attempts = []
+        delays = []
+
+        def failing(method, path, payload=None):
+            attempts.append(path)
+            raise urllib.error.URLError(ConnectionRefusedError(111, "refused"))
+
+        monkeypatch.setattr(client, "_open_once", failing)
+        monkeypatch.setattr(time, "sleep", delays.append)
+        with pytest.raises(ServiceClientError) as caught:
+            client.healthz()
+        assert len(attempts) == 4  # 1 try + 3 retries
+        assert "4 attempt(s)" in str(caught.value)
+        # Exponential backoff with deterministic jitter: delays grow and
+        # stay within +-25% of base * 2**attempt (capped).
+        assert len(delays) == 3
+        for index, delay in enumerate(delays):
+            base = min(0.05 * (2 ** index), 0.2)
+            assert base * 0.75 <= delay <= base * 1.25
+        assert delays == sorted(delays)
+
+    def test_jitter_is_deterministic_per_request(self, monkeypatch):
+        recorded = []
+        for _ in range(2):
+            client = self._client(retries=2)
+            delays = []
+            monkeypatch.setattr(
+                client, "_open_once",
+                lambda *a, **k: (_ for _ in ()).throw(
+                    urllib.error.URLError(ConnectionResetError(104, "reset"))))
+            monkeypatch.setattr(time, "sleep", delays.append)
+            with pytest.raises(ServiceClientError):
+                client.healthz()
+            recorded.append(tuple(delays))
+        assert recorded[0] == recorded[1]
+
+    def test_recovery_mid_retry_returns_the_response(self, monkeypatch):
+        client = self._client(retries=5)
+        calls = {"n": 0}
+
+        class _Response:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+            @staticmethod
+            def read():
+                return b'{"status": "ok"}'
+
+        def flaky(method, path, payload=None):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise urllib.error.URLError(
+                    ConnectionRefusedError(111, "refused"))
+            return _Response()
+
+        monkeypatch.setattr(client, "_open_once", flaky)
+        monkeypatch.setattr(time, "sleep", lambda _: None)
+        assert client.healthz() == {"status": "ok"}
+        assert calls["n"] == 3
+
+    def test_non_connection_urlerror_is_not_retried(self, monkeypatch):
+        client = self._client(retries=5)
+        attempts = []
+
+        def dns_failure(method, path, payload=None):
+            attempts.append(path)
+            raise urllib.error.URLError(OSError("no such host"))
+
+        monkeypatch.setattr(client, "_open_once", dns_failure)
+        with pytest.raises(urllib.error.URLError):
+            client.healthz()
+        assert len(attempts) == 1
+
+
+# -- daemon crash / restart ---------------------------------------------------
+
+
+def _free_state_daemon(state_dir, cache_dir, port=0):
+    """Start `repro-dfs serve --state-dir` as a child; return (proc, url)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    env.pop("REPRO_FAULTS", None)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.workcraft.cli", "serve",
+         "--host", "127.0.0.1", "--port", str(port), "--jobs", "1",
+         "--state-dir", state_dir, "--cache-dir", cache_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
+    line = process.stdout.readline()
+    assert "serving verification on" in line, line
+    return process, line.split()[-1].strip()
+
+
+def _job_payload(job_id):
+    return {"job_id": job_id, "factory": "pipeline",
+            "kwargs": {"stages": 2}, "properties": ["safeness", "deadlock"],
+            "max_states": 20000, "expect": "pass"}
+
+
+class TestDaemonCrashRecovery:
+    def test_killed_daemon_restarted_with_state_dir_answers_old_tickets(
+            self, tmp_path):
+        state = str(tmp_path / "state")
+        cache = str(tmp_path / "cache")
+        process, url = _free_state_daemon(state, cache)
+        try:
+            client = ServiceClient(url, connect_backoff=0.05)
+            finished = client.submit(_job_payload("done-before-crash"))
+            record = client.wait(finished["id"], timeout=120.0)
+            assert record["result"]["status"] == "ok"
+        finally:
+            process.kill()  # SIGKILL: no shutdown hooks run
+            process.wait(timeout=30)
+        # The journal survived the kill and holds the finished verdict.
+        events = [r["event"]
+                  for r in read_journal(os.path.join(state, "journal"))]
+        assert "submit" in events and "verdict" in events
+        # Same state dir, new port: the old ticket id must still resolve.
+        process, url = _free_state_daemon(state, cache)
+        try:
+            client = ServiceClient(url, connect_backoff=0.05)
+            record = client.wait(finished["id"], timeout=60.0)
+            assert record["status"] == "done"
+            assert record["result"]["status"] == "ok"
+            stats = client.stats()
+            assert stats["restored"] >= 1
+        finally:
+            process.kill()
+            process.wait(timeout=30)
+
+    def test_inflight_ticket_is_rerun_after_restart(self, tmp_path):
+        """A ticket the daemon died holding is re-enqueued on replay."""
+        from repro.campaign.scheduler import CampaignScheduler
+        from repro.utils.journal import JournalWriter
+
+        state = str(tmp_path / "state")
+        with JournalWriter(os.path.join(state, "journal")) as writer:
+            writer.append({"event": "submit", "ticket": "inflight01",
+                           "job": _job_payload("was-running"),
+                           "tenant": None, "priority": 0, "timeout": None,
+                           "time": 0.0})
+            writer.append({"event": "start", "ticket": "inflight01"})
+        scheduler = CampaignScheduler(parallelism=0, state_dir=state)
+        try:
+            ticket = scheduler.get("inflight01")
+            assert ticket is not None
+            result = ticket.wait(timeout=120.0)
+            assert result.status == "ok"
+            assert scheduler.stats()["requeued"] == 1
+        finally:
+            scheduler.shutdown()

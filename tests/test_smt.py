@@ -53,6 +53,7 @@ from repro.smt.solver import (
     solver_available,
     solver_binary,
     solver_fingerprint,
+    solver_respawns,
 )
 from repro.verification.checkers import (
     CHECKERS,
@@ -469,6 +470,94 @@ class TestPipeSolver:
         with pytest.raises(SolverError):
             solver.check_sat(timeout=5)
         solver.close()
+
+
+# -- mid-session crash containment: the respawn path --------------------------
+
+
+class TestSolverRespawn:
+    """A solver that dies mid-query is respawned once, transparently."""
+
+    def test_crash_once_solver_respawns_and_answers(self, tmp_path):
+        """First check-sat kills the child; the respawn answers instead."""
+        marker = str(tmp_path / "crashed-once")
+        binary = TestPipeSolver.script(tmp_path, (
+            "import os, sys\n"
+            "marker = {!r}\n"
+            "for line in sys.stdin:\n"
+            "    if 'check-sat' in line:\n"
+            "        if not os.path.exists(marker):\n"
+            "            open(marker, 'w').close()\n"
+            "            os._exit(9)\n"
+            "        print('sat', flush=True)\n"
+            "    elif 'get-value' in line:\n"
+            "        print('((|p@0| 1))', flush=True)\n"
+            "    elif 'exit' in line:\n"
+            "        break\n").format(marker))
+        with PipeSolver(binary=binary, timeout=30) as solver:
+            assert solver.check_sat(timeout=30) == "sat"
+            assert solver.respawns == 1
+            # The respawned process serves the rest of the session.
+            assert solver.get_values(["|p@0|"], timeout=30) == {"p@0": 1}
+
+    def test_second_crash_on_the_same_query_is_a_solver_error(self, tmp_path):
+        binary = TestPipeSolver.script(tmp_path, (
+            "import os, sys\n"
+            "for line in sys.stdin:\n"
+            "    if 'check-sat' in line:\n"
+            "        os._exit(9)\n"))
+        solver = PipeSolver(binary=binary, timeout=30)
+        with pytest.raises(SolverError):
+            solver.check_sat(timeout=30)
+        assert solver.respawns == 1  # exactly one retry, then give up
+        solver.close()
+
+    def test_timeout_kill_is_not_retried(self, tmp_path):
+        """A deliberate deadline kill must not trigger a doomed respawn."""
+        binary = TestPipeSolver.script(tmp_path, (
+            "import sys, time\n"
+            "for line in sys.stdin:\n"
+            "    time.sleep(60)\n"))
+        solver = PipeSolver(binary=binary)
+        with pytest.raises(SolverTimeoutError):
+            solver.check_sat(timeout=0.3)
+        assert solver.respawns == 0
+        solver.close()
+
+    def test_injected_crash_fault_replays_the_session(self, fake_solver_script,
+                                                      monkeypatch):
+        """``solver_crash@query`` kills the child; the replayed transcript
+        keeps the declarations and assertions of the session alive."""
+        from repro.utils import faults
+        monkeypatch.setenv("REPRO_FAULTS", "solver_crash@query=1")
+        faults.reset()
+        try:
+            before = solver_respawns()
+            with PipeSolver(binary=fake_solver_script, timeout=30) as solver:
+                solver.write("(declare-const x Int)")
+                solver.write("(assert (= x 1))")
+                assert solver.check_sat(timeout=30) == "sat"
+                assert solver.respawns == 1
+                assert solver.get_values(["x"], timeout=30) == {"x": 1}
+            assert solver_respawns() == before + 1
+        finally:
+            monkeypatch.delenv("REPRO_FAULTS", raising=False)
+            faults.reset()
+
+    def test_checker_details_surface_the_respawn_count(self, fake_solver,
+                                                       monkeypatch):
+        from repro.utils import faults
+        monkeypatch.setenv("REPRO_FAULTS", "solver_crash@query=1")
+        faults.reset()
+        try:
+            checker = create_checker("bmc", CheckerContext(latch_ring()),
+                                     {"max_depth": 4})
+            outcome = checker.check(DeadlockQuery())
+            assert outcome.holds is False  # the verdict itself is unaffected
+            assert "solver respawned 1 time(s)" in outcome.details
+        finally:
+            monkeypatch.delenv("REPRO_FAULTS", raising=False)
+            faults.reset()
 
 
 # -- optional-dependency gating (the REPRO_NO_Z3 path) ------------------------

@@ -168,7 +168,8 @@ class TestArrayStore:
         assert ram.stats()["write_bytes"] == 0
         assert ram.stats() == {
             "enabled": False, "spilled": False, "budget_bytes": None,
-            "directory": None, "write_bytes": 0, "read_bytes": 0, "files": 0}
+            "directory": None, "checkpoint": None,
+            "write_bytes": 0, "read_bytes": 0, "files": 0}
         disk = SpillPool(SpillConfig(str(tmp_path), 0))
         spilled = ArrayStore(disk, "t", np.int64)
         spilled.append(np.arange(10, dtype=np.int64))
@@ -385,7 +386,7 @@ class TestExplorationStatsPlumbing:
         assert sharded.exploration_stats["engine"] == "sharded"
         for stats in (batch.exploration_stats, sharded.exploration_stats):
             assert set(stats) == {"engine", "levels", "states", "edges",
-                                  "phases", "spill"}
+                                  "phases", "spill", "checkpoint"}
             assert stats["states"] == len(batch)
             assert isinstance(stats["phases"], dict)
             assert stats["spill"]["spilled"] is False
